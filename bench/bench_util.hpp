@@ -1,0 +1,56 @@
+// Shared scaffolding for the figure benches: banner, scale notes, and the
+// routing line-ups each figure compares.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/simulator.hpp"
+#include "api/sweep.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim::bench {
+
+inline void banner(const std::string& what, const SimConfig& cfg) {
+  const DragonflyTopology topo(cfg.h);
+  std::cout << "# " << what << "\n";
+  std::cout << "# " << topo.describe() << "\n";
+  std::cout << "# flow="
+            << (cfg.flow == FlowControl::kVirtualCutThrough ? "VCT"
+                                                            : "wormhole")
+            << " packet=" << cfg.packet_phits << " phits"
+            << " warmup=" << cfg.warmup_cycles
+            << " measure=" << cfg.measure_cycles << " seed=" << cfg.seed
+            << "\n";
+  std::cout << "# scale knobs: DF_FULL=1 (paper h=8), DF_H, DF_WARMUP, "
+               "DF_MEASURE, DF_SEED, DF_BURST\n";
+}
+
+/// Paper Fig. 4/5 line-up under uniform traffic (Valiant is replaced by
+/// Minimal as the reference, exactly as the paper plots it).
+inline std::vector<std::string> uniform_lineup() {
+  return {"par-6/2", "olm", "rlm", "minimal", "pb"};
+}
+
+/// Paper Fig. 4/5 line-up under adversarial traffic.
+inline std::vector<std::string> adversarial_lineup() {
+  return {"par-6/2", "olm", "rlm", "valiant", "pb"};
+}
+
+/// Wormhole line-ups exclude OLM (VCT-only, paper Sec. IV-B).
+inline std::vector<std::string> uniform_lineup_wh() {
+  return {"par-6/2", "rlm", "minimal", "pb"};
+}
+inline std::vector<std::string> adversarial_lineup_wh() {
+  return {"par-6/2", "rlm", "valiant", "pb"};
+}
+
+inline void configure_wormhole(SimConfig& cfg) {
+  cfg.flow = FlowControl::kWormhole;
+  cfg.packet_phits = 80;  // 8 flits of 10 phits (paper Sec. IV-B)
+  cfg.flit_phits = 10;
+}
+
+}  // namespace dfsim::bench

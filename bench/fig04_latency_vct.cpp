@@ -1,0 +1,35 @@
+// Figure 4: average latency vs. offered load under VCT flow control,
+// 8-phit packets. Three panels: (a) uniform, (b) ADVG+1, (c) ADVG+h.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dfsim;
+  SimConfig cfg = bench_defaults();
+  bench::banner("Figure 4: latency vs offered load, VCT", cfg);
+
+  struct Panel {
+    const char* id;
+    const char* pattern;
+    int offset;
+    std::vector<std::string> lineup;
+    double max_load;
+  };
+  const std::vector<Panel> panels = {
+      {"4a_UN", "uniform", 0, bench::uniform_lineup(), 0.6},
+      {"4b_ADVG+1", "advg", 1, bench::adversarial_lineup(), 0.5},
+      {"4c_ADVG+h", "advg", cfg.h, bench::adversarial_lineup(), 0.4},
+  };
+
+  for (const Panel& panel : panels) {
+    SimConfig pc = cfg;
+    pc.pattern = panel.pattern;
+    pc.pattern_offset = panel.offset;
+    std::cout << "\n## panel " << panel.id << "\n";
+    const auto points =
+        load_sweep(pc, panel.lineup, default_loads(panel.max_load, 6));
+    print_sweep(std::cout, points, Metric::kLatency, "offered_load");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 7: average latency vs. offered load under WORMHOLE flow control
+// (80-phit packets, 8 flits x 10 phits; OLM excluded — VCT only).
+// Panels: (a) uniform, (b) ADVG+1, (c) ADVG+h.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dfsim;
+  SimConfig cfg = bench_defaults();
+  bench::configure_wormhole(cfg);
+  bench::banner("Figure 7: latency vs offered load, wormhole", cfg);
+
+  struct Panel {
+    const char* id;
+    const char* pattern;
+    int offset;
+    std::vector<std::string> lineup;
+    double max_load;
+  };
+  const std::vector<Panel> panels = {
+      {"7a_UN", "uniform", 0, bench::uniform_lineup_wh(), 0.4},
+      {"7b_ADVG+1", "advg", 1, bench::adversarial_lineup_wh(), 0.5},
+      {"7c_ADVG+h", "advg", cfg.h, bench::adversarial_lineup_wh(), 0.4},
+  };
+
+  for (const Panel& panel : panels) {
+    SimConfig pc = cfg;
+    pc.pattern = panel.pattern;
+    pc.pattern_offset = panel.offset;
+    std::cout << "\n## panel " << panel.id << "\n";
+    const auto points =
+        load_sweep(pc, panel.lineup, default_loads(panel.max_load, 6));
+    print_sweep(std::cout, points, Metric::kLatency, "offered_load");
+  }
+  return 0;
+}

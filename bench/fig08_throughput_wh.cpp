@@ -1,0 +1,38 @@
+// Figure 8: accepted load vs. offered load under wormhole flow control
+// (80-phit packets). Panels: (a) uniform, (b) ADVG+1, (c) ADVG+h.
+//
+// Paper headline: PAR-6/2 highest (extra VCs fight head-of-line blocking
+// under WH), RLM close and clearly above Valiant/PB under adversarial
+// traffic; Valiant/PB pinned near 1/h under ADVG+h.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace dfsim;
+  SimConfig cfg = bench_defaults();
+  bench::configure_wormhole(cfg);
+  bench::banner("Figure 8: throughput vs offered load, wormhole", cfg);
+
+  struct Panel {
+    const char* id;
+    const char* pattern;
+    int offset;
+    std::vector<std::string> lineup;
+  };
+  const std::vector<Panel> panels = {
+      {"8a_UN", "uniform", 0, bench::uniform_lineup_wh()},
+      {"8b_ADVG+1", "advg", 1, bench::adversarial_lineup_wh()},
+      {"8c_ADVG+h", "advg", cfg.h, bench::adversarial_lineup_wh()},
+  };
+
+  for (const Panel& panel : panels) {
+    SimConfig pc = cfg;
+    pc.pattern = panel.pattern;
+    pc.pattern_offset = panel.offset;
+    std::cout << "\n## panel " << panel.id << "\n";
+    const auto points = load_sweep(pc, panel.lineup, default_loads(1.0, 6));
+    print_sweep(std::cout, points, Metric::kThroughput, "offered_load");
+  }
+  return 0;
+}

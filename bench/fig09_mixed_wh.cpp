@@ -1,0 +1,54 @@
+// Figure 9: mixed adversarial traffic under wormhole flow control.
+// (a) max throughput at offered load 1.0 vs. % global traffic;
+// (b) burst consumption time (the paper scales the burst to 89 packets of
+//     80 phits so the payload matches the VCT experiment's 1000 x 8).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+
+int main() {
+  using namespace dfsim;
+  SimConfig cfg = bench_defaults();
+  bench::configure_wormhole(cfg);
+  bench::banner("Figure 9: mixed ADVG+h / ADVL+1, wormhole", cfg);
+  cfg.pattern = "mixed";
+  cfg.load = 1.0;
+  // Keep total payload equal to the VCT burst: N x 8 phits == M x 80.
+  cfg.burst_packets = std::max<std::uint64_t>(1, cfg.burst_packets / 10);
+
+  const std::vector<std::string> lineup = {"par-6/2", "rlm", "pb"};
+  const std::vector<double> fractions = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::cout << "\n## panel 9a_throughput\n";
+  {
+    CsvWriter csv(std::cout,
+                  {"series", "global_traffic_pct", "accepted_load"});
+    for (const std::string& routing : lineup) {
+      for (const double p : fractions) {
+        SimConfig pc = cfg;
+        pc.routing = routing;
+        pc.global_fraction = p;
+        const SteadyResult r = run_steady(pc);
+        csv.point(routing, p * 100.0, r.accepted_load);
+      }
+    }
+  }
+
+  std::cout << "\n## panel 9b_burst_consumption\n";
+  {
+    CsvWriter csv(std::cout,
+                  {"series", "global_traffic_pct", "consumption_kcycles"});
+    for (const std::string& routing : lineup) {
+      for (const double p : fractions) {
+        SimConfig pc = cfg;
+        pc.routing = routing;
+        pc.global_fraction = p;
+        const BurstResult r = run_burst(pc);
+        csv.point(routing, p * 100.0,
+                  static_cast<double>(r.consumption_cycles) / 1000.0);
+      }
+    }
+  }
+  return 0;
+}

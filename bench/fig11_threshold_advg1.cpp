@@ -1,0 +1,36 @@
+// Figure 11: misrouting-threshold sweep for RLM/VCT under ADVG+1 —
+// latency and throughput for thresholds 30..60%. High thresholds misroute
+// eagerly (good under adversarial traffic); with Fig. 10 this motivates
+// the paper's 45% compromise.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+
+int main() {
+  using namespace dfsim;
+  SimConfig cfg = bench_defaults();
+  bench::banner("Figure 11: RLM threshold sweep, ADVG+1, VCT", cfg);
+  cfg.routing = "rlm";
+  cfg.pattern = "advg";
+  cfg.pattern_offset = 1;
+
+  const std::vector<double> thresholds = {0.30, 0.40, 0.45, 0.50, 0.60};
+  const std::vector<double> loads = default_loads(1.0, 6);
+
+  std::cout << "\n## panel 11a_latency and 11b_throughput\n";
+  CsvWriter csv(std::cout, {"series", "offered_load", "avg_latency_cycles",
+                            "accepted_load"});
+  for (const double th : thresholds) {
+    for (const double load : loads) {
+      SimConfig pc = cfg;
+      pc.misroute_threshold = th;
+      pc.load = load;
+      const SteadyResult r = run_steady(pc);
+      csv.row({"rlm_th=" + CsvWriter::fmt(th * 100) + "%",
+               CsvWriter::fmt(load), CsvWriter::fmt(r.avg_latency),
+               CsvWriter::fmt(r.accepted_load)});
+    }
+  }
+  return 0;
+}

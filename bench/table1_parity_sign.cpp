@@ -1,0 +1,29 @@
+// Regenerates the paper's Table I: the 16 two-hop type combinations of
+// the parity-sign restriction, with allowed/forbidden verdicts, plus the
+// per-pair route-count guarantees it provides (Sec. III-B).
+#include <iostream>
+
+#include "common/env.hpp"
+#include "routing/parity_sign.hpp"
+
+int main() {
+  using namespace dfsim;
+  const LocalRouteRestriction restriction(RestrictionPolicy::kParitySign);
+
+  std::cout << "# Table I: parity-sign 2-hop combinations\n";
+  std::cout << "first,second,allowed\n";
+  for (const auto& row : restriction.table()) {
+    std::cout << to_string(row.first) << ',' << to_string(row.second) << ','
+              << (row.allowed ? "YES" : "NO") << '\n';
+  }
+
+  std::cout << "\n# Route-count guarantees (>= h-1 per ordered pair)\n";
+  std::cout << "h,group_size,min_two_hop_routes,max_two_hop_routes\n";
+  const int max_h = static_cast<int>(env_int("DF_MAX_H", 16));
+  for (int h = 2; h <= max_h; h *= 2) {
+    std::cout << h << ',' << 2 * h << ','
+              << restriction.min_two_hop_routes(2 * h) << ','
+              << restriction.max_two_hop_routes(2 * h) << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// The paper's motivating scenario, end to end: compare every routing
+// mechanism on the traffic patterns that break dragonflies — ADVG+1 (one
+// saturated global link), ADVG+h (the pathological local link in the
+// intermediate group) and ADVL+1 (one saturated local link) — and show
+// why local misrouting matters.
+//
+//   ./adversarial_showdown [h] [load]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "api/simulator.hpp"
+
+int main(int argc, char** argv) {
+  dfsim::SimConfig cfg;
+  cfg.h = argc > 1 ? std::atoi(argv[1]) : 3;
+  cfg.load = argc > 2 ? std::atof(argv[2]) : 1.0;
+  cfg.warmup_cycles = 3000;
+  cfg.measure_cycles = 8000;
+
+  const dfsim::DragonflyTopology topo(cfg.h);
+  std::cout << topo.describe() << "\noffered load " << cfg.load
+            << " phits/(node*cycle)\n\n";
+  std::cout << "analytic caps without misrouting: ADVG "
+            << 1.0 / topo.num_groups() << " (single global link), ADVL "
+            << 1.0 / cfg.h << " (single local link)\n\n";
+
+  std::cout << std::left << std::setw(14) << "routing" << std::right
+            << std::setw(12) << "UN" << std::setw(12) << "ADVG+1"
+            << std::setw(12) << "ADVG+h" << std::setw(12) << "ADVL+1"
+            << "   (accepted load)\n";
+
+  for (const char* routing :
+       {"minimal", "valiant", "pb", "ugal", "par-6/2", "rlm", "olm"}) {
+    std::cout << std::left << std::setw(14) << routing << std::right
+              << std::fixed << std::setprecision(3);
+    struct Case {
+      const char* pattern;
+      int offset;
+    };
+    for (const Case c : {Case{"uniform", 0}, Case{"advg", 1},
+                         Case{"advg", cfg.h}, Case{"advl", 1}}) {
+      dfsim::SimConfig pc = cfg;
+      pc.routing = routing;
+      pc.pattern = c.pattern;
+      pc.pattern_offset = c.offset;
+      const dfsim::SteadyResult r = run_steady(pc);
+      std::cout << std::setw(12) << r.accepted_load;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nNote how only the mechanisms with local misrouting\n"
+               "(par-6/2, rlm, olm) escape the 1/h ceilings on ADVG+h and\n"
+               "ADVL+1 — the paper's central result.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Demonstrates the deadlock the paper's mechanisms exist to prevent.
+//
+// Statically: builds the intra-group channel dependency graph with and
+// without the parity-sign restriction and prints a concrete cycle.
+// Dynamically: runs unrestricted local misrouting at 3/2 VCs under
+// adversarial-local stress until the watchdog trips, then runs RLM and
+// OLM on the identical workload to completion.
+#include <iostream>
+
+#include "analysis/cdg.hpp"
+#include "api/simulator.hpp"
+
+int main() {
+  using namespace dfsim;
+
+  std::cout << "== static analysis: intra-group CDG (group of 8) ==\n";
+  const LocalRouteRestriction none(RestrictionPolicy::kNone);
+  const LocalChannelDependencyGraph g_none(8, none);
+  const auto cycle = g_none.find_cycle();
+  std::cout << "unrestricted: cycle of length " << cycle.size()
+            << " among local channels -> deadlock possible\n";
+
+  const LocalRouteRestriction ps(RestrictionPolicy::kParitySign);
+  const LocalChannelDependencyGraph g_ps(8, ps);
+  std::cout << "parity-sign:  "
+            << (g_ps.has_cycle() ? "CYCLE (bug!)" : "acyclic")
+            << " -> RLM is deadlock-free by construction\n\n";
+
+  std::cout << "== dynamic run: ADVL+1 at load 1.0, 3/2 VCs ==\n";
+  SimConfig cfg;
+  cfg.h = 3;
+  cfg.pattern = "advl";
+  cfg.pattern_offset = 1;
+  cfg.load = 1.0;
+  cfg.misroute_threshold = 0.9;  // aggressive misrouting
+  cfg.local_buf_phits = 16;      // tight buffers
+  cfg.warmup_cycles = 2000;
+  cfg.measure_cycles = 16000;
+  cfg.watchdog_cycles = 3000;
+
+  for (const char* routing : {"rlm-unrestricted", "rlm", "olm"}) {
+    SimConfig pc = cfg;
+    pc.routing = routing;
+    const SteadyResult r = run_steady(pc);
+    std::cout << routing << ": "
+              << (r.deadlock ? "DEADLOCK detected by watchdog"
+                             : "completed deadlock-free")
+              << ", accepted load " << r.accepted_load << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Flow-control study: the same network under VCT (small packets) and
+// wormhole (large packets in flits), mirroring the paper's two evaluation
+// environments (Cray Cascade-like vs. IBM PERCS-like). Shows RLM working
+// under both while OLM is VCT-only, and the WH latency penalty.
+//
+//   ./wormhole_vs_vct [h]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "api/simulator.hpp"
+
+int main(int argc, char** argv) {
+  dfsim::SimConfig base;
+  base.h = argc > 1 ? std::atoi(argv[1]) : 3;
+  base.warmup_cycles = 3000;
+  base.measure_cycles = 8000;
+  base.pattern = "advg";
+  base.pattern_offset = 1;
+  base.load = 0.4;
+
+  std::cout << "ADVG+1 at load 0.4 on "
+            << dfsim::DragonflyTopology(base.h).describe() << "\n\n";
+  std::cout << std::left << std::setw(10) << "routing" << std::setw(12)
+            << "flow" << std::right << std::setw(12) << "latency"
+            << std::setw(12) << "accepted" << "\n";
+
+  for (const char* routing : {"rlm", "par-6/2", "olm"}) {
+    for (const bool wormhole : {false, true}) {
+      dfsim::SimConfig cfg = base;
+      cfg.routing = routing;
+      if (wormhole) {
+        cfg.flow = dfsim::FlowControl::kWormhole;
+        cfg.packet_phits = 80;
+        cfg.flit_phits = 10;
+      }
+      std::cout << std::left << std::setw(10) << routing << std::setw(12)
+                << (wormhole ? "wormhole" : "VCT");
+      if (wormhole && routing == std::string("olm")) {
+        std::cout << std::right << std::setw(24)
+                  << "unsupported (paper III-C)" << "\n";
+        continue;
+      }
+      const dfsim::SteadyResult r = run_steady(cfg);
+      std::cout << std::right << std::fixed << std::setprecision(1)
+                << std::setw(12) << r.avg_latency << std::setprecision(3)
+                << std::setw(12) << r.accepted_load << "\n";
+    }
+  }
+  std::cout << "\nWormhole pays per-hop serialization of larger packets\n"
+               "and suffers head-of-line blocking with only 3 local VCs;\n"
+               "that is why the paper pairs WH with RLM, not OLM.\n";
+  return 0;
+}

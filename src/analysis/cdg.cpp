@@ -1,0 +1,76 @@
+#include "analysis/cdg.hpp"
+
+#include <algorithm>
+
+namespace dfsim {
+
+LocalChannelDependencyGraph::LocalChannelDependencyGraph(
+    int group_size, const LocalRouteRestriction& restriction)
+    : group_size_(group_size) {
+  adj_.resize(static_cast<size_t>(num_channels()));
+  for (int i = 0; i < group_size_; ++i) {
+    for (int k = 0; k < group_size_; ++k) {
+      if (k == i) continue;
+      for (int j = 0; j < group_size_; ++j) {
+        if (j == i || j == k) continue;
+        if (!restriction.hop_pair_allowed(i, k, j)) continue;
+        adj_[static_cast<size_t>(channel_id(i, k))].push_back(
+            channel_id(k, j));
+      }
+    }
+  }
+  for (auto& row : adj_) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+}
+
+int LocalChannelDependencyGraph::channel_id(int i, int j) const {
+  return i * (group_size_ - 1) + (j < i ? j : j - 1);
+}
+
+bool LocalChannelDependencyGraph::has_cycle() const {
+  return !find_cycle().empty();
+}
+
+std::vector<int> LocalChannelDependencyGraph::find_cycle() const {
+  // Iterative DFS with colors; reconstructs one back-edge cycle.
+  const int n = num_channels();
+  std::vector<std::uint8_t> color(static_cast<size_t>(n), 0);  // 0/1/2
+  std::vector<int> parent(static_cast<size_t>(n), -1);
+
+  for (int root = 0; root < n; ++root) {
+    if (color[static_cast<size_t>(root)] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack;  // node, next-edge idx
+    stack.emplace_back(root, 0);
+    color[static_cast<size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      const auto& edges = adj_[static_cast<size_t>(node)];
+      if (idx < edges.size()) {
+        const int next = edges[idx++];
+        if (color[static_cast<size_t>(next)] == 1) {
+          // Found a cycle: walk parents from `node` back to `next`.
+          std::vector<int> cycle{next};
+          for (int cur = node; cur != next;
+               cur = parent[static_cast<size_t>(cur)]) {
+            cycle.push_back(cur);
+          }
+          std::reverse(cycle.begin(), cycle.end());
+          return cycle;
+        }
+        if (color[static_cast<size_t>(next)] == 0) {
+          color[static_cast<size_t>(next)] = 1;
+          parent[static_cast<size_t>(next)] = node;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[static_cast<size_t>(node)] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace dfsim

@@ -1,0 +1,43 @@
+// Channel-dependency-graph analysis of intra-group local misrouting.
+//
+// Inside a supernode, RLM lets a packet take TWO local hops on the SAME
+// virtual channel, so Günther's ascending-order argument does not apply;
+// the parity-sign restriction must keep the local channel dependency
+// graph acyclic on its own. This module machine-checks that claim (and
+// exhibits the cycle that unrestricted local misrouting creates, e.g. the
+// Fig. 2 triple (0->5->1), (5->1->0), (1->0->5)).
+//
+// Vertices are directed local channels (i -> j); an edge c1 -> c2 exists
+// iff some allowed 2-hop route uses c1 then c2 (i.e. a packet holding c1
+// may wait for c2 within the same VC).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/parity_sign.hpp"
+
+namespace dfsim {
+
+class LocalChannelDependencyGraph {
+ public:
+  /// Build the dependency graph over a complete local graph of
+  /// `group_size` routers under `restriction`.
+  LocalChannelDependencyGraph(int group_size,
+                              const LocalRouteRestriction& restriction);
+
+  int num_channels() const { return group_size_ * (group_size_ - 1); }
+  int channel_id(int i, int j) const;  // i != j
+
+  bool has_cycle() const;
+  /// One cycle as a channel-id sequence (empty when acyclic).
+  std::vector<int> find_cycle() const;
+
+  const std::vector<std::vector<int>>& adjacency() const { return adj_; }
+
+ private:
+  int group_size_;
+  std::vector<std::vector<int>> adj_;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,86 @@
+#include "analysis/route_census.hpp"
+
+#include <algorithm>
+
+namespace dfsim {
+
+RouteCensus::RouteCensus(int group_size,
+                         const LocalRouteRestriction& restriction)
+    : group_size_(group_size),
+      routes_(static_cast<std::size_t>(group_size),
+              std::vector<int>(static_cast<std::size_t>(group_size), 0)),
+      link_load_(static_cast<std::size_t>(group_size),
+                 std::vector<int>(static_cast<std::size_t>(group_size), 0)) {
+  for (int i = 0; i < group_size_; ++i) {
+    for (int j = 0; j < group_size_; ++j) {
+      if (i == j) continue;
+      for (int k = 0; k < group_size_; ++k) {
+        if (k == i || k == j) continue;
+        if (!restriction.hop_pair_allowed(i, k, j)) continue;
+        ++routes_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        ++link_load_[static_cast<std::size_t>(i)]
+                    [static_cast<std::size_t>(k)];
+        ++link_load_[static_cast<std::size_t>(k)]
+                    [static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+
+std::vector<int> RouteCensus::pair_histogram() const {
+  std::vector<int> hist(static_cast<std::size_t>(group_size_ - 1), 0);
+  for (int i = 0; i < group_size_; ++i) {
+    for (int j = 0; j < group_size_; ++j) {
+      if (i == j) continue;
+      const int k =
+          routes_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+      ++hist[static_cast<std::size_t>(k)];
+    }
+  }
+  return hist;
+}
+
+std::vector<std::vector<int>> RouteCensus::link_load() const {
+  return link_load_;
+}
+
+int RouteCensus::max_link_load() const {
+  int best = 0;
+  for (int i = 0; i < group_size_; ++i) {
+    for (int j = 0; j < group_size_; ++j) {
+      if (i != j) {
+        best = std::max(best, link_load_[static_cast<std::size_t>(i)]
+                                        [static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  return best;
+}
+
+int RouteCensus::min_link_load() const {
+  int best = group_size_ * group_size_;
+  for (int i = 0; i < group_size_; ++i) {
+    for (int j = 0; j < group_size_; ++j) {
+      if (i != j) {
+        best = std::min(best, link_load_[static_cast<std::size_t>(i)]
+                                        [static_cast<std::size_t>(j)]);
+      }
+    }
+  }
+  return best;
+}
+
+int RouteCensus::starved_pairs() const {
+  int count = 0;
+  for (int i = 0; i < group_size_; ++i) {
+    for (int j = 0; j < group_size_; ++j) {
+      if (i != j && routes_[static_cast<std::size_t>(i)]
+                           [static_cast<std::size_t>(j)] == 0) {
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,44 @@
+// Static route census: enumerate, for a given restriction policy, the
+// non-minimal route diversity the network offers — per-pair 2-hop route
+// counts inside a group and per-link appearance counts (how often each
+// local link participates in an allowed 2-hop route). The paper's
+// sign-only vs parity-sign argument is about exactly these distributions:
+// sign-only leaves pairs with zero routes and loads links unevenly.
+#pragma once
+
+#include <vector>
+
+#include "routing/parity_sign.hpp"
+
+namespace dfsim {
+
+class RouteCensus {
+ public:
+  RouteCensus(int group_size, const LocalRouteRestriction& restriction);
+
+  /// routes[i][j]: number of allowed 2-hop routes from i to j (i != j).
+  const std::vector<std::vector<int>>& routes() const { return routes_; }
+
+  /// Histogram over ordered pairs: count of pairs having k routes,
+  /// k = 0 .. group_size-2.
+  std::vector<int> pair_histogram() const;
+
+  /// For each directed local link (i -> j), in how many allowed 2-hop
+  /// routes it appears (as first or second hop). Perfectly balanced
+  /// restrictions give a tight distribution.
+  std::vector<std::vector<int>> link_load() const;
+
+  /// Max/min of the link_load distribution (imbalance witness).
+  int max_link_load() const;
+  int min_link_load() const;
+
+  /// Number of ordered pairs with zero non-minimal routes (starved).
+  int starved_pairs() const;
+
+ private:
+  int group_size_;
+  std::vector<std::vector<int>> routes_;
+  std::vector<std::vector<int>> link_load_;
+};
+
+}  // namespace dfsim

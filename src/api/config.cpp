@@ -1,0 +1,63 @@
+#include "api/config.hpp"
+
+#include <algorithm>
+
+#include "common/env.hpp"
+
+namespace dfsim {
+
+EngineConfig SimConfig::engine_config(
+    const RoutingAlgorithm& routing_algo) const {
+  EngineConfig ec;
+  ec.flow = flow;
+  ec.packet_phits = packet_phits;
+  ec.flit_phits = flit_phits;
+  ec.local_vcs = std::max(local_vcs, routing_algo.min_local_vcs());
+  ec.global_vcs = std::max(global_vcs, routing_algo.min_global_vcs());
+  ec.local_buf_phits = local_buf_phits;
+  ec.global_buf_phits = global_buf_phits;
+  ec.local_latency = local_latency;
+  ec.global_latency = global_latency;
+  ec.watchdog_cycles = watchdog_cycles;
+  ec.seed = seed;
+  return ec;
+}
+
+RoutingParams SimConfig::routing_params() const {
+  RoutingParams rp;
+  rp.adaptive.threshold = misroute_threshold;
+  rp.adaptive.global_candidates = global_candidates;
+  rp.adaptive.local_candidates = local_candidates;
+  rp.piggyback.saturation_threshold = pb_threshold;
+  rp.piggyback.broadcast_period = pb_period;
+  return rp;
+}
+
+SimConfig bench_defaults() {
+  SimConfig cfg;
+  if (env_flag("DF_FULL")) {
+    // Paper scale: h=8 — 129 groups, 2064 routers, 16512 terminals.
+    cfg.h = 8;
+    cfg.warmup_cycles = 20000;
+    cfg.measure_cycles = 40000;
+    cfg.burst_packets = 1000;
+  } else {
+    cfg.h = 3;  // 19 groups, 114 routers, 342 terminals
+    cfg.warmup_cycles = 3000;
+    cfg.measure_cycles = 8000;
+    cfg.burst_packets = 200;
+  }
+  cfg.h = static_cast<int>(env_int("DF_H", cfg.h));
+  cfg.warmup_cycles =
+      static_cast<Cycle>(env_int("DF_WARMUP", static_cast<std::int64_t>(
+                                                  cfg.warmup_cycles)));
+  cfg.measure_cycles =
+      static_cast<Cycle>(env_int("DF_MEASURE", static_cast<std::int64_t>(
+                                                   cfg.measure_cycles)));
+  cfg.burst_packets = static_cast<std::uint64_t>(
+      env_int("DF_BURST", static_cast<std::int64_t>(cfg.burst_packets)));
+  cfg.seed = static_cast<std::uint64_t>(env_int("DF_SEED", 1));
+  return cfg;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,63 @@
+// The public one-stop configuration for running an experiment, and its
+// environment-driven defaults (quick laptop scale vs. DF_FULL paper
+// scale). This is the entry point downstream users touch first.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "routing/factory.hpp"
+#include "sim/engine.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+struct SimConfig {
+  // --- topology ---------------------------------------------------------
+  int h = 4;
+  GlobalArrangement arrangement = GlobalArrangement::kAbsolute;
+
+  // --- router / flow control --------------------------------------------
+  FlowControl flow = FlowControl::kVirtualCutThrough;
+  int packet_phits = 8;   ///< paper VCT experiments: 8
+  int flit_phits = 0;     ///< 0 = whole-packet; paper WH: 10 (8 flits)
+  int local_vcs = 3;      ///< auto-raised to the mechanism's minimum
+  int global_vcs = 2;
+  int local_buf_phits = 32;
+  int global_buf_phits = 256;
+  int local_latency = 10;
+  int global_latency = 100;
+
+  // --- routing -----------------------------------------------------------
+  std::string routing = "olm";
+  double misroute_threshold = 0.45;  ///< Figs. 10/11 pick 45%
+  int global_candidates = 4;
+  int local_candidates = 4;
+  double pb_threshold = 0.35;
+  int pb_period = 10;
+
+  // --- traffic -----------------------------------------------------------
+  std::string pattern = "uniform";  ///< uniform | advg | advl | mixed
+  int pattern_offset = 1;           ///< the +N of ADVG+N / ADVL+N
+  double global_fraction = 0.5;     ///< mixed pattern share of ADVG+h
+  double load = 0.5;                ///< offered phits/(node*cycle)
+
+  // --- measurement ---------------------------------------------------------
+  Cycle warmup_cycles = 5000;
+  Cycle measure_cycles = 15000;
+  std::uint64_t burst_packets = 200;  ///< per node, burst experiments
+  Cycle max_cycles = 2000000;         ///< hard stop for burst runs
+  Cycle watchdog_cycles = 20000;
+  std::uint64_t seed = 1;
+
+  /// Engine-level knobs derived from the above.
+  EngineConfig engine_config(const RoutingAlgorithm& routing_algo) const;
+  RoutingParams routing_params() const;
+};
+
+/// Defaults for bench binaries: laptop scale unless DF_FULL=1, overridable
+/// via DF_H, DF_WARMUP, DF_MEASURE, DF_SEED, DF_BURST.
+SimConfig bench_defaults();
+
+}  // namespace dfsim

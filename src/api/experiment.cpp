@@ -1,0 +1,20 @@
+#include "api/experiment.hpp"
+
+namespace dfsim {
+
+ReplicatedResult run_replicated(const SimConfig& cfg, int replications) {
+  ReplicatedResult out;
+  for (int k = 0; k < replications; ++k) {
+    SimConfig run_cfg = cfg;
+    run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(k);
+    const SteadyResult r = run_steady(run_cfg);
+    out.latency.add(r.avg_latency);
+    out.accepted_load.add(r.accepted_load);
+    out.hops.add(r.avg_hops);
+    if (r.deadlock) ++out.deadlocks;
+    ++out.replications;
+  }
+  return out;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,31 @@
+// Multi-seed replication: run the same configuration under independent
+// seeds and report mean ± stddev, so figure points can carry error bars
+// and regressions can be detected beyond single-run noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/simulator.hpp"
+#include "common/stats.hpp"
+
+namespace dfsim {
+
+struct ReplicatedResult {
+  RunningStat latency;
+  RunningStat accepted_load;
+  RunningStat hops;
+  int deadlocks = 0;
+  int replications = 0;
+
+  double latency_mean() const { return latency.mean(); }
+  double latency_stddev() const { return latency.stddev(); }
+  double accepted_mean() const { return accepted_load.mean(); }
+  double accepted_stddev() const { return accepted_load.stddev(); }
+};
+
+/// Run `replications` independent copies of the steady-state experiment,
+/// seeding run k with cfg.seed + k.
+ReplicatedResult run_replicated(const SimConfig& cfg, int replications);
+
+}  // namespace dfsim

@@ -1,0 +1,79 @@
+#include "api/simulator.hpp"
+
+#include "metrics/collector.hpp"
+#include "routing/factory.hpp"
+#include "sim/engine.hpp"
+#include "traffic/pattern.hpp"
+
+namespace dfsim {
+
+namespace {
+
+struct Harness {
+  explicit Harness(const SimConfig& cfg, InjectionProcess injection)
+      : topo(cfg.h, cfg.arrangement),
+        routing(make_routing(cfg.routing, topo, cfg.routing_params())),
+        pattern(make_pattern(topo, cfg.pattern, cfg.pattern_offset,
+                             cfg.global_fraction)),
+        collector(cfg.warmup_cycles, topo.num_terminals()),
+        engine(topo, cfg.engine_config(*routing), *routing, *pattern,
+               injection) {
+    engine.set_delivery_hook([this](const Packet& pkt, Cycle now) {
+      collector.on_delivered(pkt, now);
+    });
+    engine.set_generation_hook([this](Cycle now, bool accepted) {
+      collector.on_generated(now, accepted);
+    });
+  }
+
+  DragonflyTopology topo;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  std::unique_ptr<TrafficPattern> pattern;
+  Collector collector;
+  Engine engine;
+};
+
+}  // namespace
+
+SteadyResult run_steady(const SimConfig& cfg) {
+  InjectionProcess inj;
+  inj.mode = InjectionProcess::Mode::kBernoulli;
+  inj.load = cfg.load;
+
+  Harness hx(cfg, inj);
+  const Cycle end = cfg.warmup_cycles + cfg.measure_cycles;
+  hx.engine.run_until(end);
+
+  SteadyResult out;
+  out.avg_latency = hx.collector.avg_latency();
+  out.p99_latency = hx.collector.p99_latency();
+  out.accepted_load = hx.collector.accepted_load(hx.engine.now());
+  out.avg_hops = hx.collector.avg_hops();
+  out.delivered = hx.collector.delivered_packets();
+  out.deadlock = hx.engine.deadlock_detected();
+  return out;
+}
+
+BurstResult run_burst(const SimConfig& cfg) {
+  InjectionProcess inj;
+  inj.mode = InjectionProcess::Mode::kBurst;
+  inj.burst_packets = cfg.burst_packets;
+
+  SimConfig adjusted = cfg;
+  adjusted.warmup_cycles = 0;  // every packet counts in a drain run
+  Harness hx(adjusted, inj);
+
+  const auto expected =
+      cfg.burst_packets * static_cast<std::uint64_t>(hx.topo.num_terminals());
+  while (hx.collector.delivered_packets_total() < expected &&
+         hx.engine.now() < cfg.max_cycles && hx.engine.step()) {
+  }
+
+  BurstResult out;
+  out.consumption_cycles = hx.engine.now();
+  out.completed = hx.collector.delivered_packets_total() == expected;
+  out.deadlock = hx.engine.deadlock_detected();
+  return out;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,36 @@
+// High-level facade: build topology + routing + traffic + engine from a
+// SimConfig and run the two experiment shapes of the paper — steady-state
+// (latency/throughput curves) and burst drain (consumption time).
+#pragma once
+
+#include <cstdint>
+
+#include "api/config.hpp"
+
+namespace dfsim {
+
+struct SteadyResult {
+  double avg_latency = 0.0;     ///< cycles, source queueing included
+  double p99_latency = 0.0;     ///< cycles
+  double accepted_load = 0.0;   ///< phits/(node*cycle)
+  double avg_hops = 0.0;        ///< network hops per packet
+  std::uint64_t delivered = 0;  ///< packets measured
+  bool deadlock = false;
+};
+
+struct BurstResult {
+  Cycle consumption_cycles = 0;  ///< cycles to drain the whole burst
+  bool completed = false;        ///< false: hit max_cycles or deadlock
+  bool deadlock = false;
+};
+
+/// Run an open-loop steady-state experiment (Bernoulli sources at
+/// cfg.load) for warmup + measure cycles.
+SteadyResult run_steady(const SimConfig& cfg);
+
+/// Run a burst-consumption experiment: every node sends
+/// cfg.burst_packets packets (generated at cycle 0), report the cycles
+/// until the network drains (Figs. 6b / 9b).
+BurstResult run_burst(const SimConfig& cfg);
+
+}  // namespace dfsim

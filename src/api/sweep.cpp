@@ -1,0 +1,49 @@
+#include "api/sweep.hpp"
+
+#include "common/csv.hpp"
+
+namespace dfsim {
+
+std::vector<SweepPoint> load_sweep(const SimConfig& base,
+                                   const std::vector<std::string>& routings,
+                                   const std::vector<double>& loads) {
+  std::vector<SweepPoint> out;
+  out.reserve(routings.size() * loads.size());
+  for (const std::string& routing : routings) {
+    for (const double load : loads) {
+      SimConfig cfg = base;
+      cfg.routing = routing;
+      cfg.load = load;
+      SweepPoint p;
+      p.series = routing;
+      p.x = load;
+      p.result = run_steady(cfg);
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
+                 Metric metric, const std::string& x_label) {
+  const char* y_label =
+      metric == Metric::kLatency ? "avg_latency_cycles" : "accepted_load";
+  CsvWriter csv(out, {"series", x_label, y_label});
+  for (const SweepPoint& p : points) {
+    const double y = metric == Metric::kLatency ? p.result.avg_latency
+                                                : p.result.accepted_load;
+    csv.point(p.series, p.x, y);
+  }
+}
+
+std::vector<double> default_loads(double max_load, int points) {
+  std::vector<double> loads;
+  loads.reserve(static_cast<size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    loads.push_back(max_load * static_cast<double>(i) /
+                    static_cast<double>(points));
+  }
+  return loads;
+}
+
+}  // namespace dfsim

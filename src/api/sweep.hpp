@@ -1,0 +1,34 @@
+// Sweep helpers shared by the figure benches: run a load sweep (or a
+// one-dimensional parameter sweep) over several routing mechanisms and
+// print paper-style CSV series.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "api/simulator.hpp"
+
+namespace dfsim {
+
+struct SweepPoint {
+  std::string series;
+  double x = 0.0;
+  SteadyResult result;
+};
+
+/// Run `run_steady` for every (routing, load) pair.
+std::vector<SweepPoint> load_sweep(const SimConfig& base,
+                                   const std::vector<std::string>& routings,
+                                   const std::vector<double>& loads);
+
+/// Print one metric of a sweep as `series,x,y` rows.
+enum class Metric { kLatency, kThroughput };
+void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
+                 Metric metric, const std::string& x_label);
+
+/// Standard load grids used by the figure benches.
+std::vector<double> default_loads(double max_load, int points);
+
+}  // namespace dfsim

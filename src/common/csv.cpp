@@ -1,0 +1,30 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+
+namespace dfsim {
+
+CsvWriter::CsvWriter(std::ostream& out, const std::vector<std::string>& header)
+    : out_(out), width_(header.size()) {
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::point(const std::string& series, double x, double y) {
+  row({series, fmt(x), fmt(y)});
+}
+
+std::string CsvWriter::fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return std::string(buf);
+}
+
+}  // namespace dfsim

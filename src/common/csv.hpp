@@ -1,0 +1,29 @@
+// Minimal CSV emitter for benchmark output. Every figure bench prints
+// `series,x,y` rows so the paper's plots can be regenerated directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dfsim {
+
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, const std::vector<std::string>& header);
+
+  /// Writes one row; values are printed with up to 6 significant digits.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: series/x/y triple, the common shape of figure data.
+  void point(const std::string& series, double x, double y);
+
+  static std::string fmt(double v);
+
+ private:
+  std::ostream& out_;
+  std::size_t width_;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,42 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dfsim {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return static_cast<std::int64_t>(value);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw) return fallback;
+  return value;
+}
+
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return false;
+  if (*raw == '\0') return false;
+  if (std::strcmp(raw, "0") == 0) return false;
+  if (std::strcmp(raw, "false") == 0) return false;
+  if (std::strcmp(raw, "FALSE") == 0) return false;
+  return true;
+}
+
+std::string env_str(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return std::string(raw);
+}
+
+}  // namespace dfsim

@@ -1,0 +1,23 @@
+// Helpers for reading tuning knobs from the environment. Benchmarks use
+// these so that `build/bench/figXX` runs at laptop scale by default and at
+// paper scale with DF_FULL=1 (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dfsim {
+
+/// Integer env var, or `fallback` when unset/unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Floating-point env var, or `fallback` when unset/unparsable.
+double env_double(const char* name, double fallback);
+
+/// Boolean flag: set and not "0"/"false"/"" -> true.
+bool env_flag(const char* name);
+
+/// String env var, or `fallback` when unset.
+std::string env_str(const char* name, const std::string& fallback);
+
+}  // namespace dfsim

@@ -1,0 +1,55 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfsim {
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double width, std::size_t num_buckets)
+    : width_(width), buckets_(num_buckets + 1, 0) {}
+
+void Histogram::add(double x) {
+  std::size_t idx = buckets_.size() - 1;  // overflow by default
+  if (x >= 0.0) {
+    const auto raw = static_cast<std::size_t>(x / width_);
+    if (raw < buckets_.size() - 1) idx = raw;
+  }
+  ++buckets_[idx];
+  ++total_;
+}
+
+double Histogram::percentile(double p) const {
+  if (total_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      return width_ * static_cast<double>(i + 1);
+    }
+  }
+  return width_ * static_cast<double>(buckets_.size());
+}
+
+}  // namespace dfsim

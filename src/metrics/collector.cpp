@@ -1,0 +1,34 @@
+#include "metrics/collector.hpp"
+
+namespace dfsim {
+
+Collector::Collector(Cycle warmup, int num_terminals)
+    : warmup_(warmup),
+      num_terminals_(num_terminals),
+      latency_hist_(/*width=*/16.0, /*num_buckets=*/4096) {}
+
+void Collector::on_delivered(const Packet& pkt, Cycle now) {
+  ++delivered_packets_total_;
+  if (now < warmup_) return;
+  delivered_phits_ += static_cast<std::uint64_t>(pkt.size_phits);
+  if (pkt.created < warmup_) return;
+  ++delivered_packets_;
+  const auto lat = static_cast<double>(now - pkt.created);
+  latency_.add(lat);
+  latency_hist_.add(lat);
+  hops_.add(static_cast<double>(pkt.rs.total_hops));
+}
+
+void Collector::on_generated(Cycle /*now*/, bool accepted) {
+  ++generated_;
+  if (!accepted) ++dropped_;
+}
+
+double Collector::accepted_load(Cycle end) const {
+  if (end <= warmup_) return 0.0;
+  const auto window = static_cast<double>(end - warmup_);
+  return static_cast<double>(delivered_phits_) /
+         (window * static_cast<double>(num_terminals_));
+}
+
+}  // namespace dfsim

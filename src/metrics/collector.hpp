@@ -1,0 +1,53 @@
+// Measurement plumbing: warmup-aware latency and accepted-load accounting
+// plus burst-drain timing (the paper's three reported metrics).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/packet.hpp"
+
+namespace dfsim {
+
+class Collector {
+ public:
+  /// `warmup`: packets created before this cycle are excluded from
+  /// latency; phits delivered before it are excluded from throughput.
+  Collector(Cycle warmup, int num_terminals);
+
+  void on_delivered(const Packet& pkt, Cycle now);
+  void on_generated(Cycle now, bool accepted);
+
+  /// Average end-to-end latency (source queueing included), cycles.
+  double avg_latency() const { return latency_.mean(); }
+  double latency_stddev() const { return latency_.stddev(); }
+  double p99_latency() const { return latency_hist_.percentile(99.0); }
+
+  /// Accepted load in phits/(node*cycle) over [warmup, end].
+  double accepted_load(Cycle end) const;
+
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t delivered_packets_total() const {
+    return delivered_packets_total_;
+  }
+  std::uint64_t generated_packets() const { return generated_; }
+  std::uint64_t dropped_generations() const { return dropped_; }
+
+  /// Mean hop count of measured packets (sanity metric: <= 8 by design).
+  double avg_hops() const { return hops_.mean(); }
+
+ private:
+  Cycle warmup_;
+  int num_terminals_;
+  RunningStat latency_;
+  RunningStat hops_;
+  Histogram latency_hist_;
+  std::uint64_t delivered_packets_ = 0;        // in measurement window
+  std::uint64_t delivered_packets_total_ = 0;  // since cycle 0
+  std::uint64_t delivered_phits_ = 0;          // in measurement window
+  std::uint64_t generated_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,95 @@
+#include "metrics/link_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/engine.hpp"
+
+namespace dfsim {
+
+LinkStats::LinkStats(const DragonflyTopology& topo)
+    : topo_(topo),
+      phits_(static_cast<std::size_t>(topo.num_routers()) *
+                 static_cast<std::size_t>(topo.ports_per_router()),
+             0) {}
+
+void LinkStats::attach(Engine& engine) {
+  engine.set_hop_hook(
+      [this](const Packet& pkt, const RouteChoice& choice, RouterId r) {
+        // Body flits always follow the head's output, so charging the
+        // whole packet at decision time is exact for VCT and wormhole.
+        record(r, choice.port, pkt.size_phits);
+      });
+}
+
+void LinkStats::record(RouterId router, PortId port, int phits) {
+  phits_[index(router, port)] += static_cast<std::uint64_t>(phits);
+}
+
+double LinkStats::utilization(RouterId router, PortId port,
+                              Cycle now) const {
+  if (now <= window_start_) return 0.0;
+  return static_cast<double>(phits_[index(router, port)]) /
+         static_cast<double>(now - window_start_);
+}
+
+LinkStats::ClassSummary LinkStats::summarize(PortClass cls,
+                                             Cycle now) const {
+  ClassSummary s;
+  std::uint64_t count = 0;
+  double total = 0.0;
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    for (PortId p = 0; p < topo_.ports_per_router(); ++p) {
+      if (topo_.port_class(p) != cls) continue;
+      const double u = utilization(r, p, now);
+      total += u;
+      s.max = std::max(s.max, u);
+      s.min = std::min(s.min, u);
+      ++count;
+    }
+  }
+  if (count > 0) s.mean = total / static_cast<double>(count);
+  return s;
+}
+
+std::vector<LinkStats::HotLink> LinkStats::hottest(PortClass cls, Cycle now,
+                                                   int n) const {
+  std::vector<HotLink> all;
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    for (PortId p = 0; p < topo_.ports_per_router(); ++p) {
+      if (topo_.port_class(p) != cls) continue;
+      all.push_back({r, p, utilization(r, p, now)});
+    }
+  }
+  const auto top = std::min<std::size_t>(static_cast<std::size_t>(n),
+                                         all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(top),
+                    all.end(), [](const HotLink& a, const HotLink& b) {
+                      return a.utilization > b.utilization;
+                    });
+  all.resize(top);
+  return all;
+}
+
+std::string LinkStats::describe_link(RouterId router, PortId port) const {
+  std::ostringstream os;
+  os << "g" << topo_.group_of_router(router) << ".r"
+     << topo_.local_index(router);
+  switch (topo_.port_class(port)) {
+    case PortClass::kLocal:
+      os << " local->r" << topo_.local_peer(topo_.local_index(router), port);
+      break;
+    case PortClass::kGlobal:
+      os << " global->g"
+         << topo_.global_link_dest(
+                topo_.group_of_router(router),
+                topo_.global_link_of(topo_.local_index(router), port));
+      break;
+    case PortClass::kTerminal:
+      os << " eject->t" << (port - topo_.first_terminal_port());
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace dfsim

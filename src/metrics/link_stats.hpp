@@ -1,0 +1,68 @@
+// Per-link utilization accounting. The paper's pathologies are *link*
+// phenomena — one saturated global link under ADVG, one saturated local
+// link under ADVL, and the pathological local link in the intermediate
+// group under ADVG+h with global misrouting. This tracker makes them
+// visible: attach to an engine, run, then query utilization per link or
+// aggregated per class, and list the hottest links.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+class Engine;
+
+class LinkStats {
+ public:
+  explicit LinkStats(const DragonflyTopology& topo);
+
+  /// Register the hop hook on `engine`. Only one hop observer can be
+  /// attached to an engine; tests that need both use their own hook and
+  /// call record() manually.
+  void attach(Engine& engine);
+
+  /// Record `phits` crossing (router, port).
+  void record(RouterId router, PortId port, int phits);
+
+  /// Begin the measurement window (typically after warmup).
+  void start_window(Cycle now) { window_start_ = now; }
+
+  /// Utilization of one link in phits/cycle over [window_start, now].
+  double utilization(RouterId router, PortId port, Cycle now) const;
+
+  struct ClassSummary {
+    double mean = 0.0;  ///< mean utilization over the class's links
+    double max = 0.0;   ///< the hottest link
+    double min = 1.0;   ///< the coldest link
+  };
+  ClassSummary summarize(PortClass cls, Cycle now) const;
+
+  struct HotLink {
+    RouterId router;
+    PortId port;
+    double utilization;
+  };
+  /// The `n` busiest links of a class, hottest first.
+  std::vector<HotLink> hottest(PortClass cls, Cycle now, int n) const;
+
+  /// Human-readable link name: "g3.r2 local->r5", "g3.r2 global->g7".
+  std::string describe_link(RouterId router, PortId port) const;
+
+ private:
+  std::size_t index(RouterId router, PortId port) const {
+    return static_cast<std::size_t>(router) *
+               static_cast<std::size_t>(topo_.ports_per_router()) +
+           static_cast<std::size_t>(port);
+  }
+
+  const DragonflyTopology& topo_;
+  std::vector<std::uint64_t> phits_;
+  Cycle window_start_ = 0;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,162 @@
+#include "routing/adaptive_base.hpp"
+
+#include <cassert>
+
+#include "sim/engine.hpp"
+
+namespace dfsim {
+
+AdaptiveBase::AdaptiveBase(const DragonflyTopology& topo,
+                           const AdaptiveParams& params)
+    : topo_(topo), params_(params), trigger_(params.threshold) {}
+
+Hop AdaptiveBase::minimal_hop(const RoutingContext& ctx) const {
+  return minimal_hop_with(topo_, ctx.router, ctx.packet,
+                          minimal_local_vc(ctx), minimal_global_vc(ctx));
+}
+
+bool AdaptiveBase::commit_hop_allowed(const RoutingContext&, RouterId) const {
+  return true;
+}
+
+std::optional<RouteChoice> AdaptiveBase::decide(RoutingContext& ctx) {
+  Engine& eng = ctx.engine;
+  const Flit& flit =
+      eng.input_vc(ctx.router, ctx.in_port, ctx.in_vc).fifo.front();
+
+  const Hop min = minimal_hop(ctx);
+  if (eng.output_usable(ctx.router, min.port, min.vc, flit)) {
+    RouteChoice choice;
+    choice.port = min.port;
+    choice.vc = min.vc;
+    return choice;
+  }
+  // A blocked ejection port has no non-minimal alternative.
+  if (topo_.port_class(min.port) == PortClass::kTerminal) return std::nullopt;
+
+  candidates_.clear();
+  collect_global_candidates(ctx);
+  collect_local_candidates(ctx);
+  if (candidates_.empty()) return std::nullopt;
+
+  const double min_occ =
+      eng.output_occupancy(ctx.router, min.port, min.vc);
+  eligible_.clear();
+  for (const RouteChoice& c : candidates_) {
+    if (!eng.output_usable(ctx.router, c.port, c.vc, flit)) continue;
+    if (!trigger_.allows(eng.output_occupancy(ctx.router, c.port, c.vc),
+                         min_occ)) {
+      continue;
+    }
+    eligible_.push_back(c);
+  }
+  if (eligible_.empty()) return std::nullopt;
+  return eligible_[eng.rng().uniform(eligible_.size())];
+}
+
+void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
+  const RouteState& rs = ctx.packet.rs;
+  // Global misrouting happens in the source group only, before any global
+  // hop, at the source router or right after the first minimal local hop.
+  if (rs.valiant || rs.global_hops != 0) return;
+  if (rs.local_hops_group > 1) return;
+  if (ctx.router == rs.dst_router) return;  // same-router traffic
+
+  const GroupId g = topo_.group_of_router(ctx.router);
+  const int num_groups = topo_.num_groups();
+  if (num_groups < 3) return;
+
+  if (rs.local_hops_group == 0) {
+    // At the source router: misroute through this router's OWN global
+    // ports (paper Fig. 3 route a commits straight onto gVC1). This keeps
+    // lVC1 free for minimal first hops and spends only the bandwidth the
+    // router actually owns.
+    const int rl = topo_.local_index(ctx.router);
+    for (int k = 0; k < topo_.num_global_ports(); ++k) {
+      const PortId port = topo_.first_global_port() + k;
+      RouteChoice c;
+      c.commit_valiant = true;
+      c.inter_group =
+          topo_.global_link_dest(g, topo_.global_link_of(rl, port));
+      if (c.inter_group == rs.dst_group) continue;
+      c.port = port;
+      c.vc = minimal_global_vc(ctx);
+      candidates_.push_back(c);
+    }
+    return;
+  }
+
+  // After the first minimal local hop: PAR-style revert to Valiant via a
+  // sampled gateway elsewhere in the group (paper Fig. 3 routes b/c) or
+  // this router's own ports.
+  Rng& rng = ctx.engine.rng();
+  for (int s = 0; s < params_.global_candidates; ++s) {
+    auto x = static_cast<GroupId>(
+        rng.uniform(static_cast<std::uint64_t>(num_groups)));
+    if (x == g || x == rs.dst_group) continue;
+
+    RouteChoice c;
+    c.commit_valiant = true;
+    c.inter_group = x;
+    const RouterId gw = topo_.gateway_router(g, x);
+    if (gw == ctx.router) {
+      c.port = topo_.gateway_port(g, x);
+      c.vc = minimal_global_vc(ctx);
+    } else {
+      if (!commit_hop_allowed(ctx, gw)) continue;
+      c.port = topo_.local_port_to(topo_.local_index(ctx.router),
+                                   topo_.local_index(gw));
+      c.vc = commit_local_vc(ctx);
+    }
+    candidates_.push_back(c);
+  }
+}
+
+void AdaptiveBase::collect_local_candidates(RoutingContext& ctx) {
+  const RouteState& rs = ctx.packet.rs;
+  if (ctx.router == rs.dst_router) return;
+
+  const GroupId g = topo_.group_of_router(ctx.router);
+  // Local misrouting is allowed in the intermediate and destination
+  // supernodes (OFAR-style), one per group, and only before the group's
+  // minimal local hop was taken.
+  const bool heading_out = rs.valiant && rs.global_hops == 0;
+  const bool at_dst_group = g == rs.dst_group && !heading_out;
+  const bool at_inter_group =
+      rs.valiant && rs.global_hops == 1 && g != rs.dst_group;
+  if (!at_dst_group && !at_inter_group) return;
+  if (rs.local_mis_group > 0 || rs.local_hops_group > 0) return;
+
+  const RouterId target = at_dst_group
+                              ? rs.dst_router
+                              : topo_.gateway_router(g, rs.dst_group);
+  if (target == ctx.router) {
+    // Already at the in-group target (gateway); the blocked output is the
+    // global link and a local detour would need a third local hop later.
+    return;
+  }
+  const int group_size = topo_.routers_per_group();
+  if (group_size < 3) return;
+
+  Rng& rng = ctx.engine.rng();
+  const int my_local = topo_.local_index(ctx.router);
+  const int target_local = topo_.local_index(target);
+  for (int s = 0; s < params_.local_candidates; ++s) {
+    const auto k = static_cast<int>(
+        rng.uniform(static_cast<std::uint64_t>(group_size)));
+    if (k == my_local || k == target_local) continue;
+
+    vc_scratch_.clear();
+    local_misroute_vcs(ctx, topo_.router_id(g, k),
+                       topo_.router_id(g, target_local), vc_scratch_);
+    for (const VcId vc : vc_scratch_) {
+      RouteChoice c;
+      c.local_misroute = true;
+      c.port = topo_.local_port_to(my_local, k);
+      c.vc = vc;
+      candidates_.push_back(c);
+    }
+  }
+}
+
+}  // namespace dfsim

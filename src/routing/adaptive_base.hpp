@@ -1,0 +1,77 @@
+// Shared skeleton of the in-transit adaptive mechanisms (PAR-6/2, RLM,
+// OLM). Per paper Sec. III:
+//
+//   - every router first tries to forward minimally;
+//   - if the minimal output is unavailable, non-minimal candidates are
+//     gathered: global misrouting (a Valiant commit) in the source group
+//     at the source router or after the first minimal hop (as in PAR),
+//     and one local misroute per intermediate/destination group (as in
+//     OFAR);
+//   - candidates pass the credit-count trigger (occupancy below a
+//     percentage of the minimal queue's occupancy) and one is chosen at
+//     random;
+//   - otherwise the packet waits and the decision is revisited next cycle.
+//
+// Subclasses provide the VC discipline and candidate filters that make
+// each mechanism deadlock-free.
+#pragma once
+
+#include <vector>
+
+#include "routing/routing.hpp"
+#include "routing/trigger.hpp"
+#include "routing/route_util.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+struct AdaptiveParams {
+  double threshold = 0.45;  ///< misrouting trigger (fraction, Figs. 10/11)
+  int global_candidates = 4;  ///< Valiant intermediate groups sampled/cycle
+  int local_candidates = 4;   ///< local misroute routers sampled/cycle
+};
+
+class AdaptiveBase : public RoutingAlgorithm {
+ public:
+  AdaptiveBase(const DragonflyTopology& topo, const AdaptiveParams& params);
+
+  std::optional<RouteChoice> decide(RoutingContext& ctx) final;
+
+  int min_global_vcs() const override { return 2; }
+
+ protected:
+  // --- VC discipline ---------------------------------------------------
+  /// VC for the minimal local / global continuation.
+  virtual VcId minimal_local_vc(const RoutingContext& ctx) const = 0;
+  virtual VcId minimal_global_vc(const RoutingContext& ctx) const = 0;
+  /// VC for the extra local hop of a Valiant commit through a remote
+  /// gateway in the source group.
+  virtual VcId commit_local_vc(const RoutingContext& ctx) const = 0;
+
+  // --- candidate filters -----------------------------------------------
+  /// May the source-group commit hop (prev -> current -> gateway) be
+  /// taken? RLM applies the parity-sign restriction here.
+  virtual bool commit_hop_allowed(const RoutingContext& ctx,
+                                  RouterId gateway) const;
+  /// Append the VCs on which a local misroute current -> k (followed by
+  /// the forced k -> in-group target hop) is permitted. Empty = forbidden.
+  virtual void local_misroute_vcs(const RoutingContext& ctx, RouterId k,
+                                  RouterId in_group_target,
+                                  std::vector<VcId>& vcs) const = 0;
+
+  Hop minimal_hop(const RoutingContext& ctx) const;
+
+  const DragonflyTopology& topo_;
+  AdaptiveParams params_;
+  MisroutingTrigger trigger_;
+
+ private:
+  void collect_global_candidates(RoutingContext& ctx);
+  void collect_local_candidates(RoutingContext& ctx);
+
+  std::vector<RouteChoice> candidates_;
+  std::vector<RouteChoice> eligible_;
+  std::vector<VcId> vc_scratch_;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,49 @@
+#include "routing/factory.hpp"
+
+#include <stdexcept>
+
+#include "routing/minimal.hpp"
+#include "routing/olm.hpp"
+#include "routing/par62.hpp"
+#include "routing/rlm.hpp"
+#include "routing/valiant.hpp"
+
+namespace dfsim {
+
+std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,
+                                               const DragonflyTopology& topo,
+                                               const RoutingParams& params) {
+  if (name == "minimal" || name == "min") {
+    return std::make_unique<MinimalRouting>(topo);
+  }
+  if (name == "valiant" || name == "val") {
+    return std::make_unique<ValiantRouting>(topo);
+  }
+  if (name == "pb" || name == "piggyback") {
+    return std::make_unique<PiggybackRouting>(topo, params.piggyback);
+  }
+  if (name == "ugal") {
+    return std::make_unique<UgalRouting>(topo, params.ugal);
+  }
+  if (name == "par-6/2" || name == "par62") {
+    return std::make_unique<Par62Routing>(topo, params.adaptive);
+  }
+  if (name == "rlm") {
+    return std::make_unique<RlmRouting>(topo, params.adaptive,
+                                        RestrictionPolicy::kParitySign);
+  }
+  if (name == "rlm-signonly") {
+    return std::make_unique<RlmRouting>(topo, params.adaptive,
+                                        RestrictionPolicy::kSignOnly);
+  }
+  if (name == "rlm-unrestricted") {
+    return std::make_unique<RlmRouting>(topo, params.adaptive,
+                                        RestrictionPolicy::kNone);
+  }
+  if (name == "olm") {
+    return std::make_unique<OlmRouting>(topo, params.adaptive);
+  }
+  throw std::invalid_argument("unknown routing mechanism: " + name);
+}
+
+}  // namespace dfsim

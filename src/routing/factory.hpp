@@ -1,0 +1,28 @@
+// Construction of routing mechanisms by name (used by the API facade,
+// benches and examples).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "routing/adaptive_base.hpp"
+#include "routing/piggyback.hpp"
+#include "routing/routing.hpp"
+#include "routing/ugal.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+struct RoutingParams {
+  AdaptiveParams adaptive;
+  PiggybackParams piggyback;
+  UgalParams ugal;
+};
+
+/// Names: "minimal", "valiant", "pb", "ugal", "par-6/2" (or "par62"),
+/// "rlm", "rlm-signonly", "rlm-unrestricted", "olm".
+std::unique_ptr<RoutingAlgorithm> make_routing(const std::string& name,
+                                               const DragonflyTopology& topo,
+                                               const RoutingParams& params);
+
+}  // namespace dfsim

@@ -1,0 +1,24 @@
+#include "routing/minimal.hpp"
+
+#include "routing/route_util.hpp"
+#include "sim/engine.hpp"
+
+namespace dfsim {
+
+std::optional<RouteChoice> MinimalRouting::decide(RoutingContext& ctx) {
+  const RouteState& rs = ctx.packet.rs;
+  // Group-ladder VCs: lVC_{1+globals}, gVC_{1+globals}.
+  const Hop hop = minimal_hop_with(topo_, ctx.router, ctx.packet,
+                                   rs.global_hops, rs.global_hops);
+  const Flit& flit =
+      ctx.engine.input_vc(ctx.router, ctx.in_port, ctx.in_vc).fifo.front();
+  if (!ctx.engine.output_usable(ctx.router, hop.port, hop.vc, flit)) {
+    return std::nullopt;
+  }
+  RouteChoice choice;
+  choice.port = hop.port;
+  choice.vc = hop.vc;
+  return choice;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,26 @@
+// Minimal (MIN) routing: always the shortest l-g-l path, ascending VCs
+// lVC1-gVC1-lVC2. The paper's baseline for uniform traffic; collapses to
+// 1/(2h^2+1) throughput under ADVG (single global link per group pair).
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+class MinimalRouting final : public RoutingAlgorithm {
+ public:
+  explicit MinimalRouting(const DragonflyTopology& topo) : topo_(topo) {}
+
+  std::optional<RouteChoice> decide(RoutingContext& ctx) override;
+
+  int min_local_vcs() const override { return 2; }
+  int min_global_vcs() const override { return 1; }
+  bool supports_wormhole() const override { return true; }
+  std::string name() const override { return "minimal"; }
+
+ private:
+  const DragonflyTopology& topo_;
+};
+
+}  // namespace dfsim

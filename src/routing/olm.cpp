@@ -1,0 +1,93 @@
+#include "routing/olm.hpp"
+
+#include <cassert>
+
+#include "routing/vc_ladder.hpp"
+#include "sim/engine.hpp"
+
+namespace dfsim {
+
+namespace {
+int occupied_rank_of(const RoutingContext& ctx,
+                     const DragonflyTopology& topo) {
+  return occupied_rank(topo.port_class(ctx.in_port), ctx.in_vc);
+}
+}  // namespace
+
+bool OlmRouting::escape_feasible(const DragonflyTopology& topo, int local_vcs,
+                                 int global_vcs, int start_rank,
+                                 RouterId from, const RouteState& rs) {
+  const MinimalClasses seq = minimal_classes(topo, from, rs);
+  int rank = start_rank;
+  for (int i = 0; i < seq.count; ++i) {
+    if (seq.cls[i] == PortClass::kLocal) {
+      const int v = next_local_vc_above(rank, local_vcs);
+      if (v < 0) return false;
+      rank = local_rank(v);
+    } else {
+      const int v = next_global_vc_above(rank, global_vcs);
+      if (v < 0) return false;
+      rank = global_rank(v);
+    }
+  }
+  return true;
+}
+
+VcId OlmRouting::minimal_local_vc(const RoutingContext& ctx) const {
+  const int rank = occupied_rank_of(ctx, topo_);
+  const int v =
+      next_local_vc_above(rank, ctx.engine.config().local_vcs);
+  assert(v >= 0 && "OLM escape invariant violated: no local VC above");
+  return v >= 0 ? v : ctx.engine.config().local_vcs - 1;
+}
+
+VcId OlmRouting::minimal_global_vc(const RoutingContext& ctx) const {
+  const int rank = occupied_rank_of(ctx, topo_);
+  const int v =
+      next_global_vc_above(rank, ctx.engine.config().global_vcs);
+  assert(v >= 0 && "OLM escape invariant violated: no global VC above");
+  return v >= 0 ? v : ctx.engine.config().global_vcs - 1;
+}
+
+VcId OlmRouting::commit_local_vc(const RoutingContext&) const {
+  return 0;  // lVC1, per Fig. 3 routes b/c
+}
+
+void OlmRouting::local_misroute_vcs(const RoutingContext& ctx, RouterId k,
+                                    RouterId /*target*/,
+                                    std::vector<VcId>& vcs) const {
+  // Offer every VC that keeps the escape ladder ascending: lVC1 in an
+  // intermediate group, lVC1 and lVC2 in the destination group (the
+  // paper's route c uses lVC2 there and notes lVC1 is "also possible").
+  // Spreading misrouted traffic over all feasible VCs is what the paper
+  // means by "balance traffic across the different virtual channels".
+  const int local_vcs = ctx.engine.config().local_vcs;
+  const int global_vcs = ctx.engine.config().global_vcs;
+  for (VcId v = static_cast<VcId>(local_vcs - 1); v >= 0; --v) {
+    if (escape_feasible(topo_, local_vcs, global_vcs, local_rank(v), k,
+                        ctx.packet.rs)) {
+      vcs.push_back(v);
+    }
+  }
+}
+
+void OlmRouting::on_hop(const Engine& engine, Packet& packet,
+                        const RouteChoice& choice, RouterId router) {
+#ifndef NDEBUG
+  // Machine-check the escape invariant after every hop: from wherever the
+  // flit lands, a strictly-ascending minimal route must still exist.
+  if (topo_.port_class(choice.port) == PortClass::kTerminal) return;
+  const auto down = topo_.remote_endpoint(router, choice.port);
+  const int rank = occupied_rank(topo_.port_class(choice.port), choice.vc);
+  assert(escape_feasible(topo_, engine.config().local_vcs,
+                         engine.config().global_vcs, rank, down.router,
+                         packet.rs));
+#else
+  (void)engine;
+  (void)packet;
+  (void)choice;
+  (void)router;
+#endif
+}
+
+}  // namespace dfsim

@@ -1,0 +1,58 @@
+// Opportunistic Local Misrouting (OLM, paper Sec. III-C) — the paper's
+// best-performing proposal. Cost: the standard 3/2 VCs; VCT only.
+//
+// OLM keeps PAR-6/2's full routing freedom. Cyclic dependencies MAY form
+// among low VCs, but deadlock cannot occur because every packet always
+// retains an *escape path*: a minimal continuation whose VCs climb the
+// global rank order lVC1 < gVC1 < lVC2 < gVC2 < lVC3 strictly (a Duato
+// escape layer; rank-increasing dependencies form a DAG and VCT leaves no
+// extended dependencies because a packet moves only when it fits whole).
+//
+// Concretely:
+//   - minimal hops greedily take the lowest VC of the needed class whose
+//     rank exceeds the rank of the VC the packet currently occupies
+//     (reproducing the paper's example ladders of Fig. 3 exactly);
+//   - a local misroute onto lVC_m is permitted iff, from the misrouted
+//     position, a strictly-rank-ascending minimal route still exists
+//     starting above lVC_m's rank. That admits lVC1 in an intermediate
+//     group and lVC1/lVC2 in the destination group — the paper's "equal
+//     or lower index than the previously used one", derived rather than
+//     postulated — and requires whole-packet buffering (hence VCT);
+//   - the source-group commit hop of a Valiant detour reuses lVC1, which
+//     is safe because the committed continuation g-l-g-l climbs
+//     gVC1 < lVC2 < gVC2 < lVC3.
+#pragma once
+
+#include "routing/adaptive_base.hpp"
+
+namespace dfsim {
+
+class OlmRouting final : public AdaptiveBase {
+ public:
+  OlmRouting(const DragonflyTopology& topo, const AdaptiveParams& params)
+      : AdaptiveBase(topo, params) {}
+
+  int min_local_vcs() const override { return 3; }
+  bool supports_wormhole() const override { return false; }
+  std::string name() const override { return "olm"; }
+
+  void on_hop(const Engine& engine, Packet& packet, const RouteChoice& choice,
+              RouterId router) override;
+
+  /// True iff a strictly-rank-ascending minimal route to the packet's
+  /// destination exists from router `from` for a packet occupying a VC of
+  /// rank `start_rank`. Public so tests can machine-check the invariant.
+  static bool escape_feasible(const DragonflyTopology& topo, int local_vcs,
+                              int global_vcs, int start_rank, RouterId from,
+                              const RouteState& rs);
+
+ protected:
+  VcId minimal_local_vc(const RoutingContext& ctx) const override;
+  VcId minimal_global_vc(const RoutingContext& ctx) const override;
+  VcId commit_local_vc(const RoutingContext& ctx) const override;
+  void local_misroute_vcs(const RoutingContext& ctx, RouterId k,
+                          RouterId target,
+                          std::vector<VcId>& vcs) const override;
+};
+
+}  // namespace dfsim

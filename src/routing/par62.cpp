@@ -1,0 +1,4 @@
+#include "routing/par62.hpp"
+
+// PAR-6/2 is fully described by its VC ladder; all behaviour lives in
+// AdaptiveBase and the inline overrides in the header.

@@ -1,0 +1,41 @@
+// PAR-6/2 — the naive reference mechanism (paper Sec. III-A): Progressive
+// Adaptive Routing extended with one local misroute per intermediate /
+// destination supernode. Deadlock is avoided with Günther's distance
+// classes alone: every hop climbs to a fresh VC, so the longest route
+// l-l-g-l-l-g-l-l needs SIX local VCs (lVC1..lVC6) and two global ones —
+// the router cost the paper's proposals eliminate.
+#pragma once
+
+#include "routing/adaptive_base.hpp"
+
+namespace dfsim {
+
+class Par62Routing final : public AdaptiveBase {
+ public:
+  Par62Routing(const DragonflyTopology& topo, const AdaptiveParams& params)
+      : AdaptiveBase(topo, params) {}
+
+  int min_local_vcs() const override { return 6; }
+  bool supports_wormhole() const override { return true; }
+  std::string name() const override { return "par-6/2"; }
+
+ protected:
+  // Strictly ascending ladder: the k-th local hop (0-based) uses lVC_{k+1},
+  // the k-th global hop uses gVC_{k+1}.
+  VcId minimal_local_vc(const RoutingContext& ctx) const override {
+    return ctx.packet.rs.local_hops_total;
+  }
+  VcId minimal_global_vc(const RoutingContext& ctx) const override {
+    return ctx.packet.rs.global_hops;
+  }
+  VcId commit_local_vc(const RoutingContext& ctx) const override {
+    return ctx.packet.rs.local_hops_total;
+  }
+  void local_misroute_vcs(const RoutingContext& ctx, RouterId /*k*/,
+                          RouterId /*target*/,
+                          std::vector<VcId>& vcs) const override {
+    vcs.push_back(ctx.packet.rs.local_hops_total);
+  }
+};
+
+}  // namespace dfsim

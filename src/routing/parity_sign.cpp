@@ -1,0 +1,125 @@
+#include "routing/parity_sign.hpp"
+
+#include <algorithm>
+
+namespace dfsim {
+
+const char* to_string(LocalHopType t) {
+  switch (t) {
+    case LocalHopType::kOddMinus:
+      return "odd-";
+    case LocalHopType::kEvenPlus:
+      return "even+";
+    case LocalHopType::kOddPlus:
+      return "odd+";
+    case LocalHopType::kEvenMinus:
+      return "even-";
+  }
+  return "?";
+}
+
+LocalRouteRestriction::LocalRouteRestriction(RestrictionPolicy policy,
+                                             const TypeOrder& order)
+    : policy_(policy) {
+  switch (policy) {
+    case RestrictionPolicy::kParitySign:
+      build_parity_sign(order);
+      break;
+    case RestrictionPolicy::kSignOnly:
+      build_sign_only();
+      break;
+    case RestrictionPolicy::kNone:
+      for (auto& row : allowed_) std::fill(row, row + kNumHopTypes, true);
+      break;
+  }
+}
+
+void LocalRouteRestriction::build_parity_sign(const TypeOrder& order) {
+  // Tri-state marking per the paper: same-type pairs can never close a
+  // cycle, so they start Allowed. Then, for each link type in order:
+  // still-blank pairs *starting* with it become Allowed, and still-blank
+  // pairs *ending* with it become Not allowed. The result guarantees the
+  // last link of any multi-hop chain differs from the first, so no cycle.
+  enum : std::uint8_t { kBlank, kYes, kNo };
+  std::uint8_t mark[kNumHopTypes][kNumHopTypes];
+  for (auto& row : mark) std::fill(row, row + kNumHopTypes, kBlank);
+  for (int t = 0; t < kNumHopTypes; ++t) mark[t][t] = kYes;
+
+  for (const LocalHopType lt : order) {
+    const int t = static_cast<int>(lt);
+    for (int u = 0; u < kNumHopTypes; ++u) {
+      if (mark[t][u] == kBlank) mark[t][u] = kYes;
+    }
+    for (int u = 0; u < kNumHopTypes; ++u) {
+      if (mark[u][t] == kBlank) mark[u][t] = kNo;
+    }
+  }
+  for (int a = 0; a < kNumHopTypes; ++a) {
+    for (int b = 0; b < kNumHopTypes; ++b) {
+      allowed_[a][b] = mark[a][b] == kYes;
+    }
+  }
+}
+
+void LocalRouteRestriction::build_sign_only() {
+  const auto is_plus = [](int t) {
+    return t == static_cast<int>(LocalHopType::kOddPlus) ||
+           t == static_cast<int>(LocalHopType::kEvenPlus);
+  };
+  for (int a = 0; a < kNumHopTypes; ++a) {
+    for (int b = 0; b < kNumHopTypes; ++b) {
+      allowed_[a][b] = !(is_plus(a) && !is_plus(b));
+    }
+  }
+}
+
+std::vector<int> LocalRouteRestriction::allowed_intermediates(
+    int i, int j, int group_size) const {
+  std::vector<int> result;
+  for (int k = 0; k < group_size; ++k) {
+    if (k == i || k == j) continue;
+    if (hop_pair_allowed(i, k, j)) result.push_back(k);
+  }
+  return result;
+}
+
+int LocalRouteRestriction::min_two_hop_routes(int group_size) const {
+  int best = group_size;
+  for (int i = 0; i < group_size; ++i) {
+    for (int j = 0; j < group_size; ++j) {
+      if (i == j) continue;
+      best = std::min(
+          best, static_cast<int>(allowed_intermediates(i, j, group_size)
+                                     .size()));
+    }
+  }
+  return best;
+}
+
+int LocalRouteRestriction::max_two_hop_routes(int group_size) const {
+  int best = 0;
+  for (int i = 0; i < group_size; ++i) {
+    for (int j = 0; j < group_size; ++j) {
+      if (i == j) continue;
+      best = std::max(
+          best, static_cast<int>(allowed_intermediates(i, j, group_size)
+                                     .size()));
+    }
+  }
+  return best;
+}
+
+std::vector<LocalRouteRestriction::TableRow> LocalRouteRestriction::table()
+    const {
+  std::vector<TableRow> rows;
+  rows.reserve(16);
+  for (int a = 0; a < kNumHopTypes; ++a) {
+    for (int b = 0; b < kNumHopTypes; ++b) {
+      rows.push_back({static_cast<LocalHopType>(a),
+                      static_cast<LocalHopType>(b), allowed_[a][b]});
+    }
+  }
+  return rows;
+}
+
+}  // namespace dfsim

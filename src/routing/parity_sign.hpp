@@ -1,0 +1,100 @@
+// The intra-group route restriction at the heart of RLM (paper Sec. III-B
+// and Table I).
+//
+// Routers inside a supernode form a complete graph K_2h. A hop from local
+// index i to j is typed by *sign* (+ if j > i) and *parity* (odd if i and
+// j have different parity, even otherwise) — four link types. RLM forbids
+// certain 2-hop type combinations so that no cyclic dependency can form
+// among local channels that share a VC, while guaranteeing at least h-1
+// two-hop routes between every pair of routers (plus the minimal hop).
+//
+// The simpler *sign-only* rule (forbid (+,-) turns) is also provided: it
+// breaks cycles too, but leaves some router pairs with zero non-minimal
+// routes (e.g. 0 -> 1 needs (+,-)), unbalancing the local links — the
+// paper's motivation for parity-sign. `kNone` disables the restriction
+// entirely (deadlock-prone; used to demonstrate the cycles RLM prevents).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfsim {
+
+enum class LocalHopType : std::uint8_t {
+  kOddMinus = 0,
+  kEvenPlus = 1,
+  kOddPlus = 2,
+  kEvenMinus = 3,
+};
+inline constexpr int kNumHopTypes = 4;
+
+const char* to_string(LocalHopType t);
+
+/// Type of the local hop i -> j (local indices, i != j).
+inline LocalHopType local_hop_type(int i, int j) {
+  const bool odd = ((i ^ j) & 1) != 0;
+  const bool plus = j > i;
+  if (odd) return plus ? LocalHopType::kOddPlus : LocalHopType::kOddMinus;
+  return plus ? LocalHopType::kEvenPlus : LocalHopType::kEvenMinus;
+}
+
+enum class RestrictionPolicy : std::uint8_t {
+  kParitySign,  ///< the paper's proposal (Table I)
+  kSignOnly,    ///< the strawman: forbid (+,-) turns
+  kNone,        ///< no restriction (deadlock-prone)
+};
+
+class LocalRouteRestriction {
+ public:
+  /// Order in which link types are processed by the marking algorithm.
+  /// The paper uses (1) odd-, (2) even+, (3) odd+, (4) even-.
+  using TypeOrder = std::array<LocalHopType, 4>;
+  static constexpr TypeOrder kPaperOrder = {
+      LocalHopType::kOddMinus, LocalHopType::kEvenPlus,
+      LocalHopType::kOddPlus, LocalHopType::kEvenMinus};
+
+  explicit LocalRouteRestriction(
+      RestrictionPolicy policy = RestrictionPolicy::kParitySign,
+      const TypeOrder& order = kPaperOrder);
+
+  RestrictionPolicy policy() const { return policy_; }
+
+  /// Is the 2-hop type combination (first, then second) allowed?
+  bool combo_allowed(LocalHopType first, LocalHopType second) const {
+    return allowed_[static_cast<int>(first)][static_cast<int>(second)];
+  }
+
+  /// Is the 2-hop route i -> k -> j allowed? (i, k, j distinct local idx)
+  bool hop_pair_allowed(int i, int k, int j) const {
+    return combo_allowed(local_hop_type(i, k), local_hop_type(k, j));
+  }
+
+  /// Valid intermediate routers for a 2-hop route from i to j inside a
+  /// group of `group_size` routers.
+  std::vector<int> allowed_intermediates(int i, int j, int group_size) const;
+
+  /// Minimum, over all ordered pairs, of the number of allowed 2-hop
+  /// routes (the paper proves >= h-1 for parity-sign).
+  int min_two_hop_routes(int group_size) const;
+  /// Same, but the maximum (sign-only is unbalanced: up to 2h-2).
+  int max_two_hop_routes(int group_size) const;
+
+  struct TableRow {
+    LocalHopType first;
+    LocalHopType second;
+    bool allowed;
+  };
+  /// All 16 combinations — regenerates the paper's Table I.
+  std::vector<TableRow> table() const;
+
+ private:
+  void build_parity_sign(const TypeOrder& order);
+  void build_sign_only();
+
+  RestrictionPolicy policy_;
+  bool allowed_[kNumHopTypes][kNumHopTypes];
+};
+
+}  // namespace dfsim

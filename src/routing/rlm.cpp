@@ -1,0 +1,39 @@
+#include "routing/rlm.hpp"
+
+namespace dfsim {
+
+std::string RlmRouting::name() const {
+  switch (restriction_.policy()) {
+    case RestrictionPolicy::kParitySign:
+      return "rlm";
+    case RestrictionPolicy::kSignOnly:
+      return "rlm-signonly";
+    case RestrictionPolicy::kNone:
+      return "rlm-unrestricted";
+  }
+  return "rlm";
+}
+
+bool RlmRouting::commit_hop_allowed(const RoutingContext& ctx,
+                                    RouterId gateway) const {
+  const RouteState& rs = ctx.packet.rs;
+  if (rs.local_hops_group == 0) return true;  // first local hop: no pair yet
+  // The first (minimal) source-group hop came from prev_local_idx; the
+  // commit hop toward the Valiant gateway is the second on lVC1.
+  return restriction_.hop_pair_allowed(rs.prev_local_idx,
+                                       topo_.local_index(ctx.router),
+                                       topo_.local_index(gateway));
+}
+
+void RlmRouting::local_misroute_vcs(const RoutingContext& ctx, RouterId k,
+                                    RouterId target,
+                                    std::vector<VcId>& vcs) const {
+  if (!restriction_.hop_pair_allowed(topo_.local_index(ctx.router),
+                                     topo_.local_index(k),
+                                     topo_.local_index(target))) {
+    return;
+  }
+  vcs.push_back(minimal_local_vc(ctx));
+}
+
+}  // namespace dfsim

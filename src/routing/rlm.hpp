@@ -1,0 +1,60 @@
+// Restricted Local Misrouting (RLM, paper Sec. III-B) — the first of the
+// paper's two proposals. Cost: the standard 3 local / 2 global VCs.
+//
+// VC discipline: the group-phase ladder lVC_{1+globals}/gVC_{1+globals},
+// so BOTH local hops inside one supernode share a VC (the ascending-order
+// rule of Günther is deliberately violated within groups). Deadlock
+// freedom is restored by the parity-sign restriction on 2-hop local
+// routes (Table I): the last link of any chain of allowed hop pairs can
+// never have the same type as the first, so no cycle closes. Because no
+// cycle can ever form — rather than being escaped from — RLM works under
+// both VCT and wormhole flow control.
+//
+// The restriction is enforced at selection time: a local misroute
+// current -> k is only offered when the forced continuation k -> target
+// forms an allowed pair, and a PAR-style Valiant commit after the first
+// minimal source-group hop must form an allowed pair with that hop.
+#pragma once
+
+#include "routing/adaptive_base.hpp"
+#include "routing/parity_sign.hpp"
+
+namespace dfsim {
+
+class RlmRouting final : public AdaptiveBase {
+ public:
+  RlmRouting(const DragonflyTopology& topo, const AdaptiveParams& params,
+             RestrictionPolicy policy = RestrictionPolicy::kParitySign)
+      : AdaptiveBase(topo, params), restriction_(policy) {}
+
+  int min_local_vcs() const override { return 3; }
+  bool supports_wormhole() const override {
+    // The unrestricted variant exists to demonstrate deadlock; it is not
+    // safe anywhere, but we let it run under both flow controls.
+    return true;
+  }
+  std::string name() const override;
+
+  const LocalRouteRestriction& restriction() const { return restriction_; }
+
+ protected:
+  VcId minimal_local_vc(const RoutingContext& ctx) const override {
+    return ctx.packet.rs.global_hops;  // lVC_{1+globals}
+  }
+  VcId minimal_global_vc(const RoutingContext& ctx) const override {
+    return ctx.packet.rs.global_hops;  // gVC_{1+globals}
+  }
+  VcId commit_local_vc(const RoutingContext& ctx) const override {
+    return ctx.packet.rs.global_hops;  // still lVC1 in the source group
+  }
+  bool commit_hop_allowed(const RoutingContext& ctx,
+                          RouterId gateway) const override;
+  void local_misroute_vcs(const RoutingContext& ctx, RouterId k,
+                          RouterId target,
+                          std::vector<VcId>& vcs) const override;
+
+ private:
+  LocalRouteRestriction restriction_;
+};
+
+}  // namespace dfsim

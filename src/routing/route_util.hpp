@@ -1,0 +1,72 @@
+// Shared route helpers: phase resolution and minimal-hop computation.
+//
+// A packet's "steering group" is the Valiant intermediate group while a
+// committed global misroute is still pending, and the destination group
+// otherwise. Minimal continuation is then: eject at the destination
+// router, a single local hop inside the destination group, or
+// (local-to-gateway)? + global toward the steering group.
+#pragma once
+
+#include "common/types.hpp"
+#include "sim/packet.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+struct Hop {
+  PortId port = kInvalid;
+  VcId vc = 0;
+};
+
+/// Hop classes of the minimal continuation, in order (at most l-g-l).
+struct MinimalClasses {
+  int count = 0;
+  PortClass cls[3]{};
+};
+
+inline GroupId steering_group(const RouteState& rs, GroupId current) {
+  if (rs.valiant && rs.global_hops == 0 && current != rs.inter_group) {
+    return rs.inter_group;
+  }
+  return rs.dst_group;
+}
+
+/// Minimal next hop using explicit VC indices for the local/global case.
+inline Hop minimal_hop_with(const DragonflyTopology& topo, RouterId r,
+                            const Packet& pkt, VcId local_vc, VcId global_vc) {
+  const RouteState& rs = pkt.rs;
+  if (r == rs.dst_router) return {topo.terminal_port(pkt.dst), 0};
+  const GroupId g = topo.group_of_router(r);
+  const GroupId tg = steering_group(rs, g);
+  if (g == tg) {
+    return {topo.local_port_to(topo.local_index(r),
+                               topo.local_index(rs.dst_router)),
+            local_vc};
+  }
+  const RouterId gw = topo.gateway_router(g, tg);
+  if (r == gw) return {topo.gateway_port(g, tg), global_vc};
+  return {topo.local_port_to(topo.local_index(r), topo.local_index(gw)),
+          local_vc};
+}
+
+/// Class sequence of the *pure minimal* route from `r` to the packet's
+/// destination, ignoring any Valiant commitment. This is what OLM's
+/// escape-path feasibility check walks (see olm.cpp).
+inline MinimalClasses minimal_classes(const DragonflyTopology& topo,
+                                      RouterId r, const RouteState& rs) {
+  MinimalClasses seq;
+  if (r == rs.dst_router) return seq;
+  const GroupId g = topo.group_of_router(r);
+  if (g == rs.dst_group) {
+    seq.cls[seq.count++] = PortClass::kLocal;
+    return seq;
+  }
+  const RouterId gw = topo.gateway_router(g, rs.dst_group);
+  if (r != gw) seq.cls[seq.count++] = PortClass::kLocal;
+  seq.cls[seq.count++] = PortClass::kGlobal;
+  const RouterId in_gw = topo.gateway_router(rs.dst_group, g);
+  if (in_gw != rs.dst_router) seq.cls[seq.count++] = PortClass::kLocal;
+  return seq;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,71 @@
+// The routing-mechanism interface. The engine re-evaluates `decide` every
+// cycle for every head flit until the flit wins switch allocation, which
+// implements the paper's on-the-fly (in-transit) adaptivity: "the routing
+// decision can be revisited on each hop".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "sim/packet.hpp"
+
+namespace dfsim {
+
+class Engine;
+
+/// A concrete output selection for the current cycle, plus the route-state
+/// side effects to apply if (and only if) the hop actually wins allocation.
+struct RouteChoice {
+  PortId port = kInvalid;
+  VcId vc = 0;
+
+  /// This hop commits the packet to a Valiant path via `inter_group`
+  /// (global misrouting, decided in the source group).
+  bool commit_valiant = false;
+  GroupId inter_group = kInvalid;
+
+  /// This hop is an OFAR-style local misroute (counts against the one
+  /// local misroute allowed per group).
+  bool local_misroute = false;
+};
+
+/// Everything a mechanism may inspect when deciding: the engine exposes
+/// output usability (link free + credits + VC allocation) and downstream
+/// occupancy, which is the credit-count information real routers have.
+struct RoutingContext {
+  Engine& engine;
+  RouterId router;
+  PortId in_port;
+  VcId in_vc;
+  Packet& packet;
+};
+
+class RoutingAlgorithm {
+ public:
+  virtual ~RoutingAlgorithm() = default;
+
+  /// Pick this cycle's output for the head flit, or nullopt to wait.
+  /// Implementations must only return choices that are usable this cycle.
+  virtual std::optional<RouteChoice> decide(RoutingContext& ctx) = 0;
+
+  /// Invoked once per simulated cycle before allocation; mechanisms with
+  /// distributed state (Piggybacking's broadcast) refresh it here.
+  virtual void per_cycle(Engine& /*engine*/) {}
+
+  /// Invoked when a head flit actually departs on `choice`, after the
+  /// engine applied the generic RouteState bookkeeping. Mechanisms add
+  /// their own (e.g. OLM asserts its escape invariant here).
+  virtual void on_hop(const Engine& /*engine*/, Packet& /*packet*/,
+                      const RouteChoice& /*choice*/, RouterId /*router*/) {}
+
+  /// Resource demands; the engine config is validated against these.
+  virtual int min_local_vcs() const = 0;
+  virtual int min_global_vcs() const = 0;
+  virtual bool supports_wormhole() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,33 @@
+// The credit-based misrouting trigger (paper Sec. III):
+//
+//   "Routing chooses between the minimal output and one of the possible
+//    non-minimal outputs using a misrouting trigger based on the credits
+//    count of the output ports. If the minimal output is not available, a
+//    non-minimal output is randomly chosen among those with an occupancy
+//    lower than a given threshold. This threshold is a percentage of the
+//    occupancy of the minimal queue."
+//
+// Higher thresholds misroute more aggressively (better under adversarial
+// traffic, worse under uniform — Figs. 10/11 sweep this).
+#pragma once
+
+namespace dfsim {
+
+class MisroutingTrigger {
+ public:
+  explicit MisroutingTrigger(double threshold = 0.45)
+      : threshold_(threshold) {}
+
+  /// Candidate occupancies must fall strictly below threshold times the
+  /// minimal queue's occupancy (both as fractions of buffer capacity).
+  bool allows(double candidate_occupancy, double minimal_occupancy) const {
+    return candidate_occupancy < threshold_ * minimal_occupancy;
+  }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,58 @@
+#include "routing/ugal.hpp"
+
+#include "routing/route_util.hpp"
+#include "sim/engine.hpp"
+
+namespace dfsim {
+
+std::optional<RouteChoice> UgalRouting::decide(RoutingContext& ctx) {
+  Engine& eng = ctx.engine;
+  const RouteState& rs = ctx.packet.rs;
+  const Flit& flit =
+      eng.input_vc(ctx.router, ctx.in_port, ctx.in_vc).fifo.front();
+
+  const bool at_injection = !rs.valiant && rs.total_hops == 0 &&
+                            ctx.router != rs.dst_router &&
+                            topo_.num_groups() >= 3;
+  if (at_injection) {
+    const GroupId g = topo_.group_of_router(ctx.router);
+    const Hop min = minimal_hop_with(topo_, ctx.router, ctx.packet, 0, 0);
+    const double q_min =
+        static_cast<double>(eng.port_queue_phits(ctx.router, min.port));
+
+    GroupId x;
+    do {
+      x = static_cast<GroupId>(
+          eng.rng().uniform(static_cast<std::uint64_t>(topo_.num_groups())));
+    } while (x == g || x == rs.dst_group);
+
+    RouteChoice val;
+    val.commit_valiant = true;
+    val.inter_group = x;
+    const RouterId gw = topo_.gateway_router(g, x);
+    val.port = gw == ctx.router
+                   ? topo_.gateway_port(g, x)
+                   : topo_.local_port_to(topo_.local_index(ctx.router),
+                                         topo_.local_index(gw));
+    val.vc = 0;
+    const double q_val =
+        static_cast<double>(eng.port_queue_phits(ctx.router, val.port));
+
+    if (q_min > params_.bias * q_val + params_.offset_phits &&
+        eng.output_usable(ctx.router, val.port, val.vc, flit)) {
+      return val;
+    }
+  }
+
+  const Hop hop = minimal_hop_with(topo_, ctx.router, ctx.packet,
+                                   rs.global_hops, rs.global_hops);
+  if (!eng.output_usable(ctx.router, hop.port, hop.vc, flit)) {
+    return std::nullopt;
+  }
+  RouteChoice choice;
+  choice.port = hop.port;
+  choice.vc = hop.vc;
+  return choice;
+}
+
+}  // namespace dfsim

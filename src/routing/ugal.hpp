@@ -1,0 +1,37 @@
+// UGAL-L (Universal Globally-Adaptive Load-balancing with local queue
+// information) — a reference point from the paper's related work (Jiang
+// et al., ISCA'09). Included as an extension: at injection the source
+// compares its own output-queue depths, weighting Valiant routes by their
+// doubled global-hop count, and commits accordingly. Source-routed, no
+// local misrouting.
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+struct UgalParams {
+  /// Valiant chosen when q_min > bias * q_val + offset (phits).
+  double bias = 2.0;
+  double offset_phits = 8.0;
+};
+
+class UgalRouting final : public RoutingAlgorithm {
+ public:
+  UgalRouting(const DragonflyTopology& topo, const UgalParams& params)
+      : topo_(topo), params_(params) {}
+
+  std::optional<RouteChoice> decide(RoutingContext& ctx) override;
+
+  int min_local_vcs() const override { return 3; }
+  int min_global_vcs() const override { return 2; }
+  bool supports_wormhole() const override { return true; }
+  std::string name() const override { return "ugal"; }
+
+ private:
+  const DragonflyTopology& topo_;
+  UgalParams params_;
+};
+
+}  // namespace dfsim

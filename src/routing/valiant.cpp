@@ -1,0 +1,54 @@
+#include "routing/valiant.hpp"
+
+#include "routing/route_util.hpp"
+#include "sim/engine.hpp"
+
+namespace dfsim {
+
+std::optional<RouteChoice> ValiantRouting::decide(RoutingContext& ctx) {
+  Engine& eng = ctx.engine;
+  const RouteState& rs = ctx.packet.rs;
+  const Flit& flit =
+      eng.input_vc(ctx.router, ctx.in_port, ctx.in_vc).fifo.front();
+
+  // At injection (and only there), commit to a random intermediate group.
+  // Same-router packets and tiny networks (G < 3) go minimally.
+  if (!rs.valiant && rs.total_hops == 0 && ctx.router != rs.dst_router &&
+      topo_.num_groups() >= 3) {
+    const GroupId g = topo_.group_of_router(ctx.router);
+    GroupId x;
+    do {
+      x = static_cast<GroupId>(
+          eng.rng().uniform(static_cast<std::uint64_t>(topo_.num_groups())));
+    } while (x == g || x == rs.dst_group);
+
+    RouteChoice c;
+    c.commit_valiant = true;
+    c.inter_group = x;
+    const RouterId gw = topo_.gateway_router(g, x);
+    if (gw == ctx.router) {
+      c.port = topo_.gateway_port(g, x);
+      c.vc = rs.global_hops;  // gVC1
+    } else {
+      c.port = topo_.local_port_to(topo_.local_index(ctx.router),
+                                   topo_.local_index(gw));
+      c.vc = rs.global_hops;  // lVC1
+    }
+    if (!eng.output_usable(ctx.router, c.port, c.vc, flit)) {
+      return std::nullopt;
+    }
+    return c;
+  }
+
+  const Hop hop = minimal_hop_with(topo_, ctx.router, ctx.packet,
+                                   rs.global_hops, rs.global_hops);
+  if (!eng.output_usable(ctx.router, hop.port, hop.vc, flit)) {
+    return std::nullopt;
+  }
+  RouteChoice choice;
+  choice.port = hop.port;
+  choice.vc = hop.vc;
+  return choice;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,28 @@
+// Valiant randomized routing (VAL): every packet is globally misrouted
+// through a uniformly random intermediate group, then forwarded minimally
+// — l-g-l-g-l, VCs lVC1-gVC1-lVC2-gVC2-lVC3. Load-balances ADVG at the
+// cost of halving peak throughput; cannot dodge saturated local links
+// (caps at 1/h under ADVG+h and ADVL, Figs. 4c/5c).
+#pragma once
+
+#include "routing/routing.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+class ValiantRouting final : public RoutingAlgorithm {
+ public:
+  explicit ValiantRouting(const DragonflyTopology& topo) : topo_(topo) {}
+
+  std::optional<RouteChoice> decide(RoutingContext& ctx) override;
+
+  int min_local_vcs() const override { return 3; }
+  int min_global_vcs() const override { return 2; }
+  bool supports_wormhole() const override { return true; }
+  std::string name() const override { return "valiant"; }
+
+ private:
+  const DragonflyTopology& topo_;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,51 @@
+// The ascending virtual-channel order that underpins every deadlock
+// argument in the paper (Günther's distance classes):
+//
+//   lVC1 < gVC1 < lVC2 < gVC2 < lVC3 < ... (< lVC4, gVC.. for PAR-6/2)
+//
+// We assign each (class, index) pair a *rank*; a route is deadlock-free by
+// distance classes iff its rank sequence is strictly increasing. OLM's
+// escape-path reasoning is phrased entirely in ranks (see olm.cpp).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace dfsim {
+
+/// Rank of the k-th local VC (0-based): lVC1 -> 1, lVC2 -> 3, lVC3 -> 5...
+constexpr int local_rank(int vc0) { return 2 * vc0 + 1; }
+
+/// Rank of the k-th global VC (0-based): gVC1 -> 2, gVC2 -> 4.
+constexpr int global_rank(int vc0) { return 2 * vc0 + 2; }
+
+/// Rank of the VC a packet currently occupies given its input port class.
+inline int occupied_rank(PortClass cls, VcId vc) {
+  switch (cls) {
+    case PortClass::kLocal:
+      return local_rank(vc);
+    case PortClass::kGlobal:
+      return global_rank(vc);
+    case PortClass::kTerminal:
+      return 0;  // injection queue ranks below every network VC
+  }
+  return 0;
+}
+
+/// Smallest 0-based local VC index whose rank exceeds `rank`, or -1 when
+/// none exists below `num_local_vcs`.
+inline int next_local_vc_above(int rank, int num_local_vcs) {
+  for (int v = 0; v < num_local_vcs; ++v) {
+    if (local_rank(v) > rank) return v;
+  }
+  return -1;
+}
+
+/// Smallest 0-based global VC index whose rank exceeds `rank`, or -1.
+inline int next_global_vc_above(int rank, int num_global_vcs) {
+  for (int v = 0; v < num_global_vcs; ++v) {
+    if (global_rank(v) > rank) return v;
+  }
+  return -1;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,43 @@
+// Per-(port, VC) buffer state of an input-buffered router.
+#pragma once
+
+#include <deque>
+
+#include "common/types.hpp"
+#include "sim/packet.hpp"
+
+namespace dfsim {
+
+/// One FIFO virtual-channel buffer on an input port. Occupancy is counted
+/// in phits against the configured capacity for the port class.
+struct InputVc {
+  std::deque<Flit> fifo;
+  std::int32_t occupancy_phits = 0;
+
+  /// Cycle at which the current head flit reached the queue head; the
+  /// deadlock watchdog flags heads that stay blocked too long (this
+  /// catches partial deadlocks that leave the rest of the network moving).
+  Cycle head_since = 0;
+
+  /// Wormhole: while a multi-flit packet is being forwarded, body flits
+  /// must follow the head's switch decision. Set when a head flit that is
+  /// not also a tail wins allocation; cleared when the tail is forwarded.
+  PortId bound_out_port = kInvalid;
+  VcId bound_out_vc = kInvalid;
+
+  bool empty() const { return fifo.empty(); }
+};
+
+/// Credit-tracking state for one VC of an output port. `credits_phits` is
+/// the free space believed to exist in the downstream input buffer; it is
+/// decremented on send and incremented when a credit returns one link
+/// latency after the downstream router drains the flit.
+struct OutputVc {
+  std::int32_t credits_phits = 0;
+
+  /// Wormhole: the downstream VC is private to one packet from its head
+  /// until its tail. kInvalid when free for a new header.
+  PacketId bound_packet = kInvalid;
+};
+
+}  // namespace dfsim

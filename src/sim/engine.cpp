@@ -1,0 +1,528 @@
+#include "sim/engine.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "traffic/pattern.hpp"
+
+namespace dfsim {
+
+namespace {
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
+               RoutingAlgorithm& routing, TrafficPattern& pattern,
+               const InjectionProcess& injection)
+    : topo_(topo),
+      cfg_(cfg),
+      routing_(routing),
+      pattern_(pattern),
+      injection_(injection),
+      rng_(cfg.seed) {
+  flit_phits_ = cfg_.flit_phits > 0 ? cfg_.flit_phits : cfg_.packet_phits;
+  if (cfg_.packet_phits % flit_phits_ != 0) {
+    throw std::invalid_argument("packet_phits must be a multiple of flit_phits");
+  }
+  flits_per_packet_ = cfg_.packet_phits / flit_phits_;
+  if (cfg_.flow == FlowControl::kVirtualCutThrough && flits_per_packet_ != 1) {
+    throw std::invalid_argument(
+        "VCT forwards whole packets: use flit_phits == packet_phits");
+  }
+  if (cfg_.flow == FlowControl::kWormhole && !routing_.supports_wormhole()) {
+    throw std::invalid_argument(routing_.name() +
+                                " requires VCT flow control (paper Sec. III)");
+  }
+  if (cfg_.local_vcs < routing_.min_local_vcs() ||
+      cfg_.global_vcs < routing_.min_global_vcs()) {
+    throw std::invalid_argument(routing_.name() + " needs at least " +
+                                std::to_string(routing_.min_local_vcs()) + "/" +
+                                std::to_string(routing_.min_global_vcs()) +
+                                " local/global VCs");
+  }
+  if (cfg_.local_buf_phits < cfg_.packet_phits &&
+      cfg_.flow == FlowControl::kVirtualCutThrough) {
+    throw std::invalid_argument("VCT needs local buffers >= packet size");
+  }
+
+  injection_buf_phits_ = cfg_.injection_buf_phits > 0
+                             ? cfg_.injection_buf_phits
+                             : std::max(2 * cfg_.packet_phits,
+                                        cfg_.local_buf_phits);
+  gen_probability_ = injection_.load / static_cast<double>(cfg_.packet_phits);
+
+  vc_stride_ = std::max({cfg_.local_vcs, cfg_.global_vcs, 1});
+  const int ports = topo_.ports_per_router();
+
+  if (ports > 63) {
+    throw std::invalid_argument(
+        "router degree above 63 ports unsupported (h <= 16)");
+  }
+  routers_.resize(static_cast<size_t>(topo_.num_routers()));
+  for (auto& rt : routers_) {
+    rt.in.resize(static_cast<size_t>(ports * vc_stride_));
+    rt.out.resize(static_cast<size_t>(ports * vc_stride_));
+    rt.out_busy_until.assign(static_cast<size_t>(ports), 0);
+    rt.in_rr.assign(static_cast<size_t>(ports), 0);
+    rt.out_rr.assign(static_cast<size_t>(ports), 0);
+    rt.port_occupied_vcs.assign(static_cast<size_t>(ports), 0);
+  }
+  // Initialize credits to the downstream buffer capacity. Port classes
+  // match across a link (local<->local, global<->global).
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    for (PortId p = 0; p < ports; ++p) {
+      const PortClass cls = topo_.port_class(p);
+      if (cls == PortClass::kTerminal) continue;
+      for (VcId v = 0; v < vc_count(p); ++v) {
+        out_vc(r, p, v).credits_phits = buffer_capacity(cls);
+      }
+    }
+  }
+
+  terminals_.resize(static_cast<size_t>(topo_.num_terminals()));
+  for (auto& ts : terminals_) {
+    if (injection_.mode == InjectionProcess::Mode::kBurst) {
+      ts.burst_remaining = injection_.burst_packets;
+    }
+  }
+
+  ring_size_ = next_pow2(static_cast<size_t>(
+      cfg_.global_latency + std::max(cfg_.packet_phits, flit_phits_) + 4));
+  flit_ring_.resize(ring_size_);
+  credit_ring_.resize(ring_size_);
+  delivery_ring_.resize(ring_size_);
+
+  out_first_nom_.assign(static_cast<size_t>(ports), -1);
+}
+
+int Engine::vc_count(PortId port) const {
+  switch (topo_.port_class(port)) {
+    case PortClass::kLocal:
+      return cfg_.local_vcs;
+    case PortClass::kGlobal:
+      return cfg_.global_vcs;
+    case PortClass::kTerminal:
+      return 1;
+  }
+  return 1;
+}
+
+int Engine::buffer_capacity(PortClass cls) const {
+  switch (cls) {
+    case PortClass::kLocal:
+      return cfg_.local_buf_phits;
+    case PortClass::kGlobal:
+      return cfg_.global_buf_phits;
+    case PortClass::kTerminal:
+      return injection_buf_phits_;
+  }
+  return cfg_.local_buf_phits;
+}
+
+bool Engine::output_usable(RouterId r, PortId port, VcId vc,
+                           const Flit& flit) const {
+  const RouterState& rt = routers_[static_cast<size_t>(r)];
+  if (rt.out_busy_until[static_cast<size_t>(port)] > now_) return false;
+  if (topo_.port_class(port) == PortClass::kTerminal) return true;
+  const OutputVc& ovc = output_vc(r, port, vc);
+  if (flit.head) {
+    if (ovc.bound_packet != kInvalid) return false;
+  } else {
+    if (ovc.bound_packet != flit.packet) return false;
+  }
+  return ovc.credits_phits >= flit.size_phits;
+}
+
+double Engine::output_occupancy(RouterId r, PortId port, VcId vc) const {
+  const PortClass cls = topo_.port_class(port);
+  if (cls == PortClass::kTerminal) return 0.0;
+  const int cap = buffer_capacity(cls);
+  const OutputVc& ovc = output_vc(r, port, vc);
+  return 1.0 - static_cast<double>(ovc.credits_phits) /
+                   static_cast<double>(cap);
+}
+
+double Engine::port_occupancy(RouterId r, PortId port) const {
+  const int n = vc_count(port);
+  double total = 0.0;
+  for (VcId v = 0; v < n; ++v) total += output_occupancy(r, port, v);
+  return total / static_cast<double>(n);
+}
+
+double Engine::port_max_occupancy(RouterId r, PortId port) const {
+  const int n = vc_count(port);
+  double worst = 0.0;
+  for (VcId v = 0; v < n; ++v) {
+    worst = std::max(worst, output_occupancy(r, port, v));
+  }
+  return worst;
+}
+
+int Engine::port_queue_phits(RouterId r, PortId port) const {
+  const PortClass cls = topo_.port_class(port);
+  if (cls == PortClass::kTerminal) return 0;
+  const int cap = buffer_capacity(cls);
+  int total = 0;
+  for (VcId v = 0; v < vc_count(port); ++v) {
+    total += cap - output_vc(r, port, v).credits_phits;
+  }
+  return total;
+}
+
+void Engine::schedule_flit(Cycle at, FlitEvent ev) {
+  assert(at > now_ && at - now_ < ring_size_);
+  flit_ring_[ring_slot(at)].push_back(ev);
+}
+
+void Engine::schedule_credit(Cycle at, CreditEvent ev) {
+  assert(at > now_ && at - now_ < ring_size_);
+  credit_ring_[ring_slot(at)].push_back(ev);
+}
+
+void Engine::schedule_delivery(Cycle at, PacketId id) {
+  assert(at > now_ && at - now_ < ring_size_);
+  delivery_ring_[ring_slot(at)].push_back(id);
+}
+
+void Engine::process_arrivals() {
+  const std::size_t slot = ring_slot(now_);
+
+  auto& credits = credit_ring_[slot];
+  for (const CreditEvent& ev : credits) {
+    OutputVc& ovc = out_vc(ev.router, ev.port, ev.vc);
+    ovc.credits_phits += ev.phits;
+    assert(ovc.credits_phits <=
+           buffer_capacity(topo_.port_class(ev.port)));
+  }
+  credits.clear();
+
+  auto& flits = flit_ring_[slot];
+  for (const FlitEvent& ev : flits) {
+    RouterState& rt = routers_[static_cast<size_t>(ev.router)];
+    InputVc& ivc = in_vc(ev.router, ev.port, ev.vc);
+    if (ivc.fifo.empty()) {
+      ++rt.nonempty_vcs;
+      ivc.head_since = now_;
+      if (++rt.port_occupied_vcs[static_cast<size_t>(ev.port)] == 1) {
+        rt.occupied_ports |= 1ULL << ev.port;
+      }
+    }
+    ivc.fifo.push_back(ev.flit);
+    ivc.occupancy_phits += ev.flit.size_phits;
+    if (topo_.port_class(ev.port) == PortClass::kTerminal) {
+      const NodeId t = topo_.terminal_id(
+          ev.router, ev.port - topo_.first_terminal_port());
+      terminals_[static_cast<size_t>(t)].inflight_phits -= ev.flit.size_phits;
+    }
+    assert(ivc.occupancy_phits <=
+           buffer_capacity(topo_.port_class(ev.port)));
+  }
+  flits.clear();
+
+  auto& deliveries = delivery_ring_[slot];
+  for (const PacketId id : deliveries) deliver(id);
+  deliveries.clear();
+}
+
+void Engine::deliver(PacketId id) {
+  const Packet& pkt = pool_[id];
+  ++delivered_packets_;
+  delivered_phits_ += static_cast<std::uint64_t>(pkt.size_phits);
+  if (on_delivered_) on_delivered_(pkt, now_);
+  pool_.release(id);
+  last_progress_ = now_;
+}
+
+void Engine::allocate_router(RouterId r) {
+  RouterState& rt = routers_[static_cast<size_t>(r)];
+  const int ports = topo_.ports_per_router();
+
+  noms_.clear();
+  touched_outs_.clear();
+
+  std::uint64_t pending = rt.occupied_ports;
+  while (pending != 0) {
+    const PortId p = static_cast<PortId>(std::countr_zero(pending));
+    pending &= pending - 1;
+    const int nvc = vc_count(p);
+    const int start = rt.in_rr[static_cast<size_t>(p)] % nvc;
+    for (int k = 0; k < nvc; ++k) {
+      const VcId v = static_cast<VcId>((start + k) % nvc);
+      InputVc& ivc = in_vc(r, p, v);
+      if (ivc.fifo.empty()) continue;
+      const Flit& flit = ivc.fifo.front();
+      if (now_ - ivc.head_since > cfg_.watchdog_cycles) deadlock_ = true;
+
+      Nomination nom{p, v, kInvalid, 0, false, {}};
+      if (ivc.bound_out_port != kInvalid) {
+        // Wormhole continuation: body flits follow the head's decision.
+        if (!output_usable(r, ivc.bound_out_port, ivc.bound_out_vc, flit)) {
+          continue;
+        }
+        nom.out_port = ivc.bound_out_port;
+        nom.out_vc = ivc.bound_out_vc;
+      } else {
+        assert(flit.head);
+        Packet& pkt = pool_[flit.packet];
+        RoutingContext ctx{*this, r, p, v, pkt};
+        const auto choice = routing_.decide(ctx);
+        if (!choice) continue;
+        assert(output_usable(r, choice->port, choice->vc, flit));
+        nom.out_port = choice->port;
+        nom.out_vc = choice->vc;
+        nom.fresh = true;
+        nom.choice = *choice;
+      }
+
+      // Output arbitration: keep the requester closest to the RR pointer.
+      const auto op = static_cast<size_t>(nom.out_port);
+      const std::int16_t cur = out_first_nom_[op];
+      if (cur < 0) {
+        out_first_nom_[op] = static_cast<std::int16_t>(noms_.size());
+        noms_.push_back(nom);
+        touched_outs_.push_back(nom.out_port);
+      } else {
+        const int base = rt.out_rr[op];
+        const int d_new = (nom.in_port - base + ports) % ports;
+        const int d_cur = (noms_[static_cast<size_t>(cur)].in_port - base +
+                           ports) % ports;
+        if (d_new < d_cur) {
+          noms_[static_cast<size_t>(cur)] = nom;
+        }
+      }
+      break;  // this input port nominated; move to the next port
+    }
+  }
+
+  for (const PortId op : touched_outs_) {
+    const std::int16_t idx = out_first_nom_[static_cast<size_t>(op)];
+    assert(idx >= 0);
+    out_first_nom_[static_cast<size_t>(op)] = -1;
+    const Nomination& nom = noms_[static_cast<size_t>(idx)];
+    send_flit(r, nom.in_port, nom.in_vc, nom.out_port, nom.out_vc,
+              nom.fresh ? &nom.choice : nullptr);
+    rt.out_rr[static_cast<size_t>(op)] =
+        static_cast<std::uint16_t>((nom.in_port + 1) % ports);
+    rt.in_rr[static_cast<size_t>(nom.in_port)] = static_cast<std::uint16_t>(
+        (nom.in_vc + 1) % vc_count(nom.in_port));
+  }
+}
+
+void Engine::apply_route_state(Packet& pkt, RouterId r,
+                               const RouteChoice& choice) {
+  RouteState& rs = pkt.rs;
+  if (choice.commit_valiant) {
+    rs.valiant = true;
+    rs.inter_group = choice.inter_group;
+  }
+  switch (topo_.port_class(choice.port)) {
+    case PortClass::kLocal:
+      rs.prev_local_idx = static_cast<std::int8_t>(topo_.local_index(r));
+      ++rs.local_hops_group;
+      ++rs.local_hops_total;
+      rs.last_local_vc = static_cast<std::int8_t>(choice.vc);
+      if (choice.local_misroute) ++rs.local_mis_group;
+      ++rs.total_hops;
+      break;
+    case PortClass::kGlobal:
+      ++rs.global_hops;
+      rs.local_hops_group = 0;
+      rs.local_mis_group = 0;
+      rs.prev_local_idx = -1;
+      ++rs.total_hops;
+      break;
+    case PortClass::kTerminal:
+      break;  // ejection
+  }
+  // Paper Sec. III: at most one global and one local misroute per visited
+  // group; the longest route is l-l-g-l-l-g-l-l (8 hops).
+  assert(rs.global_hops <= 2);
+  assert(rs.local_hops_group <= 2);
+  assert(rs.total_hops <= 8);
+}
+
+void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
+                       PortId out_port, VcId out_vc_id,
+                       const RouteChoice* fresh_choice) {
+  RouterState& rt = routers_[static_cast<size_t>(r)];
+  InputVc& ivc = in_vc(r, in_port, in_vc_id);
+  const Flit flit = ivc.fifo.front();
+  ivc.fifo.pop_front();
+  ivc.occupancy_phits -= flit.size_phits;
+  if (ivc.fifo.empty()) {
+    --rt.nonempty_vcs;
+    if (--rt.port_occupied_vcs[static_cast<size_t>(in_port)] == 0) {
+      rt.occupied_ports &= ~(1ULL << in_port);
+    }
+  } else {
+    ivc.head_since = now_;
+  }
+
+  // Return the freed space upstream. Injection-buffer space is visible to
+  // the co-located source immediately (no wire to cross).
+  const PortClass in_cls = topo_.port_class(in_port);
+  if (in_cls != PortClass::kTerminal) {
+    const auto up = topo_.remote_endpoint(r, in_port);
+    schedule_credit(now_ + link_latency(in_cls),
+                    {up.router, up.port, in_vc_id, flit.size_phits});
+  }
+
+  if (fresh_choice != nullptr) {
+    Packet& pkt = pool_[flit.packet];
+    apply_route_state(pkt, r, *fresh_choice);
+    routing_.on_hop(*this, pkt, *fresh_choice, r);
+    if (on_hop_) on_hop_(pkt, *fresh_choice, r);
+  }
+
+  const PortClass out_cls = topo_.port_class(out_port);
+  rt.out_busy_until[static_cast<size_t>(out_port)] =
+      now_ + static_cast<Cycle>(flit.size_phits);
+  phits_sent_[static_cast<int>(out_cls)] +=
+      static_cast<std::uint64_t>(flit.size_phits);
+
+  // Input-VC binding for multi-flit packets (wormhole).
+  if (flit.head && !flit.tail) {
+    ivc.bound_out_port = out_port;
+    ivc.bound_out_vc = out_vc_id;
+  }
+  if (flit.tail) {
+    ivc.bound_out_port = kInvalid;
+    ivc.bound_out_vc = kInvalid;
+  }
+
+  if (out_cls == PortClass::kTerminal) {
+    if (flit.tail) {
+      schedule_delivery(now_ + static_cast<Cycle>(flit.size_phits),
+                        flit.packet);
+    }
+    last_progress_ = now_;
+    return;
+  }
+
+  OutputVc& ovc = out_vc(r, out_port, out_vc_id);
+  ovc.credits_phits -= flit.size_phits;
+  assert(ovc.credits_phits >= 0);
+  if (cfg_.flow == FlowControl::kWormhole) {
+    if (flit.head) ovc.bound_packet = flit.packet;
+    if (flit.tail) ovc.bound_packet = kInvalid;
+  }
+
+  const auto down = topo_.remote_endpoint(r, out_port);
+  schedule_flit(
+      now_ + static_cast<Cycle>(flit.size_phits + link_latency(out_cls)),
+      {down.router, down.port, out_vc_id, flit});
+  last_progress_ = now_;
+}
+
+void Engine::inject_terminals() {
+  const bool bernoulli = injection_.mode == InjectionProcess::Mode::kBernoulli;
+  const int num_terms = topo_.num_terminals();
+  for (NodeId t = 0; t < num_terms; ++t) {
+    TerminalState& ts = terminals_[static_cast<size_t>(t)];
+    if (bernoulli && gen_probability_ > 0.0 &&
+        rng_.bernoulli(gen_probability_)) {
+      const bool accepted =
+          ts.pending_created.size() <
+          static_cast<std::size_t>(cfg_.source_queue_cap);
+      if (accepted) ts.pending_created.push_back(now_);
+      if (on_generated_) on_generated_(now_, accepted);
+    }
+    const bool has_pending =
+        !ts.pending_created.empty() || ts.burst_remaining > 0;
+    if (!has_pending || ts.link_busy_until > now_) continue;
+
+    const RouterId r = topo_.router_of_terminal(t);
+    const PortId port = topo_.terminal_port(t);
+    const InputVc& ivc = input_vc(r, port, 0);
+    if (ivc.occupancy_phits + ts.inflight_phits + cfg_.packet_phits >
+        injection_buf_phits_) {
+      continue;
+    }
+    materialize(t, ts);
+  }
+}
+
+void Engine::materialize(NodeId t, TerminalState& ts) {
+  Cycle created = 0;
+  if (!ts.pending_created.empty()) {
+    created = ts.pending_created.front();
+    ts.pending_created.pop_front();
+  } else {
+    assert(ts.burst_remaining > 0);
+    --ts.burst_remaining;
+  }
+
+  NodeId dst;
+  if (!ts.forced_dst.empty()) {
+    dst = ts.forced_dst.front();
+    ts.forced_dst.pop_front();
+  } else {
+    dst = pattern_.dest(t, rng_);
+  }
+  assert(dst != t && dst >= 0 && dst < topo_.num_terminals());
+
+  const PacketId id = pool_.alloc();
+  Packet& pkt = pool_[id];
+  pkt.src = t;
+  pkt.dst = dst;
+  pkt.size_phits = cfg_.packet_phits;
+  pkt.num_flits = static_cast<std::int16_t>(flits_per_packet_);
+  pkt.flit_phits = static_cast<std::int16_t>(flit_phits_);
+  pkt.created = created;
+  pkt.injected = now_;
+  pkt.rs.dst_router = topo_.router_of_terminal(dst);
+  pkt.rs.dst_group = topo_.group_of_terminal(dst);
+  pkt.rs.src_group = topo_.group_of_terminal(t);
+
+  const RouterId r = topo_.router_of_terminal(t);
+  const PortId port = topo_.terminal_port(t);
+  for (int k = 0; k < flits_per_packet_; ++k) {
+    Flit flit;
+    flit.packet = id;
+    flit.index = static_cast<std::int16_t>(k);
+    flit.size_phits = static_cast<std::int16_t>(flit_phits_);
+    flit.head = (k == 0);
+    flit.tail = (k == flits_per_packet_ - 1);
+    schedule_flit(now_ + static_cast<Cycle>((k + 1) * flit_phits_),
+                  {r, port, 0, flit});
+  }
+  ts.inflight_phits += cfg_.packet_phits;
+  ts.link_busy_until = now_ + static_cast<Cycle>(cfg_.packet_phits);
+  last_progress_ = now_;
+}
+
+void Engine::inject_for_test(NodeId src, NodeId dst, Cycle created) {
+  TerminalState& ts = terminals_[static_cast<size_t>(src)];
+  ts.pending_created.push_back(created);
+  ts.forced_dst.push_back(dst);
+}
+
+bool Engine::step() {
+  if (deadlock_) return false;
+  process_arrivals();
+  routing_.per_cycle(*this);
+  const int num_routers = topo_.num_routers();
+  for (RouterId r = 0; r < num_routers; ++r) {
+    if (routers_[static_cast<size_t>(r)].nonempty_vcs > 0) {
+      allocate_router(r);
+    }
+  }
+  inject_terminals();
+  if (pool_.in_use() > 0 && now_ - last_progress_ > cfg_.watchdog_cycles) {
+    deadlock_ = true;
+  }
+  ++now_;
+  return !deadlock_;
+}
+
+void Engine::run_until(Cycle end) {
+  while (now_ < end && step()) {
+  }
+}
+
+}  // namespace dfsim

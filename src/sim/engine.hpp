@@ -1,0 +1,261 @@
+// The cycle-driven network simulator substrate.
+//
+// Models the paper's evaluation platform: a single-cycle simulator of FIFO
+// input-buffered routers with VCT or wormhole flow control, credit-based
+// link-level backpressure, phit-granular serialization and configurable
+// link latencies (Section IV).
+//
+// Per cycle:
+//   1. credit arrivals   (returned one link latency after downstream drain)
+//   2. flit arrivals     (full flit lands in the downstream input VC)
+//   3. switch allocation (input nomination + output round-robin grant)
+//   4. injection         (terminals materialize pending packets)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "routing/routing.hpp"
+#include "sim/buffer.hpp"
+#include "sim/packet.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+class TrafficPattern;
+
+struct EngineConfig {
+  FlowControl flow = FlowControl::kVirtualCutThrough;
+  int packet_phits = 8;
+  int flit_phits = 0;  ///< 0 -> whole-packet flits (VCT default)
+
+  int local_vcs = 3;
+  int global_vcs = 2;
+  int local_buf_phits = 32;    ///< per local-port VC FIFO (paper Sec. IV)
+  int global_buf_phits = 256;  ///< per global-port VC FIFO
+  int injection_buf_phits = 0;  ///< 0 -> max(2*packet, local_buf)
+
+  int local_latency = 10;    ///< cycles of wire delay, local links
+  int global_latency = 100;  ///< cycles of wire delay, global links
+
+  /// Cycles without any flit movement (while traffic is in flight) after
+  /// which the engine declares deadlock and stops.
+  Cycle watchdog_cycles = 20000;
+
+  /// Source backlog cap per terminal, in packets. Beyond saturation the
+  /// backlog would grow without bound; capping it keeps memory flat while
+  /// leaving accepted-load measurements untouched (the network, not the
+  /// source queue, is the bottleneck whenever the cap binds).
+  int source_queue_cap = 256;
+
+  std::uint64_t seed = 1;
+};
+
+/// How terminals generate traffic.
+struct InjectionProcess {
+  enum class Mode : std::uint8_t { kBernoulli, kBurst };
+  Mode mode = Mode::kBernoulli;
+  /// Offered load in phits/(node*cycle) — a packet is generated with
+  /// probability load/packet_phits each cycle (Bernoulli process).
+  double load = 0.0;
+  /// Burst mode: packets per node, all generated at cycle 0.
+  std::uint64_t burst_packets = 0;
+};
+
+/// Delivery callback: packet (still valid), delivery cycle.
+using DeliveryHook = std::function<void(const Packet&, Cycle)>;
+/// Generation callback: cycle, accepted (false when the source cap bound).
+using GenerationHook = std::function<void(Cycle, bool)>;
+/// Hop callback: packet (route state already updated), the decision taken,
+/// and the router it was taken at. Used by tests and route tracing.
+using HopHook = std::function<void(const Packet&, const RouteChoice&,
+                                   RouterId)>;
+
+class Engine {
+ public:
+  Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
+         RoutingAlgorithm& routing, TrafficPattern& pattern,
+         const InjectionProcess& injection);
+
+  /// Advance one cycle. Returns false once deadlock was detected.
+  bool step();
+  /// Run until `end` cycles (absolute) or deadlock.
+  void run_until(Cycle end);
+
+  // --- observability --------------------------------------------------
+  Cycle now() const { return now_; }
+  bool deadlock_detected() const { return deadlock_; }
+  std::uint64_t packets_in_flight() const { return pool_.in_use(); }
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t delivered_phits() const { return delivered_phits_; }
+  std::uint64_t phits_sent(PortClass cls) const {
+    return phits_sent_[static_cast<int>(cls)];
+  }
+
+  const DragonflyTopology& topology() const { return topo_; }
+  const EngineConfig& config() const { return cfg_; }
+  Rng& rng() { return rng_; }
+
+  void set_delivery_hook(DeliveryHook hook) { on_delivered_ = std::move(hook); }
+  void set_generation_hook(GenerationHook hook) {
+    on_generated_ = std::move(hook);
+  }
+  void set_hop_hook(HopHook hook) { on_hop_ = std::move(hook); }
+
+  // --- queries used by routing mechanisms -------------------------------
+  /// True when a flit could depart on (port, vc) this cycle: link idle,
+  /// enough credits for the flow-control discipline, and (wormhole) the
+  /// downstream VC not owned by another packet.
+  bool output_usable(RouterId r, PortId port, VcId vc, const Flit& flit) const;
+
+  /// Downstream buffer occupancy fraction in [0,1] derived from credits —
+  /// the misrouting trigger's input (paper Sec. III: "a misrouting trigger
+  /// based on the credits count of the output ports").
+  double output_occupancy(RouterId r, PortId port, VcId vc) const;
+
+  /// Occupancy averaged over all VCs of an output port.
+  double port_occupancy(RouterId r, PortId port) const;
+
+  /// Worst (most occupied) VC of an output port — a saturated VC must not
+  /// be diluted by its idle siblings (Piggybacking's saturation signal).
+  double port_max_occupancy(RouterId r, PortId port) const;
+
+  /// Total queued phits believed downstream of an output port, over all
+  /// VCs (UGAL's queue-depth comparison).
+  int port_queue_phits(RouterId r, PortId port) const;
+
+  int vc_count(PortId port) const;
+  int buffer_capacity(PortClass cls) const;
+  int flit_phits() const { return flit_phits_; }
+  int flits_per_packet() const { return flits_per_packet_; }
+
+  const InputVc& input_vc(RouterId r, PortId port, VcId vc) const {
+    return routers_[static_cast<size_t>(r)]
+        .in[static_cast<size_t>(port * vc_stride_ + vc)];
+  }
+  const OutputVc& output_vc(RouterId r, PortId port, VcId vc) const {
+    return routers_[static_cast<size_t>(r)]
+        .out[static_cast<size_t>(port * vc_stride_ + vc)];
+  }
+  const Packet& packet(PacketId id) const { return pool_[id]; }
+
+  // --- test hooks -------------------------------------------------------
+  /// Inject a fully-formed packet directly at its source terminal's queue
+  /// (unit tests drive single packets through the network this way).
+  void inject_for_test(NodeId src, NodeId dst, Cycle created);
+
+ private:
+  struct RouterState {
+    std::vector<InputVc> in;    // [port * vc_stride + vc]
+    std::vector<OutputVc> out;  // [port * vc_stride + vc]
+    std::vector<Cycle> out_busy_until;
+    std::vector<std::uint16_t> in_rr;   // per input port, over VCs
+    std::vector<std::uint16_t> out_rr;  // per output port, over input ports
+    std::vector<std::uint8_t> port_occupied_vcs;  // nonempty VCs per port
+    std::uint64_t occupied_ports = 0;  // bitmask (4h-1 <= 63 for h <= 16)
+    int nonempty_vcs = 0;
+  };
+
+  struct TerminalState {
+    std::deque<Cycle> pending_created;  // capped backlog of creation times
+    std::deque<NodeId> forced_dst;      // scripted destinations (tests)
+    std::uint64_t burst_remaining = 0;
+    Cycle link_busy_until = 0;
+    std::int32_t inflight_phits = 0;  // reserved in the injection buffer
+  };
+
+  struct FlitEvent {
+    RouterId router;
+    PortId port;
+    VcId vc;
+    Flit flit;
+  };
+  struct CreditEvent {
+    RouterId router;
+    PortId port;
+    VcId vc;
+    std::int32_t phits;
+  };
+
+  InputVc& in_vc(RouterId r, PortId port, VcId vc) {
+    return routers_[static_cast<size_t>(r)]
+        .in[static_cast<size_t>(port * vc_stride_ + vc)];
+  }
+  OutputVc& out_vc(RouterId r, PortId port, VcId vc) {
+    return routers_[static_cast<size_t>(r)]
+        .out[static_cast<size_t>(port * vc_stride_ + vc)];
+  }
+
+  void process_arrivals();
+  void allocate_router(RouterId r);
+  void send_flit(RouterId r, PortId in_port, VcId in_vc_id, PortId out_port,
+                 VcId out_vc_id, const RouteChoice* fresh_choice);
+  void apply_route_state(Packet& pkt, RouterId r, const RouteChoice& choice);
+  void inject_terminals();
+  void materialize(NodeId terminal, TerminalState& ts);
+  void deliver(PacketId id);
+
+  void schedule_flit(Cycle at, FlitEvent ev);
+  void schedule_credit(Cycle at, CreditEvent ev);
+  void schedule_delivery(Cycle at, PacketId id);
+  std::size_t ring_slot(Cycle at) const { return at & (ring_size_ - 1); }
+
+  int link_latency(PortClass cls) const {
+    return cls == PortClass::kGlobal ? cfg_.global_latency
+                                     : cfg_.local_latency;
+  }
+
+  const DragonflyTopology& topo_;
+  EngineConfig cfg_;
+  RoutingAlgorithm& routing_;
+  TrafficPattern& pattern_;
+  InjectionProcess injection_;
+
+  int vc_stride_;
+  int flit_phits_;
+  int flits_per_packet_;
+  int injection_buf_phits_;
+  double gen_probability_;
+
+  std::vector<RouterState> routers_;
+  std::vector<TerminalState> terminals_;
+  PacketPool pool_;
+  Rng rng_;
+
+  Cycle now_ = 0;
+  Cycle last_progress_ = 0;
+  bool deadlock_ = false;
+
+  std::size_t ring_size_ = 0;
+  std::vector<std::vector<FlitEvent>> flit_ring_;
+  std::vector<std::vector<CreditEvent>> credit_ring_;
+  std::vector<std::vector<PacketId>> delivery_ring_;
+
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_phits_ = 0;
+  std::uint64_t phits_sent_[3] = {0, 0, 0};
+
+  DeliveryHook on_delivered_;
+  GenerationHook on_generated_;
+  HopHook on_hop_;
+
+  // scratch for allocation (avoids per-cycle allocations)
+  struct Nomination {
+    PortId in_port;
+    VcId in_vc;
+    PortId out_port;
+    VcId out_vc;
+    bool fresh;          // head flit with a fresh routing decision
+    RouteChoice choice;  // valid when fresh
+  };
+  std::vector<Nomination> noms_;
+  std::vector<std::int16_t> out_first_nom_;  // per out port -> index|-1
+  std::vector<PortId> touched_outs_;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,18 @@
+#include "sim/packet.hpp"
+
+namespace dfsim {
+
+PacketId PacketPool::alloc() {
+  if (!free_.empty()) {
+    const PacketId id = free_.back();
+    free_.pop_back();
+    slots_[static_cast<size_t>(id)] = Packet{};
+    return id;
+  }
+  slots_.emplace_back();
+  return static_cast<PacketId>(slots_.size() - 1);
+}
+
+void PacketPool::release(PacketId id) { free_.push_back(id); }
+
+}  // namespace dfsim

@@ -1,0 +1,84 @@
+// Packets, flits and per-packet routing state.
+//
+// Buffering and switching are *flit*-granular: under VCT one flit is the
+// whole packet (8 phits in the paper's experiments); under wormhole a
+// packet is several flits (8 flits of 10 phits). Serialization is
+// phit-granular: a flit of s phits occupies its link for s cycles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dfsim {
+
+/// Routing progress carried by each packet and updated by the engine when
+/// a hop is actually taken (not merely considered). Mechanisms read this
+/// to enforce their hop budgets, VC ladders and route restrictions.
+struct RouteState {
+  RouterId dst_router = kInvalid;
+  GroupId dst_group = kInvalid;
+  GroupId src_group = kInvalid;
+
+  /// Valiant intermediate group; kInvalid until a global misroute commits.
+  GroupId inter_group = kInvalid;
+  bool valiant = false;
+
+  std::int8_t global_hops = 0;        ///< global hops taken (0..2)
+  std::int8_t local_hops_group = 0;   ///< local hops taken in current group
+  std::int8_t local_mis_group = 0;    ///< local misroutes in current group
+  std::int8_t local_hops_total = 0;   ///< all local hops (PAR-6/2 ladder)
+  std::int8_t total_hops = 0;         ///< every switch traversal
+
+  /// Local index of the router this packet occupied before its last local
+  /// hop in the current group (kInvalid when none) — RLM uses it to type
+  /// the previous hop for the parity-sign restriction.
+  std::int8_t prev_local_idx = -1;
+
+  /// 0-based index of the last local VC the packet travelled on, in any
+  /// group (-1 if none). OLM's "equal or lower than previously used" rule.
+  std::int8_t last_local_vc = -1;
+};
+
+struct Packet {
+  NodeId src = kInvalid;
+  NodeId dst = kInvalid;
+  std::int32_t size_phits = 0;
+  std::int16_t num_flits = 0;
+  std::int16_t flit_phits = 0;
+  Cycle created = 0;   ///< cycle the source generated it (queue time counts)
+  Cycle injected = 0;  ///< cycle its head entered the injection buffer
+  RouteState rs;
+};
+
+struct Flit {
+  PacketId packet = kInvalid;
+  std::int16_t index = 0;
+  std::int16_t size_phits = 0;
+  bool head = false;
+  bool tail = false;
+};
+
+/// Slab allocator for packets. Open-loop runs create millions of packets;
+/// recycling keeps the working set flat and ids stable while in flight.
+class PacketPool {
+ public:
+  PacketId alloc();
+  void release(PacketId id);
+
+  Packet& operator[](PacketId id) { return slots_[static_cast<size_t>(id)]; }
+  const Packet& operator[](PacketId id) const {
+    return slots_[static_cast<size_t>(id)];
+  }
+
+  std::size_t in_use() const { return slots_.size() - free_.size(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<Packet> slots_;
+  std::vector<PacketId> free_;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,129 @@
+// Maximum-size well-balanced Dragonfly topology (Kim et al., ISCA'08), as
+// used throughout García et al., ICPP'13:
+//
+//   - integer parameter h
+//   - supernodes (groups) of a = 2h routers, complete local graph K_2h
+//   - G = 2h^2 + 1 groups, complete global graph K_G (one global link
+//     between every pair of groups)
+//   - each router: h terminals, 2h-1 local ports, h global ports
+//
+// Port numbering per router:
+//   [0, 2h-1)                local ports    (peer skips self, see local_peer)
+//   [2h-1, 3h-1)             global ports
+//   [3h-1, 4h-1)             terminal ports (injection input / ejection out)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dfsim {
+
+/// Which permutation wires group-to-group links to routers. Both schemes
+/// connect every pair of groups exactly once; they differ in which router
+/// hosts the link, which matters under adversarial traffic (ablation).
+enum class GlobalArrangement : std::uint8_t {
+  kAbsolute,  ///< link j of group g -> group (g + j + 1) mod G
+  kPalmtree,  ///< link j of group g -> group (g - j - 1) mod G
+};
+
+class DragonflyTopology {
+ public:
+  explicit DragonflyTopology(
+      int h, GlobalArrangement arrangement = GlobalArrangement::kAbsolute);
+
+  // --- scale ---------------------------------------------------------
+  int h() const { return h_; }
+  int routers_per_group() const { return 2 * h_; }
+  int num_groups() const { return 2 * h_ * h_ + 1; }
+  int num_routers() const { return routers_per_group() * num_groups(); }
+  int terminals_per_router() const { return h_; }
+  int num_terminals() const { return num_routers() * h_; }
+  GlobalArrangement arrangement() const { return arrangement_; }
+
+  // --- per-router port layout ----------------------------------------
+  int num_local_ports() const { return 2 * h_ - 1; }
+  int num_global_ports() const { return h_; }
+  int num_terminal_ports() const { return h_; }
+  int ports_per_router() const { return 4 * h_ - 1; }
+
+  PortId first_local_port() const { return 0; }
+  PortId first_global_port() const { return num_local_ports(); }
+  PortId first_terminal_port() const {
+    return num_local_ports() + num_global_ports();
+  }
+
+  PortClass port_class(PortId port) const;
+
+  // --- coordinates -----------------------------------------------------
+  GroupId group_of_router(RouterId r) const { return r / routers_per_group(); }
+  int local_index(RouterId r) const { return r % routers_per_group(); }
+  RouterId router_id(GroupId g, int local_idx) const {
+    return g * routers_per_group() + local_idx;
+  }
+
+  RouterId router_of_terminal(NodeId t) const {
+    return t / terminals_per_router();
+  }
+  GroupId group_of_terminal(NodeId t) const {
+    return group_of_router(router_of_terminal(t));
+  }
+  /// Terminal's ejection/injection port on its router.
+  PortId terminal_port(NodeId t) const {
+    return first_terminal_port() + t % terminals_per_router();
+  }
+  NodeId terminal_id(RouterId r, int slot) const {
+    return r * terminals_per_router() + slot;
+  }
+
+  // --- local (intra-group) wiring --------------------------------------
+  /// Local index of the router reached by `local_port` of router with
+  /// local index `from_local`. Ports enumerate peers skipping self.
+  int local_peer(int from_local, PortId local_port) const;
+  /// Local port on `from_local` that reaches local index `to_local`.
+  PortId local_port_to(int from_local, int to_local) const;
+
+  // --- global (inter-group) wiring --------------------------------------
+  /// Group reached by global link index j (0 <= j < 2h^2) of group g.
+  GroupId global_link_dest(GroupId g, int j) const;
+  /// Link index of the reverse direction of link j (same in both groups'
+  /// numbering thanks to the arrangement's involution).
+  int global_link_reverse(GroupId g, int j) const;
+  /// Global link index from group `g` toward group `target` (g != target).
+  int global_link_to(GroupId g, GroupId target) const;
+
+  /// Local index of the router inside group `g` owning global link j.
+  int global_link_router(int j) const { return j / h_; }
+  /// Global port (router-relative) implementing global link j.
+  PortId global_link_port(int j) const { return first_global_port() + j % h_; }
+  /// Global link index implemented by (`local_idx`, `global_port`).
+  int global_link_of(int local_idx, PortId global_port) const {
+    return local_idx * h_ + (global_port - first_global_port());
+  }
+
+  /// Router (global id) inside group `g` owning the link to `target`.
+  RouterId gateway_router(GroupId g, GroupId target) const;
+  /// Global port on `gateway_router(g, target)` reaching `target`.
+  PortId gateway_port(GroupId g, GroupId target) const;
+
+  // --- link endpoints ---------------------------------------------------
+  struct Endpoint {
+    RouterId router = kInvalid;
+    PortId port = kInvalid;
+  };
+  /// Router+port on the far side of (router, port). Only for local/global
+  /// ports; terminal ports have no router endpoint.
+  Endpoint remote_endpoint(RouterId r, PortId port) const;
+
+  /// Minimal hop distance between routers (0, 1, 2, or 3).
+  int min_hops(RouterId from, RouterId to) const;
+
+  std::string describe() const;
+
+ private:
+  int h_;
+  GlobalArrangement arrangement_;
+};
+
+}  // namespace dfsim

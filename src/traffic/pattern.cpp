@@ -1,0 +1,109 @@
+#include "traffic/pattern.hpp"
+
+#include <stdexcept>
+
+namespace dfsim {
+
+NodeId UniformPattern::dest(NodeId src, Rng& rng) {
+  const int n = topo_.num_terminals();
+  // Uniform over all terminals except src.
+  auto d = static_cast<NodeId>(rng.uniform(static_cast<std::uint64_t>(n - 1)));
+  if (d >= src) ++d;
+  return d;
+}
+
+NodeId AdversarialGlobalPattern::dest(NodeId src, Rng& rng) {
+  const GroupId g = topo_.group_of_terminal(src);
+  const GroupId target = (g + offset_) % topo_.num_groups();
+  const int per_group =
+      topo_.routers_per_group() * topo_.terminals_per_router();
+  const auto within =
+      static_cast<int>(rng.uniform(static_cast<std::uint64_t>(per_group)));
+  return static_cast<NodeId>(target * per_group + within);
+}
+
+NodeId AdversarialLocalPattern::dest(NodeId src, Rng& rng) {
+  const RouterId r = topo_.router_of_terminal(src);
+  const GroupId g = topo_.group_of_router(r);
+  const int target_local =
+      (topo_.local_index(r) + offset_) % topo_.routers_per_group();
+  const RouterId target = topo_.router_id(g, target_local);
+  const auto slot = static_cast<int>(
+      rng.uniform(static_cast<std::uint64_t>(topo_.terminals_per_router())));
+  return topo_.terminal_id(target, slot);
+}
+
+MixedAdversarialPattern::MixedAdversarialPattern(
+    const DragonflyTopology& topo, double global_fraction)
+    : global_fraction_(global_fraction),
+      global_(topo, topo.h()),
+      local_(topo, 1) {}
+
+NodeId MixedAdversarialPattern::dest(NodeId src, Rng& rng) {
+  if (rng.bernoulli(global_fraction_)) return global_.dest(src, rng);
+  return local_.dest(src, rng);
+}
+
+std::string MixedAdversarialPattern::name() const {
+  return "MIX(" + std::to_string(static_cast<int>(global_fraction_ * 100)) +
+         "%G)";
+}
+
+NodeId ShiftPattern::dest(NodeId src, Rng& /*rng*/) {
+  const int per_group =
+      topo_.routers_per_group() * topo_.terminals_per_router();
+  const GroupId g = topo_.group_of_terminal(src);
+  const int within = src - g * per_group;
+  const GroupId target = (g + offset_) % topo_.num_groups();
+  return static_cast<NodeId>(target * per_group + within);
+}
+
+HotspotPattern::HotspotPattern(const DragonflyTopology& topo,
+                               double hot_fraction)
+    : topo_(topo), hot_fraction_(hot_fraction), uniform_(topo) {}
+
+NodeId HotspotPattern::dest(NodeId src, Rng& rng) {
+  if (rng.bernoulli(hot_fraction_)) {
+    const int per_group =
+        topo_.routers_per_group() * topo_.terminals_per_router();
+    NodeId d;
+    do {
+      d = static_cast<NodeId>(
+          rng.uniform(static_cast<std::uint64_t>(per_group)));
+    } while (d == src);
+    return d;
+  }
+  return uniform_.dest(src, rng);
+}
+
+std::string HotspotPattern::name() const {
+  return "HOT(" + std::to_string(static_cast<int>(hot_fraction_ * 100)) +
+         "%)";
+}
+
+std::unique_ptr<TrafficPattern> make_pattern(const DragonflyTopology& topo,
+                                             const std::string& name,
+                                             int offset,
+                                             double global_fraction) {
+  if (name == "uniform" || name == "UN") {
+    return std::make_unique<UniformPattern>(topo);
+  }
+  if (name == "shift" || name == "SHIFT") {
+    return std::make_unique<ShiftPattern>(topo, offset);
+  }
+  if (name == "hotspot" || name == "HOT") {
+    return std::make_unique<HotspotPattern>(topo, global_fraction);
+  }
+  if (name == "advg" || name == "ADVG") {
+    return std::make_unique<AdversarialGlobalPattern>(topo, offset);
+  }
+  if (name == "advl" || name == "ADVL") {
+    return std::make_unique<AdversarialLocalPattern>(topo, offset);
+  }
+  if (name == "mixed" || name == "MIX") {
+    return std::make_unique<MixedAdversarialPattern>(topo, global_fraction);
+  }
+  throw std::invalid_argument("unknown traffic pattern: " + name);
+}
+
+}  // namespace dfsim

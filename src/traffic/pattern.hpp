@@ -1,0 +1,122 @@
+// Synthetic traffic patterns from the paper's methodology (Sec. IV):
+//
+//   UN      — uniform random: every other terminal equally likely.
+//   ADVG+N  — adversarial-global: every node in group i sends to a random
+//             node of group (i+N) mod G; saturates the single global link
+//             between the two groups (throughput cap 1/(2h^2+1) minimal).
+//   ADVL+N  — adversarial-local: every node of router i sends to a random
+//             node of router (i+N) mod 2h in the same group; saturates the
+//             single local link (cap 1/h without local misrouting).
+//   MIX(p)  — ADVG+h with probability p, else ADVL+1 (Figs. 6 and 9).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  /// Destination terminal for a packet from `src` (never equal to src).
+  virtual NodeId dest(NodeId src, Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+class UniformPattern final : public TrafficPattern {
+ public:
+  explicit UniformPattern(const DragonflyTopology& topo) : topo_(topo) {}
+  NodeId dest(NodeId src, Rng& rng) override;
+  std::string name() const override { return "UN"; }
+
+ private:
+  const DragonflyTopology& topo_;
+};
+
+class AdversarialGlobalPattern final : public TrafficPattern {
+ public:
+  AdversarialGlobalPattern(const DragonflyTopology& topo, int offset)
+      : topo_(topo), offset_(offset) {}
+  NodeId dest(NodeId src, Rng& rng) override;
+  std::string name() const override {
+    return "ADVG+" + std::to_string(offset_);
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+  int offset_;
+};
+
+class AdversarialLocalPattern final : public TrafficPattern {
+ public:
+  AdversarialLocalPattern(const DragonflyTopology& topo, int offset)
+      : topo_(topo), offset_(offset) {}
+  NodeId dest(NodeId src, Rng& rng) override;
+  std::string name() const override {
+    return "ADVL+" + std::to_string(offset_);
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+  int offset_;
+};
+
+/// Fig. 6/9 mix: fraction `global_fraction` of packets follow ADVG+h, the
+/// rest ADVL+1. Both components need local misrouting for full throughput.
+class MixedAdversarialPattern final : public TrafficPattern {
+ public:
+  MixedAdversarialPattern(const DragonflyTopology& topo,
+                          double global_fraction);
+  NodeId dest(NodeId src, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  double global_fraction_;
+  AdversarialGlobalPattern global_;
+  AdversarialLocalPattern local_;
+};
+
+/// Group-shift permutation: terminal t sends to the terminal with the
+/// same in-group coordinates, `offset` groups over. A *deterministic*
+/// adversarial-global pattern (every node has exactly one destination),
+/// harsher than ADVG+N's randomized in-group spread.
+class ShiftPattern final : public TrafficPattern {
+ public:
+  ShiftPattern(const DragonflyTopology& topo, int offset)
+      : topo_(topo), offset_(offset) {}
+  NodeId dest(NodeId src, Rng& rng) override;
+  std::string name() const override {
+    return "SHIFT+" + std::to_string(offset_);
+  }
+
+ private:
+  const DragonflyTopology& topo_;
+  int offset_;
+};
+
+/// Hotspot: a fraction of the traffic targets the terminals of one group
+/// (group 0); the rest is uniform. Models acceptance-side congestion.
+class HotspotPattern final : public TrafficPattern {
+ public:
+  HotspotPattern(const DragonflyTopology& topo, double hot_fraction);
+  NodeId dest(NodeId src, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  const DragonflyTopology& topo_;
+  double hot_fraction_;
+  UniformPattern uniform_;
+};
+
+/// Factory: "uniform" | "advg" (with offset) | "advl" | "mixed" |
+/// "shift" | "hotspot" (global_fraction = hot fraction).
+std::unique_ptr<TrafficPattern> make_pattern(const DragonflyTopology& topo,
+                                             const std::string& name,
+                                             int offset,
+                                             double global_fraction);
+
+}  // namespace dfsim

@@ -1,0 +1,96 @@
+#include "analysis/cdg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace dfsim {
+namespace {
+
+// RLM's core claim, machine-checked: under the parity-sign restriction
+// the intra-group channel dependency graph is ACYCLIC for every group
+// size, so two local hops can share one VC without deadlock.
+class CdgSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdgSweep, ParitySignIsAcyclic) {
+  const LocalRouteRestriction r(RestrictionPolicy::kParitySign);
+  const LocalChannelDependencyGraph g(GetParam(), r);
+  EXPECT_FALSE(g.has_cycle());
+}
+
+TEST_P(CdgSweep, SignOnlyIsAcyclicToo) {
+  // Sign-only also breaks cycles (its flaw is imbalance, not deadlock).
+  const LocalRouteRestriction r(RestrictionPolicy::kSignOnly);
+  const LocalChannelDependencyGraph g(GetParam(), r);
+  EXPECT_FALSE(g.has_cycle());
+}
+
+TEST_P(CdgSweep, UnrestrictedHasCycles) {
+  const LocalRouteRestriction r(RestrictionPolicy::kNone);
+  const LocalChannelDependencyGraph g(GetParam(), r);
+  EXPECT_TRUE(g.has_cycle());
+  const auto cycle = g.find_cycle();
+  EXPECT_GE(cycle.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, CdgSweep,
+                         ::testing::Values(4, 6, 8, 12, 16, 32));
+
+TEST(Cdg, ChannelIdsAreDense) {
+  const LocalRouteRestriction r(RestrictionPolicy::kNone);
+  const LocalChannelDependencyGraph g(4, r);
+  EXPECT_EQ(g.num_channels(), 12);
+  std::vector<bool> seen(12, false);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const int id = g.channel_id(i, j);
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, 12);
+      EXPECT_FALSE(seen[static_cast<size_t>(id)]);
+      seen[static_cast<size_t>(id)] = true;
+    }
+  }
+}
+
+// The Fig. 2 cycle: routes (0 via 5 to 1), (5 via 1 to 0), (1 via 0 to 5)
+// chain channel dependencies 0->5 -> 5->1 -> 1->0 -> 0->5. Unrestricted
+// misrouting admits all three 2-hop routes; parity-sign breaks the loop.
+TEST(Cdg, PaperFigure2CycleIsBroken) {
+  const LocalRouteRestriction none(RestrictionPolicy::kNone);
+  EXPECT_TRUE(none.hop_pair_allowed(0, 5, 1));
+  EXPECT_TRUE(none.hop_pair_allowed(5, 1, 0));
+  EXPECT_TRUE(none.hop_pair_allowed(1, 0, 5));
+
+  const LocalRouteRestriction ps(RestrictionPolicy::kParitySign);
+  const bool all_three = ps.hop_pair_allowed(0, 5, 1) &&
+                         ps.hop_pair_allowed(5, 1, 0) &&
+                         ps.hop_pair_allowed(1, 0, 5);
+  EXPECT_FALSE(all_three);
+  // Specifically combination 2 (5 -> 1 -> 0, [even-, odd-]) is the one
+  // Table I forbids.
+  EXPECT_FALSE(ps.hop_pair_allowed(5, 1, 0));
+}
+
+TEST(Cdg, AdjacencyRespectsRestriction) {
+  const LocalRouteRestriction ps(RestrictionPolicy::kParitySign);
+  const LocalChannelDependencyGraph g(8, ps);
+  for (int i = 0; i < 8; ++i) {
+    for (int k = 0; k < 8; ++k) {
+      if (k == i) continue;
+      const auto& deps =
+          g.adjacency()[static_cast<size_t>(g.channel_id(i, k))];
+      for (int j = 0; j < 8; ++j) {
+        if (j == i || j == k) continue;
+        const bool edge =
+            std::find(deps.begin(), deps.end(), g.channel_id(k, j)) !=
+            deps.end();
+        EXPECT_EQ(edge, ps.hop_pair_allowed(i, k, j));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -1,0 +1,83 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dfsim {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of the classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStat, SingleValueHasZeroVariance) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat whole;
+  RunningStat a;
+  RunningStat b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.37 * i - 3.0;
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStat empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Histogram, CountsAndPercentiles) {
+  Histogram h(10.0, 10);  // buckets [0,10), [10,20)...
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.percentile(50.0), 50.0, 10.0);
+  EXPECT_NEAR(h.percentile(99.0), 100.0, 10.0);
+}
+
+TEST(Histogram, OverflowBucket) {
+  Histogram h(1.0, 4);
+  h.add(1000.0);
+  h.add(0.5);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.percentile(100.0), 4.0);  // overflow reported beyond range
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h(1.0, 4);
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dfsim

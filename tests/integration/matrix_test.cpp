@@ -1,0 +1,78 @@
+// Robustness matrix: every mechanism x traffic pattern x flow-control
+// combination the library supports must deliver traffic, stay deadlock
+// free, and respect the paper's hop budgets. This is the compatibility
+// contract a downstream user relies on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "api/simulator.hpp"
+
+namespace dfsim {
+namespace {
+
+using Combo = std::tuple<const char*, const char*, FlowControl>;
+
+class Matrix : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(Matrix, DeliversWithoutDeadlock) {
+  const auto& [routing, pattern, flow] = GetParam();
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.routing = routing;
+  cfg.pattern = pattern;
+  cfg.pattern_offset = 1;
+  cfg.global_fraction = 0.5;
+  cfg.flow = flow;
+  if (flow == FlowControl::kWormhole) {
+    cfg.packet_phits = 80;
+    cfg.flit_phits = 10;
+  }
+  cfg.load = 0.35;
+  cfg.warmup_cycles = 1500;
+  cfg.measure_cycles = 4000;
+  cfg.watchdog_cycles = 8000;
+
+  const SteadyResult r = run_steady(cfg);
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_GT(r.delivered, 50u);
+  EXPECT_GT(r.accepted_load, 0.05);
+  EXPECT_LE(r.avg_hops, 8.0);
+  EXPECT_GT(r.avg_latency, 0.0);
+}
+
+constexpr const char* kVctRoutings[] = {"minimal", "valiant", "pb",
+                                        "ugal", "par-6/2", "rlm", "olm"};
+constexpr const char* kWhRoutings[] = {"minimal", "valiant", "pb",
+                                       "ugal", "par-6/2", "rlm"};
+constexpr const char* kPatterns[] = {"uniform", "advg", "advl",
+                                     "mixed", "shift", "hotspot"};
+
+std::string combo_name(const ::testing::TestParamInfo<Combo>& info) {
+  std::string s = std::get<0>(info.param);
+  s += "_";
+  s += std::get<1>(info.param);
+  s += std::get<2>(info.param) == FlowControl::kWormhole ? "_wh" : "_vct";
+  for (char& c : s) {
+    if (c == '-' || c == '/') c = '_';
+  }
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vct, Matrix,
+    ::testing::Combine(::testing::ValuesIn(kVctRoutings),
+                       ::testing::ValuesIn(kPatterns),
+                       ::testing::Values(FlowControl::kVirtualCutThrough)),
+    combo_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    Wormhole, Matrix,
+    ::testing::Combine(::testing::ValuesIn(kWhRoutings),
+                       ::testing::ValuesIn(kPatterns),
+                       ::testing::Values(FlowControl::kWormhole)),
+    combo_name);
+
+}  // namespace
+}  // namespace dfsim

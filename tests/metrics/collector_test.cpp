@@ -1,0 +1,65 @@
+#include "metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfsim {
+namespace {
+
+Packet make_packet(Cycle created, int phits = 8, int hops = 3) {
+  Packet p;
+  p.size_phits = phits;
+  p.created = created;
+  p.rs.total_hops = static_cast<std::int8_t>(hops);
+  return p;
+}
+
+TEST(Collector, LatencyExcludesWarmupPackets) {
+  Collector c(/*warmup=*/1000, /*terminals=*/10);
+  c.on_delivered(make_packet(500), 1200);   // created pre-warmup
+  c.on_delivered(make_packet(1100), 1300);  // counted: latency 200
+  EXPECT_EQ(c.delivered_packets(), 1u);
+  EXPECT_DOUBLE_EQ(c.avg_latency(), 200.0);
+}
+
+TEST(Collector, ThroughputCountsWindowPhitsOnly) {
+  Collector c(1000, 10);
+  c.on_delivered(make_packet(100), 900);    // delivered pre-warmup
+  c.on_delivered(make_packet(500), 1400);   // phits count (delivery >= W)
+  c.on_delivered(make_packet(1100), 1500);  // counts fully
+  // 16 phits over window of 1000 cycles, 10 terminals at end=2000.
+  EXPECT_DOUBLE_EQ(c.accepted_load(2000), 16.0 / (1000.0 * 10.0));
+  EXPECT_EQ(c.delivered_packets_total(), 3u);
+}
+
+TEST(Collector, AcceptedLoadZeroBeforeWindow) {
+  Collector c(1000, 10);
+  EXPECT_DOUBLE_EQ(c.accepted_load(800), 0.0);
+}
+
+TEST(Collector, HopsAveragedOverMeasuredPackets) {
+  Collector c(0, 4);
+  c.on_delivered(make_packet(0, 8, 2), 100);
+  c.on_delivered(make_packet(0, 8, 4), 120);
+  EXPECT_DOUBLE_EQ(c.avg_hops(), 3.0);
+}
+
+TEST(Collector, GenerationDropAccounting) {
+  Collector c(0, 4);
+  c.on_generated(10, true);
+  c.on_generated(11, true);
+  c.on_generated(12, false);
+  EXPECT_EQ(c.generated_packets(), 3u);
+  EXPECT_EQ(c.dropped_generations(), 1u);
+}
+
+TEST(Collector, P99TracksTail) {
+  Collector c(0, 4);
+  for (int i = 0; i < 98; ++i) c.on_delivered(make_packet(0), 100);
+  for (int i = 0; i < 2; ++i) c.on_delivered(make_packet(0), 6400);
+  // The 99th percentile falls in the slow tail, far above the mean.
+  EXPECT_GT(c.p99_latency(), 1000.0);
+  EXPECT_GT(c.p99_latency(), c.avg_latency());
+}
+
+}  // namespace
+}  // namespace dfsim

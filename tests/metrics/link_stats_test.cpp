@@ -1,0 +1,109 @@
+#include "metrics/link_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "sim/engine.hpp"
+#include "traffic/pattern.hpp"
+
+namespace dfsim {
+namespace {
+
+TEST(LinkStats, ManualRecordAndUtilization) {
+  const DragonflyTopology topo(2);
+  LinkStats stats(topo);
+  stats.start_window(0);
+  stats.record(0, 0, 8);
+  stats.record(0, 0, 8);
+  EXPECT_DOUBLE_EQ(stats.utilization(0, 0, 32), 0.5);
+  EXPECT_DOUBLE_EQ(stats.utilization(0, 1, 32), 0.0);
+}
+
+TEST(LinkStats, AdvgMinimalSaturatesExactlyOneGlobalLinkPerGroup) {
+  const DragonflyTopology topo(2);
+  auto routing = make_routing("minimal", topo, {});
+  auto pattern = make_pattern(topo, "advg", 1, 0.0);
+  InjectionProcess inj;
+  inj.load = 0.8;
+  EngineConfig ec;
+  Engine engine(topo, ec, *routing, *pattern, inj);
+  LinkStats stats(topo);
+  stats.attach(engine);
+  engine.run_until(6000);
+
+  // The single global link g -> g+1 should be near 1 phit/cycle; all
+  // other global links of the group idle.
+  const GroupId g = 0;
+  const RouterId gw = topo.gateway_router(g, 1);
+  const PortId hot_port = topo.gateway_port(g, 1);
+  EXPECT_GT(stats.utilization(gw, hot_port, engine.now()), 0.75);
+
+  for (int rl = 0; rl < topo.routers_per_group(); ++rl) {
+    const RouterId r = topo.router_id(g, rl);
+    for (int k = 0; k < topo.num_global_ports(); ++k) {
+      const PortId p = topo.first_global_port() + k;
+      if (r == gw && p == hot_port) continue;
+      EXPECT_LT(stats.utilization(r, p, engine.now()), 0.05)
+          << stats.describe_link(r, p);
+    }
+  }
+}
+
+TEST(LinkStats, OlmSpreadsTheAdversarialLoad) {
+  const DragonflyTopology topo(2);
+  auto routing = make_routing("olm", topo, {});
+  auto pattern = make_pattern(topo, "advg", 1, 0.0);
+  InjectionProcess inj;
+  inj.load = 0.8;
+  EngineConfig ec;
+  Engine engine(topo, ec, *routing, *pattern, inj);
+  LinkStats stats(topo);
+  stats.attach(engine);
+  engine.run_until(6000);
+
+  // With Valiant detours the mean global utilization rises well above
+  // the minimal-routing case (where only 1 of 2h^2 links per group
+  // works) and the max/mean skew narrows.
+  const auto summary = stats.summarize(PortClass::kGlobal, engine.now());
+  EXPECT_GT(summary.mean, 0.15);
+  EXPECT_LT(summary.max / (summary.mean + 1e-9), 8.0);
+}
+
+TEST(LinkStats, HottestReturnsSortedAndBounded) {
+  const DragonflyTopology topo(2);
+  LinkStats stats(topo);
+  stats.start_window(0);
+  stats.record(3, 0, 100);
+  stats.record(5, 1, 50);
+  stats.record(7, 2, 25);
+  const auto top = stats.hottest(PortClass::kLocal, 100, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].router, 3);
+  EXPECT_GE(top[0].utilization, top[1].utilization);
+}
+
+TEST(LinkStats, DescribeNamesLinkEndpoints) {
+  const DragonflyTopology topo(2);
+  LinkStats stats(topo);
+  EXPECT_EQ(stats.describe_link(0, 0), "g0.r0 local->r1");
+  const PortId gp = topo.first_global_port();
+  const std::string s = stats.describe_link(0, gp);
+  EXPECT_NE(s.find("global->g"), std::string::npos);
+  const std::string e = stats.describe_link(0, topo.first_terminal_port());
+  EXPECT_NE(e.find("eject->t0"), std::string::npos);
+}
+
+TEST(LinkStats, WindowExcludesWarmup) {
+  const DragonflyTopology topo(2);
+  LinkStats stats(topo);
+  stats.record(0, 0, 80);  // before window
+  stats.start_window(100);
+  EXPECT_DOUBLE_EQ(stats.utilization(0, 0, 100), 0.0);
+  // phits recorded before the window still count toward the total; the
+  // window only rescales time. Callers attach after warmup for clean
+  // numbers — document via behaviour:
+  EXPECT_GT(stats.utilization(0, 0, 200), 0.0);
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -1,0 +1,208 @@
+#include "routing/parity_sign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace dfsim {
+namespace {
+
+using LH = LocalHopType;
+
+TEST(LocalHopType, SignAndParity) {
+  EXPECT_EQ(local_hop_type(3, 6), LH::kOddPlus);    // 3->6: up, diff parity
+  EXPECT_EQ(local_hop_type(6, 3), LH::kOddMinus);   // down, diff parity
+  EXPECT_EQ(local_hop_type(1, 7), LH::kEvenPlus);   // up, same parity
+  EXPECT_EQ(local_hop_type(5, 2), LH::kOddMinus);   // paper's odd example
+  EXPECT_EQ(local_hop_type(7, 1), LH::kEvenMinus);  // down, same parity
+  EXPECT_EQ(local_hop_type(0, 2), LH::kEvenPlus);
+}
+
+// The paper's Table I, verbatim (order odd-, even+, odd+, even-).
+TEST(ParitySign, MatchesPaperTableI) {
+  const LocalRouteRestriction r(RestrictionPolicy::kParitySign);
+  const std::map<std::pair<LH, LH>, bool> expected = {
+      {{LH::kOddMinus, LH::kEvenPlus}, true},
+      {{LH::kOddMinus, LH::kEvenMinus}, true},
+      {{LH::kOddMinus, LH::kOddPlus}, true},
+      {{LH::kOddMinus, LH::kOddMinus}, true},
+      {{LH::kEvenPlus, LH::kEvenPlus}, true},
+      {{LH::kEvenPlus, LH::kEvenMinus}, true},
+      {{LH::kEvenPlus, LH::kOddPlus}, true},
+      {{LH::kEvenPlus, LH::kOddMinus}, false},
+      {{LH::kOddPlus, LH::kEvenPlus}, false},
+      {{LH::kOddPlus, LH::kEvenMinus}, true},
+      {{LH::kOddPlus, LH::kOddPlus}, true},
+      {{LH::kOddPlus, LH::kOddMinus}, false},
+      {{LH::kEvenMinus, LH::kEvenPlus}, false},
+      {{LH::kEvenMinus, LH::kEvenMinus}, true},
+      {{LH::kEvenMinus, LH::kOddPlus}, false},
+      {{LH::kEvenMinus, LH::kOddMinus}, false},
+  };
+  for (const auto& [combo, allowed] : expected) {
+    EXPECT_EQ(r.combo_allowed(combo.first, combo.second), allowed)
+        << to_string(combo.first) << " then " << to_string(combo.second);
+  }
+}
+
+TEST(ParitySign, PaperFigure2Examples) {
+  const LocalRouteRestriction r(RestrictionPolicy::kParitySign);
+  // Combination 2 (5 -> 1 -> 0) is [even-, odd-]: forbidden.
+  EXPECT_FALSE(r.hop_pair_allowed(5, 1, 0));
+  // But 5 -> 2 -> 0 and 5 -> 4 -> 0 are [odd-, even-]... type check:
+  EXPECT_TRUE(r.hop_pair_allowed(5, 2, 0));
+  EXPECT_TRUE(r.hop_pair_allowed(5, 4, 0));
+  // 5 -> 6 -> 0 is [odd+, even-]: allowed.
+  EXPECT_TRUE(r.hop_pair_allowed(5, 6, 0));
+  // Exactly h-1 = 3 two-hop routes from 5 to 0 in the h=4 example.
+  EXPECT_EQ(r.allowed_intermediates(5, 0, 8).size(), 3u);
+}
+
+// Property over many group sizes: parity-sign guarantees at least h-1
+// two-hop routes between every ordered pair (paper Sec. III-B).
+class ParitySignSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParitySignSweep, AtLeastHMinusOneRoutes) {
+  const int h = GetParam();
+  const LocalRouteRestriction r(RestrictionPolicy::kParitySign);
+  EXPECT_GE(r.min_two_hop_routes(2 * h), h - 1);
+}
+
+TEST_P(ParitySignSweep, MoreBalancedThanSignOnly) {
+  const int h = GetParam();
+  const LocalRouteRestriction ps(RestrictionPolicy::kParitySign);
+  const LocalRouteRestriction so(RestrictionPolicy::kSignOnly);
+  // Sign-only spreads from 0 to 2h-2 routes per pair; parity-sign keeps a
+  // strictly smaller imbalance and never starves a pair.
+  const int ps_spread =
+      ps.max_two_hop_routes(2 * h) - ps.min_two_hop_routes(2 * h);
+  const int so_spread =
+      so.max_two_hop_routes(2 * h) - so.min_two_hop_routes(2 * h);
+  EXPECT_LT(ps_spread, so_spread);
+  EXPECT_GT(ps.min_two_hop_routes(2 * h), 0);
+}
+
+TEST_P(ParitySignSweep, SignOnlyIsUnbalanced) {
+  const int h = GetParam();
+  const LocalRouteRestriction r(RestrictionPolicy::kSignOnly);
+  // The paper's motivating flaw: adjacent indices (0 -> 1) have no
+  // allowed 2-hop route at all, while 0 -> 2h-1 has 2h-2.
+  EXPECT_EQ(r.min_two_hop_routes(2 * h), 0);
+  EXPECT_EQ(r.max_two_hop_routes(2 * h), 2 * h - 2);
+  EXPECT_TRUE(r.allowed_intermediates(0, 1, 2 * h).empty());
+  EXPECT_EQ(r.allowed_intermediates(0, 2 * h - 1, 2 * h).size(),
+            static_cast<size_t>(2 * h - 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, ParitySignSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 12, 16));
+
+TEST(ParitySign, SameTypePairsAlwaysAllowed) {
+  for (const auto policy :
+       {RestrictionPolicy::kParitySign, RestrictionPolicy::kSignOnly}) {
+    const LocalRouteRestriction r(policy);
+    for (int t = 0; t < kNumHopTypes; ++t) {
+      EXPECT_TRUE(
+          r.combo_allowed(static_cast<LH>(t), static_cast<LH>(t)));
+    }
+  }
+}
+
+// Key invariant behind the deadlock-freedom proof: following any chain of
+// allowed combos, the final link type can never equal the initial one.
+TEST(ParitySign, ChainsNeverReturnToInitialType) {
+  const LocalRouteRestriction r(RestrictionPolicy::kParitySign);
+  // Build reachability over link types via allowed pairs, then check that
+  // no type can reach itself through a nonempty chain that starts and
+  // ends with the same type... Equivalent check: the "allowed" relation,
+  // viewed as a digraph over the 4 types with self-loops removed, is
+  // acyclic.
+  bool reach[kNumHopTypes][kNumHopTypes] = {};
+  for (int a = 0; a < kNumHopTypes; ++a) {
+    for (int b = 0; b < kNumHopTypes; ++b) {
+      if (a != b &&
+          r.combo_allowed(static_cast<LH>(a), static_cast<LH>(b))) {
+        reach[a][b] = true;
+      }
+    }
+  }
+  for (int k = 0; k < kNumHopTypes; ++k) {
+    for (int a = 0; a < kNumHopTypes; ++a) {
+      for (int b = 0; b < kNumHopTypes; ++b) {
+        reach[a][b] = reach[a][b] || (reach[a][k] && reach[k][b]);
+      }
+    }
+  }
+  for (int a = 0; a < kNumHopTypes; ++a) {
+    EXPECT_FALSE(reach[a][a]) << "type " << to_string(static_cast<LH>(a))
+                              << " can cycle back to itself";
+  }
+}
+
+// The marking algorithm is safe for EVERY processing order (the
+// cross-type "allowed" relation is acyclic by construction), but the
+// paper's h-1 route guarantee is a property of the order: exactly 8 of
+// the 24 permutations achieve it — the paper's order among them. The
+// others starve some pairs entirely, like sign-only does.
+TEST(ParitySign, OrderControlsBalanceButNotSafety) {
+  std::array<LH, 4> order = {LH::kOddMinus, LH::kEvenPlus, LH::kOddPlus,
+                             LH::kEvenMinus};
+  std::sort(order.begin(), order.end());
+  int permutations = 0;
+  int balanced = 0;
+  do {
+    const LocalRouteRestriction r(RestrictionPolicy::kParitySign, order);
+    // Safety for every order: no type chain returns to its initial type.
+    bool reach[kNumHopTypes][kNumHopTypes] = {};
+    for (int a = 0; a < kNumHopTypes; ++a) {
+      for (int b = 0; b < kNumHopTypes; ++b) {
+        if (a != b && r.combo_allowed(static_cast<LH>(a), static_cast<LH>(b))) {
+          reach[a][b] = true;
+        }
+      }
+    }
+    for (int k = 0; k < kNumHopTypes; ++k) {
+      for (int a = 0; a < kNumHopTypes; ++a) {
+        for (int b = 0; b < kNumHopTypes; ++b) {
+          reach[a][b] = reach[a][b] || (reach[a][k] && reach[k][b]);
+        }
+      }
+    }
+    for (int a = 0; a < kNumHopTypes; ++a) EXPECT_FALSE(reach[a][a]);
+
+    bool meets_guarantee = true;
+    for (const int h : {2, 4, 8}) {
+      if (r.min_two_hop_routes(2 * h) < h - 1) meets_guarantee = false;
+    }
+    if (meets_guarantee) ++balanced;
+    ++permutations;
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(permutations, 24);
+  EXPECT_EQ(balanced, 8);
+  // The paper's published order is one of the balanced ones.
+  const LocalRouteRestriction paper(RestrictionPolicy::kParitySign);
+  EXPECT_GE(paper.min_two_hop_routes(16), 7);  // h = 8
+}
+
+TEST(ParitySign, TableHas16Rows) {
+  const LocalRouteRestriction r(RestrictionPolicy::kParitySign);
+  const auto rows = r.table();
+  EXPECT_EQ(rows.size(), 16u);
+  int allowed = 0;
+  for (const auto& row : rows) allowed += row.allowed ? 1 : 0;
+  EXPECT_EQ(allowed, 10);  // paper Table I: 10 YES, 6 NO
+}
+
+TEST(ParitySign, NonePolicyAllowsEverything) {
+  const LocalRouteRestriction r(RestrictionPolicy::kNone);
+  for (int a = 0; a < kNumHopTypes; ++a) {
+    for (int b = 0; b < kNumHopTypes; ++b) {
+      EXPECT_TRUE(r.combo_allowed(static_cast<LH>(a), static_cast<LH>(b)));
+    }
+  }
+  EXPECT_EQ(r.min_two_hop_routes(8), 6);  // all 2h-2 intermediates
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -1,0 +1,132 @@
+// Phase resolution and minimal-hop computation shared by all mechanisms.
+#include "routing/route_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfsim {
+namespace {
+
+Packet make_pkt(const DragonflyTopology& topo, NodeId src, NodeId dst) {
+  Packet p;
+  p.src = src;
+  p.dst = dst;
+  p.rs.dst_router = topo.router_of_terminal(dst);
+  p.rs.dst_group = topo.group_of_terminal(dst);
+  p.rs.src_group = topo.group_of_terminal(src);
+  return p;
+}
+
+TEST(SteeringGroup, MinimalTargetsDestination) {
+  RouteState rs;
+  rs.dst_group = 7;
+  EXPECT_EQ(steering_group(rs, 3), 7);
+}
+
+TEST(SteeringGroup, CommittedValiantTargetsIntermediateUntilGlobalHop) {
+  RouteState rs;
+  rs.dst_group = 7;
+  rs.valiant = true;
+  rs.inter_group = 4;
+  rs.global_hops = 0;
+  EXPECT_EQ(steering_group(rs, 3), 4);
+  rs.global_hops = 1;
+  EXPECT_EQ(steering_group(rs, 4), 7);
+}
+
+TEST(SteeringGroup, IntraGroupValiantLeavesHome) {
+  // ADVL traffic detoured globally: source group == dst group, committed.
+  RouteState rs;
+  rs.dst_group = 3;
+  rs.valiant = true;
+  rs.inter_group = 9;
+  rs.global_hops = 0;
+  EXPECT_EQ(steering_group(rs, 3), 9);
+}
+
+TEST(MinimalHop, EjectsAtDestinationRouter) {
+  const DragonflyTopology topo(2);
+  const NodeId dst = 5;
+  Packet p = make_pkt(topo, 0, dst);
+  const Hop hop =
+      minimal_hop_with(topo, p.rs.dst_router, p, 0, 0);
+  EXPECT_EQ(topo.port_class(hop.port), PortClass::kTerminal);
+  EXPECT_EQ(hop.port, topo.terminal_port(dst));
+}
+
+TEST(MinimalHop, IntraGroupIsOneLocalHop) {
+  const DragonflyTopology topo(2);
+  const NodeId src = 0;  // router 0, group 0
+  const NodeId dst = topo.terminal_id(topo.router_id(0, 3), 0);
+  Packet p = make_pkt(topo, src, dst);
+  const Hop hop = minimal_hop_with(topo, 0, p, 1, 0);
+  EXPECT_EQ(topo.port_class(hop.port), PortClass::kLocal);
+  EXPECT_EQ(hop.vc, 1);
+  const auto far = topo.remote_endpoint(0, hop.port);
+  EXPECT_EQ(far.router, p.rs.dst_router);
+}
+
+TEST(MinimalHop, RemoteGroupGoesViaGateway) {
+  const DragonflyTopology topo(3);
+  const NodeId src = 0;
+  const GroupId target_group = 5;
+  const NodeId dst = topo.terminal_id(topo.router_id(target_group, 4), 1);
+  Packet p = make_pkt(topo, src, dst);
+
+  RouterId r = topo.router_of_terminal(src);
+  const RouterId gw = topo.gateway_router(0, target_group);
+  const Hop hop = minimal_hop_with(topo, r, p, 0, 0);
+  if (r == gw) {
+    EXPECT_EQ(topo.port_class(hop.port), PortClass::kGlobal);
+  } else {
+    EXPECT_EQ(topo.port_class(hop.port), PortClass::kLocal);
+    EXPECT_EQ(topo.remote_endpoint(r, hop.port).router, gw);
+    // And from the gateway the hop is global toward the target group.
+    const Hop hop2 = minimal_hop_with(topo, gw, p, 0, 1);
+    EXPECT_EQ(topo.port_class(hop2.port), PortClass::kGlobal);
+    EXPECT_EQ(hop2.vc, 1);
+    EXPECT_EQ(topo.group_of_router(topo.remote_endpoint(gw, hop2.port).router),
+              target_group);
+  }
+}
+
+TEST(MinimalClasses, MatchesPathDecomposition) {
+  const DragonflyTopology topo(3);
+  // Same router: nothing left.
+  Packet p = make_pkt(topo, 0, 1);
+  EXPECT_EQ(minimal_classes(topo, p.rs.dst_router, p.rs).count, 0);
+
+  // Same group: one local.
+  Packet q = make_pkt(topo, 0, topo.terminal_id(topo.router_id(0, 5), 0));
+  const auto seq = minimal_classes(topo, 0, q.rs);
+  ASSERT_EQ(seq.count, 1);
+  EXPECT_EQ(seq.cls[0], PortClass::kLocal);
+
+  // Remote group, generic position: l-g-l.
+  Packet w = make_pkt(topo, 0, topo.terminal_id(topo.router_id(7, 0), 0));
+  for (RouterId r = 0; r < topo.num_routers(); ++r) {
+    if (topo.group_of_router(r) == 7 || r == w.rs.dst_router) continue;
+    const auto s = minimal_classes(topo, r, w.rs);
+    ASSERT_GE(s.count, 1);
+    ASSERT_LE(s.count, 3);
+    // The sequence always contains exactly one global hop unless we are
+    // already in the destination group.
+    int globals = 0;
+    for (int i = 0; i < s.count; ++i) {
+      if (s.cls[i] == PortClass::kGlobal) ++globals;
+    }
+    EXPECT_EQ(globals,
+              topo.group_of_router(r) == 7 ? 0 : 1);
+  }
+}
+
+TEST(MinimalClasses, HopCountMatchesTopologyMinHops) {
+  const DragonflyTopology topo(2);
+  Packet p = make_pkt(topo, 0, topo.num_terminals() - 1);
+  for (RouterId r = 0; r < topo.num_routers(); ++r) {
+    EXPECT_EQ(minimal_classes(topo, r, p.rs).count,
+              topo.min_hops(r, p.rs.dst_router));
+  }
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -1,0 +1,48 @@
+#include "routing/trigger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dfsim {
+namespace {
+
+TEST(Trigger, CandidateMustBeStrictlyBelowScaledMinimal) {
+  const MisroutingTrigger t(0.45);
+  EXPECT_TRUE(t.allows(0.10, 0.50));   // 0.10 < 0.225
+  EXPECT_FALSE(t.allows(0.30, 0.50));  // 0.30 >= 0.225
+  EXPECT_FALSE(t.allows(0.225, 0.50));  // boundary is exclusive
+}
+
+TEST(Trigger, EmptyMinimalQueueNeverMisroutes) {
+  const MisroutingTrigger t(0.45);
+  EXPECT_FALSE(t.allows(0.0, 0.0));
+  EXPECT_FALSE(t.allows(0.1, 0.0));
+}
+
+TEST(Trigger, ZeroThresholdDisablesMisrouting) {
+  const MisroutingTrigger t(0.0);
+  EXPECT_FALSE(t.allows(0.0, 1.0));
+  EXPECT_FALSE(t.allows(0.5, 1.0));
+}
+
+TEST(Trigger, HigherThresholdAdmitsMoreCandidates) {
+  const MisroutingTrigger low(0.30);
+  const MisroutingTrigger high(0.60);
+  const double min_occ = 0.8;
+  int low_count = 0;
+  int high_count = 0;
+  for (double c = 0.0; c < 1.0; c += 0.05) {
+    if (low.allows(c, min_occ)) ++low_count;
+    if (high.allows(c, min_occ)) ++high_count;
+  }
+  EXPECT_GT(high_count, low_count);
+}
+
+TEST(Trigger, SaturatedMinimalAdmitsNearEmptyCandidates) {
+  const MisroutingTrigger t(0.45);
+  EXPECT_TRUE(t.allows(0.0, 1.0));
+  EXPECT_TRUE(t.allows(0.44, 1.0));
+  EXPECT_FALSE(t.allows(0.46, 1.0));
+}
+
+}  // namespace
+}  // namespace dfsim

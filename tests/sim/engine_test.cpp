@@ -1,0 +1,242 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "traffic/pattern.hpp"
+
+namespace dfsim {
+namespace {
+
+using testing::NeverPattern;
+using testing::TestNet;
+
+EngineConfig small_vct() {
+  EngineConfig ec;
+  ec.flow = FlowControl::kVirtualCutThrough;
+  ec.packet_phits = 8;
+  ec.local_latency = 10;
+  ec.global_latency = 100;
+  return ec;
+}
+
+/// Expected zero-load latency of one packet: injection serialization +
+/// per-hop (serialization + wire) + ejection serialization.
+Cycle expected_latency(const DragonflyTopology& topo, NodeId src, NodeId dst,
+                       int phits, int local_lat, int global_lat) {
+  const RouterId a = topo.router_of_terminal(src);
+  const RouterId b = topo.router_of_terminal(dst);
+  Cycle total = static_cast<Cycle>(phits);  // injection
+  if (a != b) {
+    const GroupId ga = topo.group_of_router(a);
+    const GroupId gb = topo.group_of_router(b);
+    if (ga == gb) {
+      total += static_cast<Cycle>(phits + local_lat);
+    } else {
+      if (topo.gateway_router(ga, gb) != a) {
+        total += static_cast<Cycle>(phits + local_lat);
+      }
+      total += static_cast<Cycle>(phits + global_lat);
+      if (topo.gateway_router(gb, ga) != b) {
+        total += static_cast<Cycle>(phits + local_lat);
+      }
+    }
+  }
+  total += static_cast<Cycle>(phits);  // ejection
+  return total;
+}
+
+TEST(Engine, SingleMinimalPacketLatencyIsExact) {
+  TestNet net(2, "minimal", small_vct(), std::make_unique<NeverPattern>());
+  const DragonflyTopology& topo = net.topo;
+
+  // A destination two groups away whose entry/exit add local hops.
+  const NodeId src = 0;
+  const NodeId dst = topo.terminal_id(topo.router_id(1, 3), 0);
+  net.engine.inject_for_test(src, dst, 0);
+
+  Cycle delivered_at = 0;
+  net.engine.set_delivery_hook(
+      [&](const Packet& pkt, Cycle now) {
+        EXPECT_EQ(pkt.src, src);
+        EXPECT_EQ(pkt.dst, dst);
+        delivered_at = now;
+      });
+  net.engine.run_until(2000);
+  ASSERT_GT(delivered_at, 0u);
+  EXPECT_EQ(delivered_at, expected_latency(topo, src, dst, 8, 10, 100));
+  EXPECT_EQ(net.engine.delivered_packets(), 1u);
+  EXPECT_EQ(net.engine.packets_in_flight(), 0u);
+}
+
+TEST(Engine, SameRouterPacketOnlySerializes) {
+  TestNet net(2, "minimal", small_vct(), std::make_unique<NeverPattern>());
+  const NodeId src = 0;
+  const NodeId dst = 1;  // h=2: terminals 0 and 1 share router 0
+  ASSERT_EQ(net.topo.router_of_terminal(src), net.topo.router_of_terminal(dst));
+  net.engine.inject_for_test(src, dst, 0);
+  Cycle delivered_at = 0;
+  net.engine.set_delivery_hook(
+      [&](const Packet&, Cycle now) { delivered_at = now; });
+  net.engine.run_until(100);
+  EXPECT_EQ(delivered_at, 16u);  // 8 in + 8 out, no network hop
+}
+
+TEST(Engine, IntraGroupPacketTakesOneLocalHop) {
+  TestNet net(2, "minimal", small_vct(), std::make_unique<NeverPattern>());
+  const DragonflyTopology& topo = net.topo;
+  const NodeId src = 0;
+  const NodeId dst = topo.terminal_id(topo.router_id(0, 2), 1);
+  net.engine.inject_for_test(src, dst, 0);
+  Cycle delivered_at = 0;
+  int hops = 0;
+  net.engine.set_delivery_hook([&](const Packet& pkt, Cycle now) {
+    delivered_at = now;
+    hops = pkt.rs.total_hops;
+  });
+  net.engine.run_until(200);
+  EXPECT_EQ(hops, 1);
+  EXPECT_EQ(delivered_at, expected_latency(topo, src, dst, 8, 10, 100));
+}
+
+TEST(Engine, WormholeSinglePacketLatency) {
+  EngineConfig ec = small_vct();
+  ec.flow = FlowControl::kWormhole;
+  ec.packet_phits = 80;
+  ec.flit_phits = 10;
+  TestNet net(2, "minimal", ec, std::make_unique<NeverPattern>());
+  const DragonflyTopology& topo = net.topo;
+  const NodeId src = 0;
+  const NodeId dst = topo.terminal_id(topo.router_id(1, 3), 0);
+  net.engine.inject_for_test(src, dst, 0);
+  Cycle delivered_at = 0;
+  net.engine.set_delivery_hook(
+      [&](const Packet&, Cycle now) { delivered_at = now; });
+  net.engine.run_until(5000);
+  ASSERT_GT(delivered_at, 0u);
+  // With no contention the tail leaves the source back-to-back at cycle
+  // 80 and then pays (flit serialization + wire) per hop + flit ejection.
+  const RouterId a = topo.router_of_terminal(src);
+  const RouterId b = topo.router_of_terminal(dst);
+  const GroupId ga = topo.group_of_router(a);
+  const GroupId gb = topo.group_of_router(b);
+  Cycle expected = 80;
+  if (topo.gateway_router(ga, gb) != a) expected += 10 + 10;
+  expected += 10 + 100;
+  if (topo.gateway_router(gb, ga) != b) expected += 10 + 10;
+  expected += 10;
+  EXPECT_EQ(delivered_at, expected);
+}
+
+TEST(Engine, WormholeDeliversAllFlitsInOrder) {
+  EngineConfig ec = small_vct();
+  ec.flow = FlowControl::kWormhole;
+  ec.packet_phits = 80;
+  ec.flit_phits = 10;
+  TestNet net(2, "minimal", ec, std::make_unique<NeverPattern>());
+  for (int i = 0; i < 4; ++i) {
+    net.engine.inject_for_test(0, net.topo.terminal_id(net.topo.router_id(3, 1), 0),
+                               0);
+  }
+  net.engine.run_until(5000);
+  EXPECT_EQ(net.engine.delivered_packets(), 4u);
+  EXPECT_FALSE(net.engine.deadlock_detected());
+  EXPECT_EQ(net.engine.packets_in_flight(), 0u);
+}
+
+TEST(Engine, RejectsVctWithMultiFlitPackets) {
+  EngineConfig ec = small_vct();
+  ec.packet_phits = 80;
+  ec.flit_phits = 10;
+  EXPECT_THROW(
+      TestNet(2, "minimal", ec, std::make_unique<NeverPattern>()),
+      std::invalid_argument);
+}
+
+TEST(Engine, RejectsIndivisibleFlitSize) {
+  EngineConfig ec = small_vct();
+  ec.flow = FlowControl::kWormhole;
+  ec.packet_phits = 80;
+  ec.flit_phits = 7;
+  EXPECT_THROW(
+      TestNet(2, "minimal", ec, std::make_unique<NeverPattern>()),
+      std::invalid_argument);
+}
+
+TEST(Engine, RejectsWormholeForOlm) {
+  EngineConfig ec = small_vct();
+  ec.flow = FlowControl::kWormhole;
+  ec.packet_phits = 80;
+  ec.flit_phits = 10;
+  EXPECT_THROW(TestNet(2, "olm", ec, std::make_unique<NeverPattern>()),
+               std::invalid_argument);
+}
+
+TEST(Engine, RejectsInsufficientVcsForPar62) {
+  EngineConfig ec = small_vct();
+  ec.local_vcs = 3;  // PAR-6/2 needs 6
+  EXPECT_THROW(TestNet(2, "par-6/2", ec, std::make_unique<NeverPattern>()),
+               std::invalid_argument);
+}
+
+TEST(Engine, BernoulliDrainConservesPackets) {
+  EngineConfig ec = small_vct();
+  DragonflyTopology topo(2);
+  auto routing = make_routing("minimal", topo, {});
+  auto pattern = std::make_unique<UniformPattern>(topo);
+  InjectionProcess inj;
+  inj.mode = InjectionProcess::Mode::kBurst;
+  inj.burst_packets = 5;
+  Engine engine(topo, ec, *routing, *pattern, inj);
+  const auto expected =
+      5ull * static_cast<std::uint64_t>(topo.num_terminals());
+  while (engine.delivered_packets() < expected && engine.now() < 100000 &&
+         engine.step()) {
+  }
+  EXPECT_EQ(engine.delivered_packets(), expected);
+  EXPECT_EQ(engine.packets_in_flight(), 0u);
+  EXPECT_FALSE(engine.deadlock_detected());
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run = [] {
+    EngineConfig ec;
+    ec.seed = 99;
+    DragonflyTopology topo(2);
+    auto routing = make_routing("olm", topo, {});
+    auto pattern = std::make_unique<UniformPattern>(topo);
+    InjectionProcess inj;
+    inj.load = 0.4;
+    Engine engine(topo, ec, *routing, *pattern, inj);
+    engine.run_until(3000);
+    return std::make_tuple(engine.delivered_packets(),
+                           engine.delivered_phits(),
+                           engine.phits_sent(PortClass::kLocal),
+                           engine.phits_sent(PortClass::kGlobal));
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Engine, OccupancyReflectsCredits) {
+  TestNet net(2, "minimal", small_vct(), std::make_unique<NeverPattern>());
+  // Before any traffic, everything is empty.
+  for (PortId p = 0; p < net.topo.first_terminal_port(); ++p) {
+    EXPECT_DOUBLE_EQ(net.engine.output_occupancy(0, p, 0), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(net.engine.port_occupancy(0, 0), 0.0);
+}
+
+TEST(Engine, PhitAccounting) {
+  TestNet net(2, "minimal", small_vct(), std::make_unique<NeverPattern>());
+  const NodeId dst = net.topo.terminal_id(net.topo.router_id(1, 0), 0);
+  net.engine.inject_for_test(0, dst, 0);
+  net.engine.run_until(2000);
+  EXPECT_EQ(net.engine.delivered_phits(), 8u);
+  // The packet ejected once: 8 phits on a terminal output.
+  EXPECT_EQ(net.engine.phits_sent(PortClass::kTerminal), 8u);
+  // At least one global hop was taken.
+  EXPECT_GE(net.engine.phits_sent(PortClass::kGlobal), 8u);
+}
+
+}  // namespace
+}  // namespace dfsim

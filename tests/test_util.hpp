@@ -1,0 +1,90 @@
+// Shared helpers for engine-level tests: a fixture that wires topology,
+// routing, traffic and engine together, plus a per-packet route recorder
+// that validates mechanism invariants hop by hop.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "routing/factory.hpp"
+#include "sim/engine.hpp"
+#include "topology/dragonfly_topology.hpp"
+#include "traffic/pattern.hpp"
+
+namespace dfsim::testing {
+
+/// Pattern that must never be asked (tests drive inject_for_test).
+class NeverPattern final : public TrafficPattern {
+ public:
+  NodeId dest(NodeId, Rng&) override {
+    ADD_FAILURE() << "NeverPattern::dest called";
+    return 0;
+  }
+  std::string name() const override { return "never"; }
+};
+
+struct TestNet {
+  TestNet(int h, const std::string& routing_name, EngineConfig ec,
+          std::unique_ptr<TrafficPattern> pat,
+          InjectionProcess inj = {},
+          const RoutingParams& rp = {})
+      : topo(h),
+        routing(make_routing(routing_name, topo, rp)),
+        pattern(std::move(pat)),
+        engine(topo, ec, *routing, *pattern, inj) {}
+
+  DragonflyTopology topo;
+  std::unique_ptr<RoutingAlgorithm> routing;
+  std::unique_ptr<TrafficPattern> pattern;
+  Engine engine;
+};
+
+/// One recorded hop: router it was taken at, port class, VC, misroute info.
+struct HopRecord {
+  RouterId router;
+  PortClass cls;
+  VcId vc;
+  bool local_misroute;
+  bool commit_valiant;
+};
+
+/// Records the full hop sequence of every packet (keyed by source and
+/// creation cycle, which is unique per terminal) and hands completed
+/// routes to a validator on delivery.
+class RouteRecorder {
+ public:
+  using Key = std::pair<NodeId, Cycle>;
+
+  void attach(Engine& engine) {
+    engine.set_hop_hook(
+        [this](const Packet& pkt, const RouteChoice& choice, RouterId r) {
+          const PortClass cls =
+              engine_->topology().port_class(choice.port);
+          routes_[{pkt.src, pkt.created}].push_back(
+              {r, cls, choice.vc, choice.local_misroute,
+               choice.commit_valiant});
+        });
+    engine_ = &engine;
+  }
+
+  /// Hop sequence of a delivered (or in-flight) packet.
+  const std::vector<HopRecord>& route(NodeId src, Cycle created) const {
+    static const std::vector<HopRecord> kEmpty;
+    const auto it = routes_.find({src, created});
+    return it == routes_.end() ? kEmpty : it->second;
+  }
+
+  const std::map<Key, std::vector<HopRecord>>& all() const {
+    return routes_;
+  }
+
+ private:
+  Engine* engine_ = nullptr;
+  std::map<Key, std::vector<HopRecord>> routes_;
+};
+
+}  // namespace dfsim::testing

@@ -1,0 +1,178 @@
+#include "topology/dragonfly_topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dfsim {
+namespace {
+
+class TopologySweep
+    : public ::testing::TestWithParam<std::tuple<int, GlobalArrangement>> {
+ protected:
+  int h() const { return std::get<0>(GetParam()); }
+  GlobalArrangement arr() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(TopologySweep, ScaleFormulas) {
+  const DragonflyTopology t(h(), arr());
+  EXPECT_EQ(t.routers_per_group(), 2 * h());
+  EXPECT_EQ(t.num_groups(), 2 * h() * h() + 1);
+  EXPECT_EQ(t.num_routers(), 2 * h() * (2 * h() * h() + 1));
+  EXPECT_EQ(t.num_terminals(), t.num_routers() * h());
+  EXPECT_EQ(t.ports_per_router(), 4 * h() - 1);
+}
+
+TEST_P(TopologySweep, PortClassLayout) {
+  const DragonflyTopology t(h(), arr());
+  for (PortId p = 0; p < t.ports_per_router(); ++p) {
+    if (p < 2 * h() - 1) {
+      EXPECT_EQ(t.port_class(p), PortClass::kLocal);
+    } else if (p < 3 * h() - 1) {
+      EXPECT_EQ(t.port_class(p), PortClass::kGlobal);
+    } else {
+      EXPECT_EQ(t.port_class(p), PortClass::kTerminal);
+    }
+  }
+}
+
+TEST_P(TopologySweep, LocalPortMappingIsInverse) {
+  const DragonflyTopology t(h(), arr());
+  const int a = t.routers_per_group();
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < a; ++j) {
+      if (i == j) continue;
+      const PortId p = t.local_port_to(i, j);
+      ASSERT_GE(p, 0);
+      ASSERT_LT(p, t.num_local_ports());
+      EXPECT_EQ(t.local_peer(i, p), j);
+    }
+  }
+}
+
+TEST_P(TopologySweep, EveryGroupPairHasExactlyOneGlobalLink) {
+  const DragonflyTopology t(h(), arr());
+  const int G = t.num_groups();
+  const int L = 2 * h() * h();
+  for (GroupId g = 0; g < G; ++g) {
+    std::set<GroupId> reached;
+    for (int j = 0; j < L; ++j) {
+      const GroupId d = t.global_link_dest(g, j);
+      EXPECT_NE(d, g);
+      reached.insert(d);
+    }
+    EXPECT_EQ(static_cast<int>(reached.size()), G - 1);
+  }
+}
+
+TEST_P(TopologySweep, GlobalLinkReverseIsConsistent) {
+  const DragonflyTopology t(h(), arr());
+  const int L = 2 * h() * h();
+  for (GroupId g = 0; g < t.num_groups(); ++g) {
+    for (int j = 0; j < L; ++j) {
+      const GroupId d = t.global_link_dest(g, j);
+      const int jr = t.global_link_reverse(g, j);
+      ASSERT_GE(jr, 0);
+      ASSERT_LT(jr, L);
+      EXPECT_EQ(t.global_link_dest(d, jr), g);
+    }
+  }
+}
+
+TEST_P(TopologySweep, GatewayReachesTarget) {
+  const DragonflyTopology t(h(), arr());
+  for (GroupId g = 0; g < t.num_groups(); ++g) {
+    for (GroupId d = 0; d < t.num_groups(); ++d) {
+      if (g == d) continue;
+      const RouterId gw = t.gateway_router(g, d);
+      EXPECT_EQ(t.group_of_router(gw), g);
+      const PortId port = t.gateway_port(g, d);
+      EXPECT_EQ(t.port_class(port), PortClass::kGlobal);
+      const auto far = t.remote_endpoint(gw, port);
+      EXPECT_EQ(t.group_of_router(far.router), d);
+    }
+  }
+}
+
+TEST_P(TopologySweep, RemoteEndpointIsAnInvolution) {
+  const DragonflyTopology t(h(), arr());
+  for (RouterId r = 0; r < t.num_routers(); ++r) {
+    for (PortId p = 0; p < t.first_terminal_port(); ++p) {
+      const auto far = t.remote_endpoint(r, p);
+      ASSERT_NE(far.router, kInvalid);
+      ASSERT_NE(far.router, r);
+      const auto back = t.remote_endpoint(far.router, far.port);
+      EXPECT_EQ(back.router, r);
+      EXPECT_EQ(back.port, p);
+    }
+  }
+}
+
+TEST_P(TopologySweep, TerminalMapping) {
+  const DragonflyTopology t(h(), arr());
+  for (NodeId n = 0; n < t.num_terminals(); ++n) {
+    const RouterId r = t.router_of_terminal(n);
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, t.num_routers());
+    const PortId p = t.terminal_port(n);
+    EXPECT_EQ(t.port_class(p), PortClass::kTerminal);
+    EXPECT_EQ(t.terminal_id(r, p - t.first_terminal_port()), n);
+  }
+}
+
+TEST_P(TopologySweep, MinHopsBounds) {
+  const DragonflyTopology t(h(), arr());
+  // Sample pairs; exhaustive is O(n^2) and slow for big h.
+  const int n = t.num_routers();
+  for (RouterId a = 0; a < n; a += std::max(1, n / 50)) {
+    for (RouterId b = 0; b < n; b += std::max(1, n / 50)) {
+      const int d = t.min_hops(a, b);
+      EXPECT_GE(d, 0);
+      EXPECT_LE(d, 3);
+      EXPECT_EQ(d == 0, a == b);
+      if (t.group_of_router(a) == t.group_of_router(b) && a != b) {
+        EXPECT_EQ(d, 1);
+      }
+      if (t.group_of_router(a) != t.group_of_router(b)) EXPECT_GE(d, 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopologySweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 8),
+                       ::testing::Values(GlobalArrangement::kAbsolute,
+                                         GlobalArrangement::kPalmtree)),
+    [](const auto& info) {
+      return "h" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == GlobalArrangement::kAbsolute
+                  ? "_absolute"
+                  : "_palmtree");
+    });
+
+TEST(Topology, PaperScaleH8) {
+  // Paper Sec. IV: h=8 -> 31-port routers, 16512 servers, 2064 routers,
+  // 129 supernodes of 16 routers.
+  const DragonflyTopology t(8);
+  EXPECT_EQ(t.ports_per_router(), 31);
+  EXPECT_EQ(t.num_terminals(), 16512);
+  EXPECT_EQ(t.num_routers(), 2064);
+  EXPECT_EQ(t.num_groups(), 129);
+  EXPECT_EQ(t.routers_per_group(), 16);
+}
+
+TEST(Topology, RejectsInvalidH) {
+  EXPECT_THROW(DragonflyTopology(0), std::invalid_argument);
+  EXPECT_THROW(DragonflyTopology(-3), std::invalid_argument);
+}
+
+TEST(Topology, DescribeMentionsScale) {
+  const DragonflyTopology t(2);
+  const std::string s = t.describe();
+  EXPECT_NE(s.find("h=2"), std::string::npos);
+  EXPECT_NE(s.find("9 groups"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfsim

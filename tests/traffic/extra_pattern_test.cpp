@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "traffic/pattern.hpp"
+
+namespace dfsim {
+namespace {
+
+TEST(Shift, IsADeterministicPermutation) {
+  const DragonflyTopology topo(2);
+  ShiftPattern p(topo, 3);
+  Rng rng(1);
+  std::vector<int> hits(static_cast<size_t>(topo.num_terminals()), 0);
+  for (NodeId s = 0; s < topo.num_terminals(); ++s) {
+    const NodeId d = p.dest(s, rng);
+    EXPECT_EQ(p.dest(s, rng), d);  // deterministic
+    EXPECT_NE(d, s);
+    ++hits[static_cast<size_t>(d)];
+  }
+  // Permutation: every terminal receives exactly one flow.
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Shift, PreservesInGroupCoordinates) {
+  const DragonflyTopology topo(3);
+  ShiftPattern p(topo, 5);
+  Rng rng(1);
+  for (NodeId s : {0, 17, 101, topo.num_terminals() - 1}) {
+    const NodeId d = p.dest(s, rng);
+    EXPECT_EQ(topo.group_of_terminal(d),
+              (topo.group_of_terminal(s) + 5) % topo.num_groups());
+    // Same router-local and terminal-slot coordinates.
+    EXPECT_EQ(topo.local_index(topo.router_of_terminal(d)),
+              topo.local_index(topo.router_of_terminal(s)));
+    EXPECT_EQ(d % topo.terminals_per_router(),
+              s % topo.terminals_per_router());
+  }
+}
+
+TEST(Hotspot, RespectsHotFraction) {
+  const DragonflyTopology topo(3);
+  HotspotPattern p(topo, 0.25);
+  Rng rng(3);
+  const NodeId src = topo.num_terminals() - 1;  // not in the hot group
+  int hot = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const NodeId d = p.dest(src, rng);
+    if (topo.group_of_terminal(d) == 0) ++hot;
+  }
+  // Hot fraction plus uniform spill into group 0 (~1/G of the rest).
+  const double expected = 0.25 + 0.75 / topo.num_groups();
+  EXPECT_NEAR(static_cast<double>(hot) / draws, expected, 0.02);
+}
+
+TEST(Hotspot, NeverReturnsSelf) {
+  const DragonflyTopology topo(2);
+  HotspotPattern p(topo, 1.0);  // always hot: destinations in group 0
+  Rng rng(7);
+  for (NodeId s = 0;
+       s < topo.routers_per_group() * topo.terminals_per_router(); ++s) {
+    for (int i = 0; i < 50; ++i) EXPECT_NE(p.dest(s, rng), s);
+  }
+}
+
+TEST(Factory, BuildsShiftAndHotspot) {
+  const DragonflyTopology topo(2);
+  EXPECT_EQ(make_pattern(topo, "shift", 2, 0.0)->name(), "SHIFT+2");
+  EXPECT_EQ(make_pattern(topo, "hotspot", 0, 0.3)->name(), "HOT(30%)");
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -1,0 +1,125 @@
+#include "traffic/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dfsim {
+namespace {
+
+TEST(Uniform, NeverSelfAndCoversNetwork) {
+  const DragonflyTopology topo(2);
+  UniformPattern p(topo);
+  Rng rng(5);
+  std::map<NodeId, int> seen;
+  for (int i = 0; i < 20000; ++i) {
+    const NodeId d = p.dest(3, rng);
+    EXPECT_NE(d, 3);
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, topo.num_terminals());
+    ++seen[d];
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), topo.num_terminals() - 1);
+}
+
+TEST(Uniform, RoughlyBalanced) {
+  const DragonflyTopology topo(2);
+  UniformPattern p(topo);
+  Rng rng(7);
+  const int n = topo.num_terminals();
+  std::vector<int> counts(static_cast<size_t>(n), 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[static_cast<size_t>(p.dest(0, rng))];
+  const double expect = static_cast<double>(draws) / (n - 1);
+  for (NodeId d = 1; d < n; ++d) {
+    EXPECT_NEAR(counts[static_cast<size_t>(d)], expect, expect * 0.35);
+  }
+}
+
+TEST(AdvGlobal, TargetsOffsetGroup) {
+  const DragonflyTopology topo(3);  // G = 19
+  AdversarialGlobalPattern p(topo, 3);
+  Rng rng(11);
+  for (NodeId src : {0, 5, 100, topo.num_terminals() - 1}) {
+    for (int i = 0; i < 200; ++i) {
+      const NodeId d = p.dest(src, rng);
+      EXPECT_EQ(topo.group_of_terminal(d),
+                (topo.group_of_terminal(src) + 3) % topo.num_groups());
+    }
+  }
+}
+
+TEST(AdvGlobal, WrapsAroundGroupCount) {
+  const DragonflyTopology topo(2);  // G = 9
+  AdversarialGlobalPattern p(topo, 8);
+  Rng rng(13);
+  const NodeId src = topo.terminal_id(topo.router_id(8, 0), 0);  // group 8
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(topo.group_of_terminal(p.dest(src, rng)), 7);  // (8+8) mod 9
+  }
+}
+
+TEST(AdvLocal, TargetsNeighborRouterSameGroup) {
+  const DragonflyTopology topo(3);
+  AdversarialLocalPattern p(topo, 1);
+  Rng rng(17);
+  for (NodeId src : {0, 7, 50, topo.num_terminals() - 1}) {
+    const RouterId r = topo.router_of_terminal(src);
+    const GroupId g = topo.group_of_router(r);
+    const int expect_local =
+        (topo.local_index(r) + 1) % topo.routers_per_group();
+    for (int i = 0; i < 100; ++i) {
+      const NodeId d = p.dest(src, rng);
+      EXPECT_EQ(topo.router_of_terminal(d), topo.router_id(g, expect_local));
+      EXPECT_NE(d, src);
+    }
+  }
+}
+
+TEST(Mixed, FractionSplitsBetweenComponents) {
+  const DragonflyTopology topo(3);
+  MixedAdversarialPattern p(topo, 0.3);
+  Rng rng(19);
+  const NodeId src = 0;
+  const GroupId src_group = topo.group_of_terminal(src);
+  int global = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const NodeId d = p.dest(src, rng);
+    const GroupId dg = topo.group_of_terminal(d);
+    if (dg != src_group) {
+      // ADVG+h component.
+      EXPECT_EQ(dg, (src_group + topo.h()) % topo.num_groups());
+      ++global;
+    } else {
+      // ADVL+1 component.
+      EXPECT_EQ(topo.local_index(topo.router_of_terminal(d)), 1);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(global) / draws, 0.3, 0.02);
+}
+
+TEST(Mixed, ExtremesArePure) {
+  const DragonflyTopology topo(2);
+  Rng rng(23);
+  MixedAdversarialPattern all_local(topo, 0.0);
+  MixedAdversarialPattern all_global(topo, 1.0);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(topo.group_of_terminal(all_local.dest(0, rng)), 0);
+    EXPECT_EQ(topo.group_of_terminal(all_global.dest(0, rng)),
+              topo.h() % topo.num_groups());
+  }
+}
+
+TEST(Factory, BuildsAllNamesAndRejectsUnknown) {
+  const DragonflyTopology topo(2);
+  EXPECT_EQ(make_pattern(topo, "uniform", 0, 0.0)->name(), "UN");
+  EXPECT_EQ(make_pattern(topo, "advg", 4, 0.0)->name(), "ADVG+4");
+  EXPECT_EQ(make_pattern(topo, "advl", 1, 0.0)->name(), "ADVL+1");
+  EXPECT_NE(make_pattern(topo, "mixed", 0, 0.4)->name().find("MIX"),
+            std::string::npos);
+  EXPECT_THROW(make_pattern(topo, "bogus", 0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dfsim
