@@ -6,29 +6,38 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("ablation_arrangement", argc, argv);
   SimConfig cfg = bench_defaults();
   bench::banner("Ablation: global arrangement (absolute vs palmtree)", cfg);
 
-  CsvWriter csv(std::cout,
-                {"arrangement", "pattern", "routing", "accepted_load"});
+  std::vector<SweepJob> grid;
   for (const auto arr :
        {GlobalArrangement::kAbsolute, GlobalArrangement::kPalmtree}) {
     for (const char* pattern : {"advg", "uniform"}) {
       for (const char* routing : {"olm", "minimal"}) {
-        SimConfig pc = cfg;
-        pc.arrangement = arr;
-        pc.routing = routing;
-        pc.pattern = pattern;
-        pc.pattern_offset = 1;
-        pc.load = pattern == std::string("advg") ? 0.5 : 0.8;
-        const SteadyResult r = run_steady(pc);
-        csv.row({arr == GlobalArrangement::kAbsolute ? "absolute"
-                                                     : "palmtree",
-                 pattern, routing, CsvWriter::fmt(r.accepted_load)});
+        SweepJob job;
+        job.cfg = cfg;
+        job.cfg.arrangement = arr;
+        job.cfg.routing = routing;
+        job.cfg.pattern = pattern;
+        job.cfg.pattern_offset = 1;
+        job.cfg.load = pattern == std::string("advg") ? 0.5 : 0.8;
+        grid.push_back(std::move(job));
       }
     }
+  }
+  const auto points = parallel_sweep(grid, {});
+
+  CsvWriter csv(std::cout,
+                {"arrangement", "pattern", "routing", "accepted_load"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const SimConfig& pc = grid[i].cfg;
+    csv.row({pc.arrangement == GlobalArrangement::kAbsolute ? "absolute"
+                                                            : "palmtree",
+             pc.pattern, pc.routing,
+             CsvWriter::fmt(points[i].result.accepted_load)});
   }
   return 0;
 }

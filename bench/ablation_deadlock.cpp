@@ -9,8 +9,9 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("ablation_deadlock", argc, argv);
   SimConfig cfg = bench_defaults();
   bench::banner("Ablation: deadlock with unrestricted local misrouting",
                 cfg);
@@ -25,14 +26,22 @@ int main() {
   cfg.warmup_cycles = 2000;
   cfg.measure_cycles = 16000;
 
+  const std::vector<std::string> lineup = {"rlm-unrestricted", "rlm", "olm"};
+  std::vector<SweepJob> grid;
+  for (const std::string& routing : lineup) {
+    SweepJob job;
+    job.series = routing;
+    job.cfg = cfg;
+    job.cfg.routing = routing;
+    grid.push_back(std::move(job));
+  }
+  const auto points = parallel_sweep(grid, {});
+
   CsvWriter csv(std::cout,
                 {"routing", "deadlock_detected", "accepted_load"});
-  for (const char* routing : {"rlm-unrestricted", "rlm", "olm"}) {
-    SimConfig pc = cfg;
-    pc.routing = routing;
-    const SteadyResult r = run_steady(pc);
-    csv.row({routing, r.deadlock ? "YES" : "no",
-             CsvWriter::fmt(r.accepted_load)});
+  for (const SweepPoint& p : points) {
+    csv.row({p.series, p.result.deadlock ? "YES" : "no",
+             CsvWriter::fmt(p.result.accepted_load)});
   }
   std::cout << "# note: rlm-unrestricted uses RLM's VC ladder without the\n"
                "# parity-sign filter; cyclic intra-group dependencies can\n"

@@ -10,8 +10,9 @@
 #include "common/csv.hpp"
 #include "routing/parity_sign.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("ablation_restriction", argc, argv);
   SimConfig cfg = bench_defaults();
   bench::banner("Ablation: local-route restriction policies", cfg);
 
@@ -36,16 +37,22 @@ int main() {
 
   std::cout << "\n## ADVL+1 throughput at offered load 1.0\n";
   {
-    CsvWriter csv(std::cout, {"policy", "accepted_load", "deadlock"});
+    std::vector<SweepJob> grid;
     for (const char* routing : {"rlm", "rlm-signonly"}) {
-      SimConfig pc = cfg;
-      pc.routing = routing;
-      pc.pattern = "advl";
-      pc.pattern_offset = 1;
-      pc.load = 1.0;
-      const SteadyResult r = run_steady(pc);
-      csv.row({routing, CsvWriter::fmt(r.accepted_load),
-               r.deadlock ? "yes" : "no"});
+      SweepJob job;
+      job.series = routing;
+      job.cfg = cfg;
+      job.cfg.routing = routing;
+      job.cfg.pattern = "advl";
+      job.cfg.pattern_offset = 1;
+      job.cfg.load = 1.0;
+      grid.push_back(std::move(job));
+    }
+    const auto points = parallel_sweep(grid, {});
+    CsvWriter csv(std::cout, {"policy", "accepted_load", "deadlock"});
+    for (const SweepPoint& p : points) {
+      csv.row({p.series, CsvWriter::fmt(p.result.accepted_load),
+               p.result.deadlock ? "yes" : "no"});
     }
   }
   return 0;

@@ -1,17 +1,123 @@
-// Shared scaffolding for the figure benches: banner, scale notes, and the
-// routing line-ups each figure compares.
+// Shared scaffolding for the figure benches: banner, scale notes, the
+// routing line-ups each figure compares, the --jobs flag, and the
+// BENCH_sweep.json wall-clock reporter that tracks the perf trajectory of
+// every figure bench across PRs.
 #pragma once
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/config.hpp"
 #include "api/simulator.hpp"
 #include "api/sweep.hpp"
+#include "common/env.hpp"
+#include "runtime/parallel_for.hpp"
 #include "topology/dragonfly_topology.hpp"
 
 namespace dfsim::bench {
+
+/// Parses the common bench flags. `--jobs=N` (or `--jobs N`) sets the
+/// process-wide worker count used by every parallel sweep; DF_JOBS is the
+/// env equivalent, and unset means hardware concurrency.
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      runtime::set_default_jobs(std::atoi(arg + 7));
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      runtime::set_default_jobs(std::atoi(argv[++i]));
+    }
+  }
+}
+
+/// RAII wall-clock reporter. Construct first thing in main(); on
+/// destruction it appends one record to the JSON array in
+/// BENCH_sweep.json (path overridable via DF_BENCH_JSON, empty disables):
+///   {"bench": "fig04_latency_vct", "wall_s": 12.34, "jobs": 8}
+class BenchReport {
+ public:
+  BenchReport(std::string name, int argc = 0, char** argv = nullptr)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    if (argv != nullptr) parse_args(argc, argv);
+  }
+
+  ~BenchReport() {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    // Explicitly-empty DF_BENCH_JSON disables the report (env_str would
+    // fold empty into the fallback).
+    const char* path_env = std::getenv("DF_BENCH_JSON");
+    const std::string path = path_env ? path_env : "BENCH_sweep.json";
+    if (path.empty()) return;
+
+    std::ostringstream record;
+    record << "  {\"bench\": \"" << name_ << "\", \"wall_s\": " << wall_s
+           << ", \"jobs\": " << runtime::default_jobs() << "}";
+
+    // Read-modify-write under an exclusive flock: several benches often
+    // run at once and would otherwise lose or interleave records.
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return;
+    ::flock(fd, LOCK_EX);
+
+    std::string existing;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+      existing.append(buf, static_cast<std::size_t>(n));
+    }
+    // Keep the file a valid JSON array: strip the closing bracket of an
+    // existing array and append, or start a fresh one. Anything that is
+    // not our array — another tool's output, or a record truncated by a
+    // killed bench — is replaced rather than appended to, since
+    // appending would keep it unparsable forever.
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' ' ||
+            existing.back() == ']')) {
+      existing.pop_back();
+    }
+    if (!existing.empty() &&
+        (existing.front() != '[' || existing.back() != '}')) {
+      existing.clear();
+    }
+
+    std::string out;
+    if (existing.empty()) {
+      out = "[\n" + record.str() + "\n]\n";
+    } else {
+      out = existing + ",\n" + record.str() + "\n]\n";
+    }
+    ::lseek(fd, 0, SEEK_SET);
+    if (::ftruncate(fd, 0) == 0) {
+      std::size_t off = 0;
+      while (off < out.size()) {
+        const ssize_t w = ::write(fd, out.data() + off, out.size() - off);
+        if (w <= 0) break;
+        off += static_cast<std::size_t>(w);
+      }
+    }
+    ::flock(fd, LOCK_UN);
+    ::close(fd);
+  }
+
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 inline void banner(const std::string& what, const SimConfig& cfg) {
   const DragonflyTopology topo(cfg.h);
@@ -23,9 +129,9 @@ inline void banner(const std::string& what, const SimConfig& cfg) {
             << " packet=" << cfg.packet_phits << " phits"
             << " warmup=" << cfg.warmup_cycles
             << " measure=" << cfg.measure_cycles << " seed=" << cfg.seed
-            << "\n";
+            << " jobs=" << runtime::default_jobs() << "\n";
   std::cout << "# scale knobs: DF_FULL=1 (paper h=8), DF_H, DF_WARMUP, "
-               "DF_MEASURE, DF_SEED, DF_BURST\n";
+               "DF_MEASURE, DF_SEED, DF_BURST; --jobs=N / DF_JOBS\n";
 }
 
 /// Paper Fig. 4/5 line-up under uniform traffic (Valiant is replaced by

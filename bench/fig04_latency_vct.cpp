@@ -4,8 +4,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("fig04_latency_vct", argc, argv);
   SimConfig cfg = bench_defaults();
   bench::banner("Figure 4: latency vs offered load, VCT", cfg);
 

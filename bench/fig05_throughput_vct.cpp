@@ -9,8 +9,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("fig05_throughput_vct", argc, argv);
   SimConfig cfg = bench_defaults();
   bench::banner("Figure 5: throughput vs offered load, VCT", cfg);
 

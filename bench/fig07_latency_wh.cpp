@@ -5,8 +5,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("fig07_latency_wh", argc, argv);
   SimConfig cfg = bench_defaults();
   bench::configure_wormhole(cfg);
   bench::banner("Figure 7: latency vs offered load, wormhole", cfg);

@@ -8,8 +8,9 @@
 
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("fig08_throughput_wh", argc, argv);
   SimConfig cfg = bench_defaults();
   bench::configure_wormhole(cfg);
   bench::banner("Figure 8: throughput vs offered load, wormhole", cfg);

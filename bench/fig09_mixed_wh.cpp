@@ -7,8 +7,9 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("fig09_mixed_wh", argc, argv);
   SimConfig cfg = bench_defaults();
   bench::configure_wormhole(cfg);
   bench::banner("Figure 9: mixed ADVG+h / ADVL+1, wormhole", cfg);
@@ -20,34 +21,45 @@ int main() {
   const std::vector<std::string> lineup = {"par-6/2", "rlm", "pb"};
   const std::vector<double> fractions = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
 
+  std::vector<SweepJob> grid;
+  for (const std::string& routing : lineup) {
+    for (const double p : fractions) {
+      SweepJob job;
+      job.series = routing;
+      job.x = p * 100.0;
+      job.cfg = cfg;
+      job.cfg.routing = routing;
+      job.cfg.global_fraction = p;
+      grid.push_back(std::move(job));
+    }
+  }
+
+  const auto points = parallel_sweep(grid, {});
+
   std::cout << "\n## panel 9a_throughput\n";
   {
     CsvWriter csv(std::cout,
                   {"series", "global_traffic_pct", "accepted_load"});
-    for (const std::string& routing : lineup) {
-      for (const double p : fractions) {
-        SimConfig pc = cfg;
-        pc.routing = routing;
-        pc.global_fraction = p;
-        const SteadyResult r = run_steady(pc);
-        csv.point(routing, p * 100.0, r.accepted_load);
-      }
+    for (const SweepPoint& p : points) {
+      csv.point(p.series, p.x, p.result.accepted_load);
     }
   }
 
   std::cout << "\n## panel 9b_burst_consumption\n";
   {
+    // Reuse the sweep's derived per-point seeds so both panels run the
+    // same grid point with the same stream.
+    const auto bursts = runtime::parallel_map<BurstResult>(
+        grid.size(), 0, [&](std::size_t i) {
+          SimConfig pc = grid[i].cfg;
+          pc.seed = points[i].seed;
+          return run_burst(pc);
+        });
     CsvWriter csv(std::cout,
                   {"series", "global_traffic_pct", "consumption_kcycles"});
-    for (const std::string& routing : lineup) {
-      for (const double p : fractions) {
-        SimConfig pc = cfg;
-        pc.routing = routing;
-        pc.global_fraction = p;
-        const BurstResult r = run_burst(pc);
-        csv.point(routing, p * 100.0,
-                  static_cast<double>(r.consumption_cycles) / 1000.0);
-      }
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      csv.point(grid[i].series, grid[i].x,
+                static_cast<double>(bursts[i].consumption_cycles) / 1000.0);
     }
   }
   return 0;

@@ -7,8 +7,9 @@
 #include "bench_util.hpp"
 #include "common/csv.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("fig11_threshold_advg1", argc, argv);
   SimConfig cfg = bench_defaults();
   bench::banner("Figure 11: RLM threshold sweep, ADVG+1, VCT", cfg);
   cfg.routing = "rlm";
@@ -18,19 +19,27 @@ int main() {
   const std::vector<double> thresholds = {0.30, 0.40, 0.45, 0.50, 0.60};
   const std::vector<double> loads = default_loads(1.0, 6);
 
+  std::vector<SweepJob> grid;
+  for (const double th : thresholds) {
+    for (const double load : loads) {
+      SweepJob job;
+      job.series = "rlm_th=" + CsvWriter::fmt(th * 100) + "%";
+      job.x = load;
+      job.cfg = cfg;
+      job.cfg.misroute_threshold = th;
+      job.cfg.load = load;
+      grid.push_back(std::move(job));
+    }
+  }
+  const auto points = parallel_sweep(grid, {});
+
   std::cout << "\n## panel 11a_latency and 11b_throughput\n";
   CsvWriter csv(std::cout, {"series", "offered_load", "avg_latency_cycles",
                             "accepted_load"});
-  for (const double th : thresholds) {
-    for (const double load : loads) {
-      SimConfig pc = cfg;
-      pc.misroute_threshold = th;
-      pc.load = load;
-      const SteadyResult r = run_steady(pc);
-      csv.row({"rlm_th=" + CsvWriter::fmt(th * 100) + "%",
-               CsvWriter::fmt(load), CsvWriter::fmt(r.avg_latency),
-               CsvWriter::fmt(r.accepted_load)});
-    }
+  for (const SweepPoint& p : points) {
+    csv.row({p.series, CsvWriter::fmt(p.x),
+             CsvWriter::fmt(p.result.avg_latency),
+             CsvWriter::fmt(p.result.accepted_load)});
   }
   return 0;
 }

@@ -3,11 +3,13 @@
 // per-pair route-count guarantees it provides (Sec. III-B).
 #include <iostream>
 
+#include "bench_util.hpp"
 #include "common/env.hpp"
 #include "routing/parity_sign.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dfsim;
+  bench::BenchReport report("table1_parity_sign", argc, argv);
   const LocalRouteRestriction restriction(RestrictionPolicy::kParitySign);
 
   std::cout << "# Table I: parity-sign 2-hop combinations\n";

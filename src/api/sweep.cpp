@@ -1,27 +1,53 @@
 #include "api/sweep.hpp"
 
 #include "common/csv.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/seed.hpp"
 
 namespace dfsim {
+
+std::vector<SweepPoint> parallel_sweep(const std::vector<SweepJob>& jobs,
+                                       const SweepOptions& opts) {
+  std::vector<SweepPoint> out(jobs.size());
+  runtime::parallel_for(jobs.size(), opts.jobs, [&](std::size_t i) {
+    const SweepJob& job = jobs[i];
+    SimConfig cfg = job.cfg;
+    if (opts.derive_seeds) {
+      cfg.seed = runtime::derive_seed(job.cfg.seed, i);
+    }
+    SweepPoint& p = out[i];
+    p.series = job.series;
+    p.x = job.x;
+    p.seed = cfg.seed;
+    p.result = run_steady(cfg);
+  });
+  return out;
+}
+
+std::vector<SweepPoint> parallel_sweep(const SimConfig& base,
+                                       const std::vector<std::string>& routings,
+                                       const std::vector<double>& loads,
+                                       const SweepOptions& opts) {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(routings.size() * loads.size());
+  for (const std::string& routing : routings) {
+    for (const double load : loads) {
+      SweepJob job;
+      job.series = routing;
+      job.x = load;
+      job.cfg = base;
+      job.cfg.routing = routing;
+      job.cfg.load = load;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return parallel_sweep(jobs, opts);
+}
 
 std::vector<SweepPoint> load_sweep(const SimConfig& base,
                                    const std::vector<std::string>& routings,
                                    const std::vector<double>& loads) {
-  std::vector<SweepPoint> out;
-  out.reserve(routings.size() * loads.size());
-  for (const std::string& routing : routings) {
-    for (const double load : loads) {
-      SimConfig cfg = base;
-      cfg.routing = routing;
-      cfg.load = load;
-      SweepPoint p;
-      p.series = routing;
-      p.x = load;
-      p.result = run_steady(cfg);
-      out.push_back(std::move(p));
-    }
-  }
-  return out;
+  return parallel_sweep(base, routings, loads, {});
 }
 
 void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,

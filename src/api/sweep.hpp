@@ -1,8 +1,16 @@
-// Sweep helpers shared by the figure benches: run a load sweep (or a
-// one-dimensional parameter sweep) over several routing mechanisms and
-// print paper-style CSV series.
+// Sweep helpers shared by the figure benches: run a load sweep (or an
+// arbitrary one-dimensional parameter sweep) over several routing
+// mechanisms and print paper-style CSV series.
+//
+// All sweeps execute through the parallel runtime (src/runtime/): grid
+// points are independent simulations, so they are sharded across a thread
+// pool. Each point runs with a deterministic seed derived from the base
+// config's seed and the point's grid index, which makes the output
+// bit-identical for any worker count — `--jobs=1` and `--jobs=N` produce
+// the same CSV bytes in the same order.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <ostream>
 #include <string>
@@ -15,10 +23,41 @@ namespace dfsim {
 struct SweepPoint {
   std::string series;
   double x = 0.0;
+  std::uint64_t seed = 0;  ///< derived per-point seed the run used
   SteadyResult result;
 };
 
-/// Run `run_steady` for every (routing, load) pair.
+/// One prepared grid point for the generic sweep: the fully-configured
+/// SimConfig plus the CSV series/x it reports under.
+struct SweepJob {
+  std::string series;
+  double x = 0.0;
+  SimConfig cfg;
+};
+
+struct SweepOptions {
+  /// Worker threads; <= 0 resolves via the runtime default (--jobs /
+  /// DF_JOBS / hardware concurrency). 1 forces the serial path.
+  int jobs = 0;
+  /// Derive a per-point seed from cfg.seed and the grid index (default).
+  /// Off = every point runs with its config's seed untouched.
+  bool derive_seeds = true;
+};
+
+/// Run `run_steady` for every (routing, load) pair of the grid, in
+/// parallel. Output order is routings-major, loads-minor — identical to
+/// the historical serial loop.
+std::vector<SweepPoint> parallel_sweep(const SimConfig& base,
+                                       const std::vector<std::string>& routings,
+                                       const std::vector<double>& loads,
+                                       const SweepOptions& opts = {});
+
+/// Generic grid: run `run_steady` for every prepared job, in parallel,
+/// preserving the jobs' order in the returned vector.
+std::vector<SweepPoint> parallel_sweep(const std::vector<SweepJob>& jobs,
+                                       const SweepOptions& opts = {});
+
+/// Back-compat alias for the (routing, load) sweep with default options.
 std::vector<SweepPoint> load_sweep(const SimConfig& base,
                                    const std::vector<std::string>& routings,
                                    const std::vector<double>& loads);

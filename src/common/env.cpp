@@ -33,6 +33,11 @@ bool env_flag(const char* name) {
   return true;
 }
 
+int env_jobs() {
+  const std::int64_t jobs = env_int("DF_JOBS", 0);
+  return jobs > 0 ? static_cast<int>(jobs) : 0;
+}
+
 std::string env_str(const char* name, const std::string& fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;

@@ -20,4 +20,8 @@ bool env_flag(const char* name);
 /// String env var, or `fallback` when unset.
 std::string env_str(const char* name, const std::string& fallback);
 
+/// Worker-count knob DF_JOBS: a positive integer, or 0 (meaning "auto",
+/// i.e. hardware concurrency) when unset, zero, negative or unparsable.
+int env_jobs();
+
 }  // namespace dfsim

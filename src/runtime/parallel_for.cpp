@@ -1,0 +1,78 @@
+#include "runtime/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/env.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/work_queue.hpp"
+
+namespace dfsim::runtime {
+
+namespace {
+std::atomic<int> g_default_jobs{0};  // 0 = auto
+
+int hardware_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+}  // namespace
+
+void set_default_jobs(int jobs) {
+  g_default_jobs.store(jobs > 0 ? jobs : 0, std::memory_order_relaxed);
+}
+
+int default_jobs() {
+  const int set = g_default_jobs.load(std::memory_order_relaxed);
+  if (set > 0) return set;
+  const int env = env_jobs();
+  if (env > 0) return env;
+  return hardware_jobs();
+}
+
+int resolve_jobs(int requested) {
+  return requested > 0 ? requested : default_jobs();
+}
+
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const int workers = std::min<int>(resolve_jobs(jobs),
+                                    static_cast<int>(std::min<std::size_t>(
+                                        n, 1u << 16)));
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Over-shard 4x so slow points (high load, adversarial patterns) don't
+  // leave the other workers idle at the tail of the grid.
+  ShardedIndexQueue queue(n, static_cast<std::size_t>(workers) * 4);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  ThreadPool pool(workers);
+  for (int w = 0; w < workers; ++w) {
+    pool.submit([&] {
+      std::size_t begin = 0, end = 0;
+      while (queue.next(begin, end)) {
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            body(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dfsim::runtime

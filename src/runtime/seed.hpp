@@ -1,0 +1,21 @@
+// Deterministic per-point seed derivation for experiment grids. Every
+// sweep point gets its own RNG stream derived from the base
+// `SimConfig::seed` and the point's grid index, so results are identical
+// no matter how many workers execute the grid or in which order.
+#pragma once
+
+#include <cstdint>
+
+namespace dfsim::runtime {
+
+/// splitmix64 finalizer over (base, index): well-distributed, collision
+/// free in practice for any realistic grid, and stable across platforms.
+constexpr std::uint64_t derive_seed(std::uint64_t base,
+                                    std::uint64_t index) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace dfsim::runtime

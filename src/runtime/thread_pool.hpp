@@ -1,0 +1,48 @@
+// Minimal fixed-size thread pool used by the parallel sweep runtime.
+// Tasks are plain closures; `wait_idle` blocks until every submitted task
+// has finished, so one pool can serve several sweep phases in sequence.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfsim::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Tasks must not throw past their own frame; wrap
+  /// and stash exceptions if the caller needs them (parallel_for does).
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: task or stop
+  std::condition_variable idle_cv_;   ///< signals wait_idle: all done
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dfsim::runtime

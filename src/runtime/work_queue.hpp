@@ -1,0 +1,39 @@
+// Sharded index queue: splits the range [0, n) into contiguous shards and
+// hands them out to workers via a single atomic counter. Contiguous shards
+// keep each worker on neighbouring grid points (cache- and
+// progress-friendly) while over-sharding (several shards per worker)
+// load-balances grids whose points have very different run times — a high
+// offered-load point simulates far more traffic than a low one.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace dfsim::runtime {
+
+class ShardedIndexQueue {
+ public:
+  /// Splits [0, n) into at most `shards` near-equal contiguous chunks.
+  ShardedIndexQueue(std::size_t n, std::size_t shards)
+      : n_(n), shards_(shards == 0 ? 1 : (shards > n ? (n ? n : 1) : shards)) {}
+
+  /// Claims the next unclaimed shard as [begin, end). Returns false when
+  /// the whole range has been handed out. Safe to call from any thread.
+  bool next(std::size_t& begin, std::size_t& end) {
+    const std::size_t shard =
+        next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= shards_) return false;
+    begin = shard * n_ / shards_;
+    end = (shard + 1) * n_ / shards_;
+    return begin < end;
+  }
+
+  std::size_t shard_count() const { return shards_; }
+
+ private:
+  std::size_t n_;
+  std::size_t shards_;
+  std::atomic<std::size_t> next_shard_{0};
+};
+
+}  // namespace dfsim::runtime

@@ -1,0 +1,184 @@
+// The contract of the parallel sweep runtime: worker count changes
+// wall-clock, never results. 1 worker and N workers must produce the same
+// SweepPoint vector — same seeds, same ordering, bit-identical metrics —
+// and the primitives underneath (parallel_for, the sharded queue, seed
+// derivation) must be deterministic and complete.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/sweep.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/seed.hpp"
+#include "runtime/work_queue.hpp"
+
+namespace dfsim {
+namespace {
+
+SimConfig tiny_config() {
+  SimConfig cfg;
+  cfg.h = 2;  // 9 groups, 36 routers — seconds, not minutes
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 600;
+  cfg.seed = 42;
+  return cfg;
+}
+
+void expect_same_points(const std::vector<SweepPoint>& a,
+                        const std::vector<SweepPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].series, b[i].series);
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].result.avg_latency, b[i].result.avg_latency);
+    EXPECT_EQ(a[i].result.p99_latency, b[i].result.p99_latency);
+    EXPECT_EQ(a[i].result.accepted_load, b[i].result.accepted_load);
+    EXPECT_EQ(a[i].result.avg_hops, b[i].result.avg_hops);
+    EXPECT_EQ(a[i].result.delivered, b[i].result.delivered);
+    EXPECT_EQ(a[i].result.deadlock, b[i].result.deadlock);
+  }
+}
+
+TEST(ParallelSweepTest, OneWorkerAndManyWorkersBitIdentical) {
+  const SimConfig base = tiny_config();
+  const std::vector<std::string> routings = {"minimal", "olm"};
+  const std::vector<double> loads = {0.1, 0.3};
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 4;
+
+  const auto a = parallel_sweep(base, routings, loads, serial);
+  const auto b = parallel_sweep(base, routings, loads, parallel);
+  ASSERT_EQ(a.size(), routings.size() * loads.size());
+  expect_same_points(a, b);
+}
+
+TEST(ParallelSweepTest, OrderingIsRoutingsMajorLoadsMinor) {
+  const SimConfig base = tiny_config();
+  SweepOptions opts;
+  opts.jobs = 3;
+  const auto points =
+      parallel_sweep(base, {"minimal", "olm"}, {0.1, 0.2}, opts);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].series, "minimal");
+  EXPECT_EQ(points[0].x, 0.1);
+  EXPECT_EQ(points[1].series, "minimal");
+  EXPECT_EQ(points[1].x, 0.2);
+  EXPECT_EQ(points[2].series, "olm");
+  EXPECT_EQ(points[2].x, 0.1);
+  EXPECT_EQ(points[3].series, "olm");
+  EXPECT_EQ(points[3].x, 0.2);
+}
+
+TEST(ParallelSweepTest, GenericJobGridPreservesOrderAndDerivesSeeds) {
+  const SimConfig base = tiny_config();
+  std::vector<SweepJob> grid;
+  for (const double th : {0.3, 0.6}) {
+    SweepJob job;
+    job.series = "th";
+    job.x = th;
+    job.cfg = base;
+    job.cfg.routing = "rlm";
+    job.cfg.misroute_threshold = th;
+    job.cfg.load = 0.2;
+    grid.push_back(job);
+  }
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 2;
+  const auto a = parallel_sweep(grid, serial);
+  const auto b = parallel_sweep(grid, parallel);
+  expect_same_points(a, b);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].seed, runtime::derive_seed(base.seed, 0));
+  EXPECT_EQ(a[1].seed, runtime::derive_seed(base.seed, 1));
+  EXPECT_NE(a[0].seed, a[1].seed);
+}
+
+TEST(ParallelSweepTest, DeriveSeedsOffKeepsConfigSeed) {
+  const SimConfig base = tiny_config();
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.derive_seeds = false;
+  const auto points = parallel_sweep(base, {"minimal"}, {0.1, 0.2}, opts);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].seed, base.seed);
+  EXPECT_EQ(points[1].seed, base.seed);
+}
+
+TEST(DeriveSeedTest, DeterministicAndDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 1ull, 42ull}) {
+    for (std::uint64_t i = 0; i < 100; ++i) {
+      const std::uint64_t s = runtime::derive_seed(base, i);
+      EXPECT_EQ(s, runtime::derive_seed(base, i));
+      seen.insert(s);
+    }
+  }
+  EXPECT_EQ(seen.size(), 300u);  // no collisions across bases/indices
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  runtime::parallel_for(kN, 8,
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, PropagatesBodyException) {
+  EXPECT_THROW(
+      runtime::parallel_for(16, 4,
+                            [](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ParallelMapIsOrdered) {
+  const auto out = runtime::parallel_map<std::size_t>(
+      257, 4, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ShardedIndexQueueTest, ShardsPartitionTheRange) {
+  runtime::ShardedIndexQueue queue(103, 8);
+  std::vector<bool> covered(103, false);
+  std::size_t begin = 0, end = 0;
+  while (queue.next(begin, end)) {
+    ASSERT_LE(end, covered.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      ASSERT_FALSE(covered[i]) << "index " << i << " claimed twice";
+      covered[i] = true;
+    }
+  }
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    ASSERT_TRUE(covered[i]) << "index " << i << " never claimed";
+  }
+}
+
+TEST(ResolveJobsTest, ExplicitRequestWinsOverDefault) {
+  runtime::set_default_jobs(3);
+  EXPECT_EQ(runtime::resolve_jobs(5), 5);
+  EXPECT_EQ(runtime::resolve_jobs(0), 3);
+  runtime::set_default_jobs(0);  // back to auto
+  EXPECT_GE(runtime::resolve_jobs(0), 1);
+}
+
+}  // namespace
+}  // namespace dfsim
