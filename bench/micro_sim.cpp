@@ -1,9 +1,14 @@
 // google-benchmark micro measurements of the simulator substrate:
 // cycle cost at several scales/loads, routing-decision machinery,
 // topology arithmetic and the parity-sign table construction.
+//
+// Wall-clock of the whole run is appended to BENCH_sweep.json via
+// BenchReport, so the perf trajectory of the engine hot path is recorded
+// alongside the figure benches from PR to PR.
 #include <benchmark/benchmark.h>
 
 #include "api/config.hpp"
+#include "bench_util.hpp"
 #include "routing/factory.hpp"
 #include "routing/parity_sign.hpp"
 #include "sim/engine.hpp"
@@ -35,6 +40,7 @@ void BM_EngineCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineCycle)
     ->Args({2, 30})
+    ->Args({3, 5})  // low load: the active-router worklist's home turf
     ->Args({3, 30})
     ->Args({3, 80})
     ->Args({4, 50})
@@ -86,4 +92,11 @@ BENCHMARK(BM_RemoteEndpoint);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  dfsim::bench::BenchReport report("micro_sim");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,18 +1,32 @@
 #include "api/experiment.hpp"
 
+#include "runtime/seed.hpp"
+
 namespace dfsim {
+
+std::uint64_t replication_seed(std::uint64_t base, int k) {
+  // Offset the index space so replication streams also stay disjoint from
+  // parallel_sweep's per-point streams (which use plain grid indices on
+  // the same base seed).
+  return runtime::derive_seed(base, 0x5eed0000ULL +
+                                        static_cast<std::uint64_t>(k));
+}
 
 ReplicatedResult run_replicated(const SimConfig& cfg, int replications) {
   ReplicatedResult out;
+  out.seeds.reserve(static_cast<std::size_t>(replications));
+  out.runs.reserve(static_cast<std::size_t>(replications));
   for (int k = 0; k < replications; ++k) {
     SimConfig run_cfg = cfg;
-    run_cfg.seed = cfg.seed + static_cast<std::uint64_t>(k);
+    run_cfg.seed = replication_seed(cfg.seed, k);
     const SteadyResult r = run_steady(run_cfg);
     out.latency.add(r.avg_latency);
     out.accepted_load.add(r.accepted_load);
     out.hops.add(r.avg_hops);
     if (r.deadlock) ++out.deadlocks;
     ++out.replications;
+    out.seeds.push_back(run_cfg.seed);
+    out.runs.push_back(r);
   }
   return out;
 }

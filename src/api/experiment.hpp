@@ -18,14 +18,27 @@ struct ReplicatedResult {
   int deadlocks = 0;
   int replications = 0;
 
+  /// Per-replication seeds and results, in replication order (k-th entry
+  /// is replication k). Lets callers audit stream independence and attach
+  /// per-run data to error bars.
+  std::vector<std::uint64_t> seeds;
+  std::vector<SteadyResult> runs;
+
   double latency_mean() const { return latency.mean(); }
   double latency_stddev() const { return latency.stddev(); }
   double accepted_mean() const { return accepted_load.mean(); }
   double accepted_stddev() const { return accepted_load.stddev(); }
 };
 
+/// Seed of replication k for a base seed: splitmix64-derived (the same
+/// generator the sweep runtime uses per grid point), so the streams of
+/// neighboring base seeds never collide. The old `base + k` scheme made
+/// replication k of seed s identical to replication k-1 of seed s+1,
+/// silently correlating error bars across sweep points.
+std::uint64_t replication_seed(std::uint64_t base, int k);
+
 /// Run `replications` independent copies of the steady-state experiment,
-/// seeding run k with cfg.seed + k.
+/// seeding run k with replication_seed(cfg.seed, k).
 ReplicatedResult run_replicated(const SimConfig& cfg, int replications);
 
 }  // namespace dfsim

@@ -48,6 +48,9 @@ SteadyResult run_steady(const SimConfig& cfg) {
   out.avg_latency = hx.collector.avg_latency();
   out.p99_latency = hx.collector.p99_latency();
   out.accepted_load = hx.collector.accepted_load(hx.engine.now());
+  out.offered_load =
+      hx.collector.offered_load(hx.engine.now(), cfg.packet_phits);
+  out.source_drop_rate = hx.collector.drop_rate();
   out.avg_hops = hx.collector.avg_hops();
   out.delivered = hx.collector.delivered_packets();
   out.deadlock = hx.engine.deadlock_detected();

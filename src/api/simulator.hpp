@@ -12,7 +12,14 @@ namespace dfsim {
 struct SteadyResult {
   double avg_latency = 0.0;     ///< cycles, source queueing included
   double p99_latency = 0.0;     ///< cycles
-  double accepted_load = 0.0;   ///< phits/(node*cycle)
+  double accepted_load = 0.0;   ///< phits/(node*cycle) delivered
+  /// phits/(node*cycle) the sources *tried* to inject during measurement,
+  /// including generations the source-queue cap dropped. Past saturation
+  /// this tracks the configured load while accepted_load plateaus.
+  double offered_load = 0.0;
+  /// Fraction of measurement-window generations dropped by the source
+  /// queue cap; nonzero exactly when a point is source-saturated.
+  double source_drop_rate = 0.0;
   double avg_hops = 0.0;        ///< network hops per packet
   std::uint64_t delivered = 0;  ///< packets measured
   bool deadlock = false;

@@ -54,11 +54,18 @@ void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
                  Metric metric, const std::string& x_label) {
   const char* y_label =
       metric == Metric::kLatency ? "avg_latency_cycles" : "accepted_load";
-  CsvWriter csv(out, {"series", x_label, y_label});
+  // The measured offered load and the source-queue drop rate ride along
+  // on every row: a saturated point (drop rate > 0, measured offer below
+  // the configured x) is otherwise indistinguishable from an accepted-
+  // load plateau with healthy sources.
+  CsvWriter csv(out, {"series", x_label, y_label, "offered_load_measured",
+                      "source_drop_rate"});
   for (const SweepPoint& p : points) {
     const double y = metric == Metric::kLatency ? p.result.avg_latency
                                                 : p.result.accepted_load;
-    csv.point(p.series, p.x, y);
+    csv.row({p.series, CsvWriter::fmt(p.x), CsvWriter::fmt(y),
+             CsvWriter::fmt(p.result.offered_load),
+             CsvWriter::fmt(p.result.source_drop_rate)});
   }
 }
 

@@ -1,0 +1,208 @@
+// Allocation-free ring-buffer primitives for the simulation hot path.
+//
+// Three shapes, one theme — memory is carved up front and reused forever:
+//   - FixedRing<T>:    non-owning FIFO view over a slice of a shared arena;
+//                      the per-(port, VC) flit buffers of every router live
+//                      back to back in one engine-owned allocation.
+//   - RingDeque<T>:    owning, growable FIFO with power-of-two wraparound;
+//                      replaces std::deque where the bound is soft (source
+//                      backlogs), so empty queues cost no heap block.
+//   - SlabEventRing<T>: per-slot FIFOs of a timing wheel, backed by chunks
+//                      from one shared slab that recycle across wraps.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace dfsim {
+
+/// Fixed-capacity FIFO over externally-owned storage. The owner binds a
+/// slice of its arena once; pushes beyond the bound capacity are a logic
+/// error (callers gate on credit/occupancy accounting first). Indices are
+/// 16-bit on purpose: the struct is 16 bytes, which keeps the InputVc it
+/// lives in at a cache-friendly 32.
+template <typename T>
+class FixedRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "FixedRing elements are moved with plain stores");
+
+ public:
+  void bind(T* data, std::int32_t capacity) {
+    assert(capacity > 0 && capacity <= INT16_MAX);
+    data_ = data;
+    cap_ = static_cast<std::int16_t>(capacity);
+    head_ = 0;
+    count_ = 0;
+  }
+
+  bool empty() const { return count_ == 0; }
+  std::int32_t size() const { return count_; }
+  std::int32_t capacity() const { return cap_; }
+
+  const T& front() const {
+    assert(count_ > 0);
+    return data_[head_];
+  }
+
+  void push_back(const T& v) {
+    assert(count_ < cap_);
+    std::int16_t tail = static_cast<std::int16_t>(head_ + count_);
+    if (tail >= cap_) tail = static_cast<std::int16_t>(tail - cap_);
+    data_[tail] = v;
+    ++count_;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    if (++head_ == cap_) head_ = 0;
+    --count_;
+  }
+
+ private:
+  T* data_ = nullptr;
+  std::int16_t cap_ = 0;
+  std::int16_t head_ = 0;
+  std::int16_t count_ = 0;
+};
+
+/// Growable FIFO with contiguous power-of-two storage. Unlike std::deque
+/// it allocates nothing while empty and everything it ever allocates is
+/// one block, so scanning many mostly-empty queues stays cache-friendly.
+template <typename T>
+class RingDeque {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  const T& front() const {
+    assert(count_ > 0);
+    return buf_[head_];
+  }
+
+  void push_back(const T& v) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = v;
+    ++count_;
+  }
+
+  void pop_front() {
+    assert(count_ > 0);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(new_cap);
+    for (std::size_t i = 0; i < count_; ++i) {
+      next[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Timing-wheel storage: one FIFO per slot, all slots sharing a slab of
+/// fixed-size chunks threaded through free lists. A drained slot returns
+/// its chunks to the slab, so steady state runs with zero allocation no
+/// matter how often the wheel wraps.
+///
+/// Constraint: drain() callbacks must not push() into the same ring (the
+/// slab may grow under the iteration). The engine's event handlers only
+/// ever schedule into *future* cycles from the allocation phase, never
+/// from a drain, so this holds by construction there.
+template <typename T, int kChunkCap = 16>
+class SlabEventRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SlabEventRing elements are moved with plain stores");
+
+ public:
+  void reset(std::size_t num_slots) {
+    slots_.assign(num_slots, Slot{});
+    chunks_.clear();
+    free_head_ = -1;
+  }
+
+  void push(std::size_t slot, const T& ev) {
+    assert(!draining_);
+    Slot& s = slots_[slot];
+    if (s.tail < 0 || chunks_[static_cast<std::size_t>(s.tail)].count ==
+                          kChunkCap) {
+      const std::int32_t c = acquire_chunk();
+      if (s.tail >= 0) {
+        chunks_[static_cast<std::size_t>(s.tail)].next = c;
+      } else {
+        s.head = c;
+      }
+      s.tail = c;
+    }
+    Chunk& ch = chunks_[static_cast<std::size_t>(s.tail)];
+    ch.items[ch.count++] = ev;
+  }
+
+  /// Visit the slot's events in FIFO order, then recycle its chunks.
+  template <typename Fn>
+  void drain(std::size_t slot, Fn&& fn) {
+    Slot& s = slots_[slot];
+    std::int32_t c = s.head;
+    s.head = -1;
+    s.tail = -1;
+#ifndef NDEBUG
+    draining_ = true;
+#endif
+    while (c >= 0) {
+      Chunk& ch = chunks_[static_cast<std::size_t>(c)];
+      for (std::int32_t i = 0; i < ch.count; ++i) fn(ch.items[i]);
+      const std::int32_t next = ch.next;
+      ch.next = free_head_;
+      free_head_ = c;
+      c = next;
+    }
+#ifndef NDEBUG
+    draining_ = false;
+#endif
+  }
+
+  std::size_t slab_chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::int32_t next = -1;
+    std::int32_t count = 0;
+    T items[kChunkCap];
+  };
+  struct Slot {
+    std::int32_t head = -1;
+    std::int32_t tail = -1;
+  };
+
+  std::int32_t acquire_chunk() {
+    if (free_head_ >= 0) {
+      const std::int32_t c = free_head_;
+      Chunk& ch = chunks_[static_cast<std::size_t>(c)];
+      free_head_ = ch.next;
+      ch.next = -1;
+      ch.count = 0;
+      return c;
+    }
+    chunks_.emplace_back();
+    return static_cast<std::int32_t>(chunks_.size() - 1);
+  }
+
+  std::vector<Chunk> chunks_;
+  std::vector<Slot> slots_;
+  std::int32_t free_head_ = -1;
+#ifndef NDEBUG
+  bool draining_ = false;
+#endif
+};
+
+}  // namespace dfsim

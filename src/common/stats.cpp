@@ -43,13 +43,25 @@ double Histogram::percentile(double p) const {
   if (total_ == 0) return 0.0;
   const double target = p / 100.0 * static_cast<double>(total_);
   std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (static_cast<double>(seen) >= target) {
-      return width_ * static_cast<double>(i + 1);
+  const std::size_t num_real = buckets_.size() - 1;
+  for (std::size_t i = 0; i < num_real; ++i) {
+    const std::uint64_t in_bucket = buckets_[i];
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      // Interpolate within the bucket, treating its samples as spread
+      // uniformly: the k-th of c samples sits at lower + width*(k-0.5)/c.
+      // (The old code returned the bucket's upper edge, biasing every
+      // percentile upward by up to one bucket width.)
+      const double rank = std::max(1.0, std::ceil(target));
+      const double k = rank - static_cast<double>(seen);
+      return width_ * (static_cast<double>(i) +
+                       (k - 0.5) / static_cast<double>(in_bucket));
     }
+    seen += in_bucket;
   }
-  return width_ * static_cast<double>(buckets_.size());
+  // The requested rank lands in the overflow bucket: its samples have no
+  // upper bound, so report the range's end rather than pretending the
+  // last real bucket (or one past it) contained them.
+  return width_ * static_cast<double>(num_real);
 }
 
 }  // namespace dfsim

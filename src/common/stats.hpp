@@ -40,8 +40,11 @@ class Histogram {
   void add(double x);
   std::uint64_t count() const { return total_; }
 
-  /// Inclusive percentile (0 < p <= 100) estimated from bucket upper
-  /// edges; returns 0 when empty.
+  /// Inclusive percentile (0 < p <= 100), interpolated within the bucket
+  /// containing the target rank (samples assumed uniformly spread inside
+  /// it); returns 0 when empty. Ranks landing in the overflow bucket
+  /// report the end of the covered range, width*num_buckets, since their
+  /// true magnitude is unknown.
   double percentile(double p) const;
 
   double bucket_width() const { return width_; }

@@ -19,9 +19,13 @@ void Collector::on_delivered(const Packet& pkt, Cycle now) {
   hops_.add(static_cast<double>(pkt.rs.total_hops));
 }
 
-void Collector::on_generated(Cycle /*now*/, bool accepted) {
+void Collector::on_generated(Cycle now, bool accepted) {
   ++generated_;
   if (!accepted) ++dropped_;
+  if (now >= warmup_) {
+    ++generated_measured_;
+    if (!accepted) ++dropped_measured_;
+  }
 }
 
 double Collector::accepted_load(Cycle end) const {
@@ -29,6 +33,20 @@ double Collector::accepted_load(Cycle end) const {
   const auto window = static_cast<double>(end - warmup_);
   return static_cast<double>(delivered_phits_) /
          (window * static_cast<double>(num_terminals_));
+}
+
+double Collector::offered_load(Cycle end, int packet_phits) const {
+  if (end <= warmup_) return 0.0;
+  const auto window = static_cast<double>(end - warmup_);
+  return static_cast<double>(generated_measured_) *
+         static_cast<double>(packet_phits) /
+         (window * static_cast<double>(num_terminals_));
+}
+
+double Collector::drop_rate() const {
+  if (generated_measured_ == 0) return 0.0;
+  return static_cast<double>(dropped_measured_) /
+         static_cast<double>(generated_measured_);
 }
 
 }  // namespace dfsim

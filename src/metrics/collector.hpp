@@ -33,6 +33,19 @@ class Collector {
   }
   std::uint64_t generated_packets() const { return generated_; }
   std::uint64_t dropped_generations() const { return dropped_; }
+  std::uint64_t generated_measured() const { return generated_measured_; }
+  std::uint64_t dropped_measured() const { return dropped_measured_; }
+
+  /// Offered load in phits/(node*cycle) over [warmup, end]: what the
+  /// sources *tried* to inject, including generations dropped by the
+  /// source-queue cap. Past saturation this keeps climbing with the
+  /// configured load while accepted_load() plateaus — reporting both is
+  /// what makes saturated points distinguishable.
+  double offered_load(Cycle end, int packet_phits) const;
+
+  /// Fraction of measurement-window generations dropped by the source
+  /// queue cap (0 when none were generated).
+  double drop_rate() const;
 
   /// Mean hop count of measured packets (sanity metric: <= 8 by design).
   double avg_hops() const { return hops_.mean(); }
@@ -48,6 +61,8 @@ class Collector {
   std::uint64_t delivered_phits_ = 0;          // in measurement window
   std::uint64_t generated_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t generated_measured_ = 0;  // in measurement window
+  std::uint64_t dropped_measured_ = 0;    // in measurement window
 };
 
 }  // namespace dfsim

@@ -11,18 +11,59 @@ AdaptiveBase::AdaptiveBase(const DragonflyTopology& topo,
     : topo_(topo), params_(params), trigger_(params.threshold) {}
 
 Hop AdaptiveBase::minimal_hop(const RoutingContext& ctx) const {
-  return minimal_hop_with(topo_, ctx.router, ctx.packet,
-                          minimal_local_vc(ctx), minimal_global_vc(ctx));
+  // Resolve the (memoized) port first so only the VC discipline of the
+  // needed port class pays its virtual call.
+  const MinPortCache mc = minimal_port(topo_, ctx.router, ctx.packet);
+  switch (static_cast<PortClass>(mc.cls)) {
+    case PortClass::kTerminal:
+      return {mc.port, 0};
+    case PortClass::kGlobal:
+      return {mc.port, minimal_global_vc(ctx)};
+    case PortClass::kLocal:
+      break;
+  }
+  return {mc.port, minimal_local_vc(ctx)};
 }
 
 bool AdaptiveBase::commit_hop_allowed(const RoutingContext&, RouterId) const {
   return true;
 }
 
+// Mirror of the rs-only gates guarding collect_global_candidates /
+// collect_local_candidates. While neither collection is reachable, decide()
+// reduces to "minimal hop iff usable" with no RNG draw, which the engine
+// may then evaluate itself on every retry cycle. Any drift between these
+// gates and the collectors' own early returns breaks seed reproducibility,
+// so keep the two in lockstep.
+std::optional<Hop> AdaptiveBase::pure_minimal_hop(const RoutingContext& ctx) {
+  const RouteState& rs = ctx.packet.rs;
+  if (ctx.router != rs.dst_router) {
+    // Global misrouting reachable (source group, before any global hop)?
+    if (!rs.valiant && rs.global_hops == 0 && rs.local_hops_group <= 1 &&
+        topo_.num_groups() >= 3) {
+      return std::nullopt;
+    }
+    // Local misrouting reachable (samples draw RNG even when no candidate
+    // survives the VC filter)?
+    const GroupId g = topo_.group_of_router(ctx.router);
+    const bool heading_out = rs.valiant && rs.global_hops == 0;
+    const bool at_dst_group = g == rs.dst_group && !heading_out;
+    const bool at_inter_group =
+        rs.valiant && rs.global_hops == 1 && g != rs.dst_group;
+    if ((at_dst_group || at_inter_group) && rs.local_mis_group == 0 &&
+        rs.local_hops_group == 0 && topo_.routers_per_group() >= 3) {
+      const RouterId target = at_dst_group
+                                  ? rs.dst_router
+                                  : topo_.gateway_router(g, rs.dst_group);
+      if (target != ctx.router) return std::nullopt;
+    }
+  }
+  return minimal_hop(ctx);
+}
+
 std::optional<RouteChoice> AdaptiveBase::decide(RoutingContext& ctx) {
   Engine& eng = ctx.engine;
-  const Flit& flit =
-      eng.input_vc(ctx.router, ctx.in_port, ctx.in_vc).fifo.front();
+  const Flit& flit = ctx.flit;
 
   const Hop min = minimal_hop(ctx);
   if (eng.output_usable(ctx.router, min.port, min.vc, flit)) {
@@ -31,8 +72,12 @@ std::optional<RouteChoice> AdaptiveBase::decide(RoutingContext& ctx) {
     choice.vc = min.vc;
     return choice;
   }
-  // A blocked ejection port has no non-minimal alternative.
-  if (topo_.port_class(min.port) == PortClass::kTerminal) return std::nullopt;
+  // A blocked ejection port has no non-minimal alternative. (The memo is
+  // hot: minimal_hop just resolved it.)
+  if (static_cast<PortClass>(ctx.packet.min_cache.cls) ==
+      PortClass::kTerminal) {
+    return std::nullopt;
+  }
 
   candidates_.clear();
   collect_global_candidates(ctx);
@@ -72,6 +117,7 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
     // lVC1 free for minimal first hops and spends only the bandwidth the
     // router actually owns.
     const int rl = topo_.local_index(ctx.router);
+    const VcId global_vc = minimal_global_vc(ctx);  // invariant across ports
     for (int k = 0; k < topo_.num_global_ports(); ++k) {
       const PortId port = topo_.first_global_port() + k;
       RouteChoice c;
@@ -80,7 +126,7 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
           topo_.global_link_dest(g, topo_.global_link_of(rl, port));
       if (c.inter_group == rs.dst_group) continue;
       c.port = port;
-      c.vc = minimal_global_vc(ctx);
+      c.vc = global_vc;
       candidates_.push_back(c);
     }
     return;
@@ -90,6 +136,8 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
   // sampled gateway elsewhere in the group (paper Fig. 3 routes b/c) or
   // this router's own ports.
   Rng& rng = ctx.engine.rng();
+  const VcId global_vc = minimal_global_vc(ctx);  // invariant across samples
+  const VcId commit_vc = commit_local_vc(ctx);
   for (int s = 0; s < params_.global_candidates; ++s) {
     auto x = static_cast<GroupId>(
         rng.uniform(static_cast<std::uint64_t>(num_groups)));
@@ -101,12 +149,12 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
     const RouterId gw = topo_.gateway_router(g, x);
     if (gw == ctx.router) {
       c.port = topo_.gateway_port(g, x);
-      c.vc = minimal_global_vc(ctx);
+      c.vc = global_vc;
     } else {
       if (!commit_hop_allowed(ctx, gw)) continue;
       c.port = topo_.local_port_to(topo_.local_index(ctx.router),
                                    topo_.local_index(gw));
-      c.vc = commit_local_vc(ctx);
+      c.vc = commit_vc;
     }
     candidates_.push_back(c);
   }

@@ -36,6 +36,7 @@ class AdaptiveBase : public RoutingAlgorithm {
   AdaptiveBase(const DragonflyTopology& topo, const AdaptiveParams& params);
 
   std::optional<RouteChoice> decide(RoutingContext& ctx) final;
+  std::optional<Hop> pure_minimal_hop(const RoutingContext& ctx) final;
 
   int min_global_vcs() const override { return 2; }
 

@@ -10,8 +10,7 @@ std::optional<RouteChoice> MinimalRouting::decide(RoutingContext& ctx) {
   // Group-ladder VCs: lVC_{1+globals}, gVC_{1+globals}.
   const Hop hop = minimal_hop_with(topo_, ctx.router, ctx.packet,
                                    rs.global_hops, rs.global_hops);
-  const Flit& flit =
-      ctx.engine.input_vc(ctx.router, ctx.in_port, ctx.in_vc).fifo.front();
+  const Flit& flit = ctx.flit;
   if (!ctx.engine.output_usable(ctx.router, hop.port, hop.vc, flit)) {
     return std::nullopt;
   }
@@ -19,6 +18,13 @@ std::optional<RouteChoice> MinimalRouting::decide(RoutingContext& ctx) {
   choice.port = hop.port;
   choice.vc = hop.vc;
   return choice;
+}
+
+std::optional<Hop> MinimalRouting::pure_minimal_hop(const RoutingContext& ctx) {
+  // Minimal routing is the pure-minimal decision everywhere, by name.
+  const RouteState& rs = ctx.packet.rs;
+  return minimal_hop_with(topo_, ctx.router, ctx.packet, rs.global_hops,
+                          rs.global_hops);
 }
 
 }  // namespace dfsim

@@ -13,6 +13,7 @@ class MinimalRouting final : public RoutingAlgorithm {
   explicit MinimalRouting(const DragonflyTopology& topo) : topo_(topo) {}
 
   std::optional<RouteChoice> decide(RoutingContext& ctx) override;
+  std::optional<Hop> pure_minimal_hop(const RoutingContext& ctx) override;
 
   int min_local_vcs() const override { return 2; }
   int min_global_vcs() const override { return 1; }

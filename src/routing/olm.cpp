@@ -14,10 +14,11 @@ int occupied_rank_of(const RoutingContext& ctx,
 }
 }  // namespace
 
-bool OlmRouting::escape_feasible(const DragonflyTopology& topo, int local_vcs,
-                                 int global_vcs, int start_rank,
-                                 RouterId from, const RouteState& rs) {
-  const MinimalClasses seq = minimal_classes(topo, from, rs);
+namespace {
+/// Ladder part of the escape check: can the class sequence be climbed on
+/// strictly ascending ranks starting above `start_rank`?
+bool ladder_feasible(const MinimalClasses& seq, int start_rank, int local_vcs,
+                     int global_vcs) {
   int rank = start_rank;
   for (int i = 0; i < seq.count; ++i) {
     if (seq.cls[i] == PortClass::kLocal) {
@@ -31,6 +32,14 @@ bool OlmRouting::escape_feasible(const DragonflyTopology& topo, int local_vcs,
     }
   }
   return true;
+}
+}  // namespace
+
+bool OlmRouting::escape_feasible(const DragonflyTopology& topo, int local_vcs,
+                                 int global_vcs, int start_rank,
+                                 RouterId from, const RouteState& rs) {
+  return ladder_feasible(minimal_classes(topo, from, rs), start_rank,
+                         local_vcs, global_vcs);
 }
 
 VcId OlmRouting::minimal_local_vc(const RoutingContext& ctx) const {
@@ -63,9 +72,11 @@ void OlmRouting::local_misroute_vcs(const RoutingContext& ctx, RouterId k,
   // means by "balance traffic across the different virtual channels".
   const int local_vcs = ctx.engine.config().local_vcs;
   const int global_vcs = ctx.engine.config().global_vcs;
+  // One minimal-classes walk per misroute target; only the start rank
+  // changes across the candidate VCs.
+  const MinimalClasses seq = minimal_classes(topo_, k, ctx.packet.rs);
   for (VcId v = static_cast<VcId>(local_vcs - 1); v >= 0; --v) {
-    if (escape_feasible(topo_, local_vcs, global_vcs, local_rank(v), k,
-                        ctx.packet.rs)) {
+    if (ladder_feasible(seq, local_rank(v), local_vcs, global_vcs)) {
       vcs.push_back(v);
     }
   }

@@ -30,6 +30,7 @@ class PiggybackRouting final : public RoutingAlgorithm {
                    const PiggybackParams& params);
 
   std::optional<RouteChoice> decide(RoutingContext& ctx) override;
+  std::optional<Hop> pure_minimal_hop(const RoutingContext& ctx) override;
   void per_cycle(Engine& engine) override;
 
   int min_local_vcs() const override { return 3; }

@@ -31,22 +31,54 @@ inline GroupId steering_group(const RouteState& rs, GroupId current) {
   return rs.dst_group;
 }
 
+/// Minimal next-hop port and its class, memoized in the packet: a blocked
+/// head re-evaluates its decision every cycle, and the port depends only
+/// on (router, RouteState), which cannot change while the packet waits.
+inline MinPortCache minimal_port(const DragonflyTopology& topo, RouterId r,
+                                 const Packet& pkt) {
+  if (pkt.min_cache.router == r) return pkt.min_cache;
+  const RouteState& rs = pkt.rs;
+  MinPortCache mc;
+  mc.router = r;
+  if (r == rs.dst_router) {
+    mc.port = topo.terminal_port(pkt.dst);
+    mc.cls = static_cast<std::int8_t>(PortClass::kTerminal);
+  } else {
+    const GroupId g = topo.group_of_router(r);
+    const GroupId tg = steering_group(rs, g);
+    if (g == tg) {
+      mc.port = topo.local_port_to(topo.local_index(r),
+                                   topo.local_index(rs.dst_router));
+      mc.cls = static_cast<std::int8_t>(PortClass::kLocal);
+    } else {
+      const RouterId gw = topo.gateway_router(g, tg);
+      if (r == gw) {
+        mc.port = topo.gateway_port(g, tg);
+        mc.cls = static_cast<std::int8_t>(PortClass::kGlobal);
+      } else {
+        mc.port = topo.local_port_to(topo.local_index(r),
+                                     topo.local_index(gw));
+        mc.cls = static_cast<std::int8_t>(PortClass::kLocal);
+      }
+    }
+  }
+  pkt.min_cache = mc;
+  return mc;
+}
+
 /// Minimal next hop using explicit VC indices for the local/global case.
 inline Hop minimal_hop_with(const DragonflyTopology& topo, RouterId r,
                             const Packet& pkt, VcId local_vc, VcId global_vc) {
-  const RouteState& rs = pkt.rs;
-  if (r == rs.dst_router) return {topo.terminal_port(pkt.dst), 0};
-  const GroupId g = topo.group_of_router(r);
-  const GroupId tg = steering_group(rs, g);
-  if (g == tg) {
-    return {topo.local_port_to(topo.local_index(r),
-                               topo.local_index(rs.dst_router)),
-            local_vc};
+  const MinPortCache mc = minimal_port(topo, r, pkt);
+  switch (static_cast<PortClass>(mc.cls)) {
+    case PortClass::kTerminal:
+      return {mc.port, 0};
+    case PortClass::kGlobal:
+      return {mc.port, global_vc};
+    case PortClass::kLocal:
+      break;
   }
-  const RouterId gw = topo.gateway_router(g, tg);
-  if (r == gw) return {topo.gateway_port(g, tg), global_vc};
-  return {topo.local_port_to(topo.local_index(r), topo.local_index(gw)),
-          local_vc};
+  return {mc.port, local_vc};
 }
 
 /// Class sequence of the *pure minimal* route from `r` to the packet's

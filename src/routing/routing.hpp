@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "routing/route_util.hpp"
 #include "sim/packet.hpp"
 
 namespace dfsim {
@@ -40,6 +41,9 @@ struct RoutingContext {
   PortId in_port;
   VcId in_vc;
   Packet& packet;
+  /// The head flit under decision (the front of (in_port, in_vc)); saves
+  /// mechanisms the buffer lookup on the hottest path in the simulator.
+  const Flit& flit;
 };
 
 class RoutingAlgorithm {
@@ -49,6 +53,20 @@ class RoutingAlgorithm {
   /// Pick this cycle's output for the head flit, or nullopt to wait.
   /// Implementations must only return choices that are usable this cycle.
   virtual std::optional<RouteChoice> decide(RoutingContext& ctx) = 0;
+
+  /// Purity declaration for the decision-retry fast path. If — for the
+  /// packet's CURRENT RouteState at router `ctx.router`, and for ANY
+  /// engine state — decide() is exactly "return the minimal hop iff it is
+  /// usable, else wait", with no RNG draw and no side effects, return
+  /// that minimal hop; otherwise nullopt. The engine caches the answer in
+  /// the packet (RouteState only changes when a hop is taken) and runs
+  /// the usability check itself on every retry cycle, skipping the full
+  /// decide() call. Mechanisms whose decision may misroute, bias, or
+  /// draw randomness at this (packet, router) must return nullopt; the
+  /// default keeps every decision on the slow path.
+  virtual std::optional<Hop> pure_minimal_hop(const RoutingContext& /*ctx*/) {
+    return std::nullopt;
+  }
 
   /// Invoked once per simulated cycle before allocation; mechanisms with
   /// distributed state (Piggybacking's broadcast) refresh it here.

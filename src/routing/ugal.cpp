@@ -8,8 +8,7 @@ namespace dfsim {
 std::optional<RouteChoice> UgalRouting::decide(RoutingContext& ctx) {
   Engine& eng = ctx.engine;
   const RouteState& rs = ctx.packet.rs;
-  const Flit& flit =
-      eng.input_vc(ctx.router, ctx.in_port, ctx.in_vc).fifo.front();
+  const Flit& flit = ctx.flit;
 
   const bool at_injection = !rs.valiant && rs.total_hops == 0 &&
                             ctx.router != rs.dst_router &&
@@ -53,6 +52,17 @@ std::optional<RouteChoice> UgalRouting::decide(RoutingContext& ctx) {
   choice.port = hop.port;
   choice.vc = hop.vc;
   return choice;
+}
+
+std::optional<Hop> UgalRouting::pure_minimal_hop(const RoutingContext& ctx) {
+  const RouteState& rs = ctx.packet.rs;
+  // The injection decision draws a Valiant group and reads queue depths.
+  if (!rs.valiant && rs.total_hops == 0 && ctx.router != rs.dst_router &&
+      topo_.num_groups() >= 3) {
+    return std::nullopt;
+  }
+  return minimal_hop_with(topo_, ctx.router, ctx.packet, rs.global_hops,
+                          rs.global_hops);
 }
 
 }  // namespace dfsim

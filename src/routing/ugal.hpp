@@ -23,6 +23,7 @@ class UgalRouting final : public RoutingAlgorithm {
       : topo_(topo), params_(params) {}
 
   std::optional<RouteChoice> decide(RoutingContext& ctx) override;
+  std::optional<Hop> pure_minimal_hop(const RoutingContext& ctx) override;
 
   int min_local_vcs() const override { return 3; }
   int min_global_vcs() const override { return 2; }

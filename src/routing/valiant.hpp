@@ -15,6 +15,7 @@ class ValiantRouting final : public RoutingAlgorithm {
   explicit ValiantRouting(const DragonflyTopology& topo) : topo_(topo) {}
 
   std::optional<RouteChoice> decide(RoutingContext& ctx) override;
+  std::optional<Hop> pure_minimal_hop(const RoutingContext& ctx) override;
 
   int min_local_vcs() const override { return 3; }
   int min_global_vcs() const override { return 2; }

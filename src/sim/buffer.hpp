@@ -1,32 +1,39 @@
 // Per-(port, VC) buffer state of an input-buffered router.
 #pragma once
 
-#include <deque>
-
+#include "common/ring_buffer.hpp"
 #include "common/types.hpp"
 #include "sim/packet.hpp"
 
 namespace dfsim {
 
 /// One FIFO virtual-channel buffer on an input port. Occupancy is counted
-/// in phits against the configured capacity for the port class.
+/// in phits against the configured capacity for the port class. The flit
+/// storage is a fixed-capacity ring bound to a slice of the engine's
+/// contiguous arena — capacity is buffer_capacity(class) / flit size, so
+/// no push can ever exceed it while credits are accounted correctly.
 struct InputVc {
-  std::deque<Flit> fifo;
+  FixedRing<Flit> fifo;  // 16 bytes
   std::int32_t occupancy_phits = 0;
+
+  /// Wormhole: while a multi-flit packet is being forwarded, body flits
+  /// must follow the head's switch decision. Set when a head flit that is
+  /// not also a tail wins allocation; cleared when the tail is forwarded.
+  /// 16-bit on purpose (ports number < 64): the whole struct packs into
+  /// 32 bytes, two VCs per cache line on the allocation scan.
+  std::int16_t bound_out_port = kInvalid16;
+  std::int16_t bound_out_vc = kInvalid16;
 
   /// Cycle at which the current head flit reached the queue head; the
   /// deadlock watchdog flags heads that stay blocked too long (this
   /// catches partial deadlocks that leave the rest of the network moving).
   Cycle head_since = 0;
 
-  /// Wormhole: while a multi-flit packet is being forwarded, body flits
-  /// must follow the head's switch decision. Set when a head flit that is
-  /// not also a tail wins allocation; cleared when the tail is forwarded.
-  PortId bound_out_port = kInvalid;
-  VcId bound_out_vc = kInvalid;
-
   bool empty() const { return fifo.empty(); }
+
+  static constexpr std::int16_t kInvalid16 = -1;
 };
+static_assert(sizeof(InputVc) == 32);
 
 /// Credit-tracking state for one VC of an output port. `credits_phits` is
 /// the free space believed to exist in the downstream input buffer; it is

@@ -49,6 +49,10 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
       cfg_.flow == FlowControl::kVirtualCutThrough) {
     throw std::invalid_argument("VCT needs local buffers >= packet size");
   }
+  if (cfg_.local_buf_phits < flit_phits_ ||
+      cfg_.global_buf_phits < flit_phits_) {
+    throw std::invalid_argument("buffers must hold at least one flit");
+  }
 
   injection_buf_phits_ = cfg_.injection_buf_phits > 0
                              ? cfg_.injection_buf_phits
@@ -57,27 +61,108 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
   gen_probability_ = injection_.load / static_cast<double>(cfg_.packet_phits);
 
   vc_stride_ = std::max({cfg_.local_vcs, cfg_.global_vcs, 1});
-  const int ports = topo_.ports_per_router();
+  ports_ = topo_.ports_per_router();
+  first_terminal_port_ = topo_.first_terminal_port();
+  terminals_per_router_ = topo_.terminals_per_router();
 
-  if (ports > 63) {
+  if (ports_ > 63) {
     throw std::invalid_argument(
         "router degree above 63 ports unsupported (h <= 16)");
   }
-  routers_.resize(static_cast<size_t>(topo_.num_routers()));
-  for (auto& rt : routers_) {
-    rt.in.resize(static_cast<size_t>(ports * vc_stride_));
-    rt.out.resize(static_cast<size_t>(ports * vc_stride_));
-    rt.out_busy_until.assign(static_cast<size_t>(ports), 0);
-    rt.in_rr.assign(static_cast<size_t>(ports), 0);
-    rt.out_rr.assign(static_cast<size_t>(ports), 0);
-    rt.port_occupied_vcs.assign(static_cast<size_t>(ports), 0);
+  if (vc_stride_ > 16) {
+    throw std::invalid_argument(
+        "more than 16 VCs per port unsupported (nonempty-VC bitmask)");
   }
-  // Initialize credits to the downstream buffer capacity. Port classes
-  // match across a link (local<->local, global<->global).
+  // FixedRing tracks its slice with 16-bit indices; a silent narrowing
+  // would corrupt neighboring VCs' arena slices, so reject up front.
+  if (std::max({cfg_.local_buf_phits, cfg_.global_buf_phits,
+                injection_buf_phits_}) /
+          flit_phits_ >
+      INT16_MAX) {
+    throw std::invalid_argument(
+        "buffer capacity above 32767 flits unsupported (16-bit rings)");
+  }
+
+  cap_by_class_[static_cast<int>(PortClass::kLocal)] = cfg_.local_buf_phits;
+  cap_by_class_[static_cast<int>(PortClass::kGlobal)] = cfg_.global_buf_phits;
+  cap_by_class_[static_cast<int>(PortClass::kTerminal)] =
+      injection_buf_phits_;
+  for (int c = 0; c < 3; ++c) {
+    const int cap = cap_by_class_[c];
+    if (cap > 0 && (cap & (cap - 1)) == 0) {
+      inv_cap_[c] = 1.0 / static_cast<double>(cap);
+    }
+  }
+
+  port_class_.resize(static_cast<size_t>(ports_));
+  vc_count_.resize(static_cast<size_t>(ports_));
+  for (PortId p = 0; p < ports_; ++p) {
+    const PortClass cls = topo_.port_class(p);
+    port_class_[static_cast<size_t>(p)] = static_cast<std::uint8_t>(cls);
+    switch (cls) {
+      case PortClass::kLocal:
+        vc_count_[static_cast<size_t>(p)] = cfg_.local_vcs;
+        break;
+      case PortClass::kGlobal:
+        vc_count_[static_cast<size_t>(p)] = cfg_.global_vcs;
+        break;
+      case PortClass::kTerminal:
+        vc_count_[static_cast<size_t>(p)] = 1;
+        break;
+    }
+  }
+
+  const auto num_routers = static_cast<std::size_t>(topo_.num_routers());
+  const auto num_ports = num_routers * static_cast<std::size_t>(ports_);
+  const auto num_vcs = num_ports * static_cast<std::size_t>(vc_stride_);
+
+  in_vcs_.resize(num_vcs);
+  out_vcs_.resize(num_vcs);
+  vc_sleep_until_.assign(num_vcs, 0);
+  head_hop_.assign(num_vcs, kHeadUnknown);
+  ovc_waiter_head_.assign(num_vcs, -1);
+  vc_waiter_next_.assign(num_vcs, kNotWaiting);
+  out_busy_until_.assign(num_ports, 0);
+  in_scan_.assign(num_ports, 0);
+  out_rr_.assign(num_ports, 0);
+  occupied_ports_.assign(num_routers, 0);
+  nonempty_vcs_.assign(num_routers, 0);
+  active_routers_.assign((num_routers + 63) / 64, 0);
+
+  // Carve the per-VC flit rings out of one contiguous arena. Every flit
+  // in flight is exactly flit_phits_ phits, so a VC of capacity C phits
+  // holds at most C / flit_phits_ flits.
+  std::size_t total_flits = 0;
+  for (PortId p = 0; p < ports_; ++p) {
+    const std::size_t cap_flits = static_cast<std::size_t>(
+        port_capacity(p) / flit_phits_);
+    total_flits +=
+        cap_flits * static_cast<std::size_t>(vc_count(p)) * num_routers;
+  }
+  flit_arena_.resize(total_flits);
+  std::size_t offset = 0;
   for (RouterId r = 0; r < topo_.num_routers(); ++r) {
-    for (PortId p = 0; p < ports; ++p) {
-      const PortClass cls = topo_.port_class(p);
+    for (PortId p = 0; p < ports_; ++p) {
+      const auto cap_flits =
+          static_cast<std::int32_t>(port_capacity(p) / flit_phits_);
+      assert(cap_flits >= 1);
+      for (VcId v = 0; v < vc_count(p); ++v) {
+        in_vc(r, p, v).fifo.bind(flit_arena_.data() + offset, cap_flits);
+        offset += static_cast<std::size_t>(cap_flits);
+      }
+    }
+  }
+  assert(offset == total_flits);
+
+  // Initialize credits to the downstream buffer capacity. Port classes
+  // match across a link (local<->local, global<->global). Cache the far
+  // endpoint of every link while we walk the ports.
+  endpoints_.resize(num_ports);
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    for (PortId p = 0; p < ports_; ++p) {
+      const PortClass cls = pclass(p);
       if (cls == PortClass::kTerminal) continue;
+      endpoints_[port_index(r, p)] = topo_.remote_endpoint(r, p);
       for (VcId v = 0; v < vc_count(p); ++v) {
         out_vc(r, p, v).credits_phits = buffer_capacity(cls);
       }
@@ -85,148 +170,80 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
   }
 
   terminals_.resize(static_cast<size_t>(topo_.num_terminals()));
-  for (auto& ts : terminals_) {
+  pending_terminals_.assign(
+      (static_cast<std::size_t>(topo_.num_terminals()) + 63) / 64, 0);
+  for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
+    TerminalState& ts = terminals_[static_cast<size_t>(t)];
+    ts.router = topo_.router_of_terminal(t);
+    ts.port = topo_.terminal_port(t);
     if (injection_.mode == InjectionProcess::Mode::kBurst) {
       ts.burst_remaining = injection_.burst_packets;
+      if (ts.burst_remaining > 0) mark_terminal_pending(t);
     }
   }
 
   ring_size_ = next_pow2(static_cast<size_t>(
       cfg_.global_latency + std::max(cfg_.packet_phits, flit_phits_) + 4));
-  flit_ring_.resize(ring_size_);
-  credit_ring_.resize(ring_size_);
-  delivery_ring_.resize(ring_size_);
+  flit_ring_.reset(ring_size_);
+  credit_ring_.reset(ring_size_);
+  delivery_ring_.reset(ring_size_);
 
-  out_first_nom_.assign(static_cast<size_t>(ports), -1);
-}
+  pool_.reserve(static_cast<std::size_t>(topo_.num_terminals()) * 4);
 
-int Engine::vc_count(PortId port) const {
-  switch (topo_.port_class(port)) {
-    case PortClass::kLocal:
-      return cfg_.local_vcs;
-    case PortClass::kGlobal:
-      return cfg_.global_vcs;
-    case PortClass::kTerminal:
-      return 1;
-  }
-  return 1;
-}
-
-int Engine::buffer_capacity(PortClass cls) const {
-  switch (cls) {
-    case PortClass::kLocal:
-      return cfg_.local_buf_phits;
-    case PortClass::kGlobal:
-      return cfg_.global_buf_phits;
-    case PortClass::kTerminal:
-      return injection_buf_phits_;
-  }
-  return cfg_.local_buf_phits;
-}
-
-bool Engine::output_usable(RouterId r, PortId port, VcId vc,
-                           const Flit& flit) const {
-  const RouterState& rt = routers_[static_cast<size_t>(r)];
-  if (rt.out_busy_until[static_cast<size_t>(port)] > now_) return false;
-  if (topo_.port_class(port) == PortClass::kTerminal) return true;
-  const OutputVc& ovc = output_vc(r, port, vc);
-  if (flit.head) {
-    if (ovc.bound_packet != kInvalid) return false;
-  } else {
-    if (ovc.bound_packet != flit.packet) return false;
-  }
-  return ovc.credits_phits >= flit.size_phits;
-}
-
-double Engine::output_occupancy(RouterId r, PortId port, VcId vc) const {
-  const PortClass cls = topo_.port_class(port);
-  if (cls == PortClass::kTerminal) return 0.0;
-  const int cap = buffer_capacity(cls);
-  const OutputVc& ovc = output_vc(r, port, vc);
-  return 1.0 - static_cast<double>(ovc.credits_phits) /
-                   static_cast<double>(cap);
-}
-
-double Engine::port_occupancy(RouterId r, PortId port) const {
-  const int n = vc_count(port);
-  double total = 0.0;
-  for (VcId v = 0; v < n; ++v) total += output_occupancy(r, port, v);
-  return total / static_cast<double>(n);
-}
-
-double Engine::port_max_occupancy(RouterId r, PortId port) const {
-  const int n = vc_count(port);
-  double worst = 0.0;
-  for (VcId v = 0; v < n; ++v) {
-    worst = std::max(worst, output_occupancy(r, port, v));
-  }
-  return worst;
-}
-
-int Engine::port_queue_phits(RouterId r, PortId port) const {
-  const PortClass cls = topo_.port_class(port);
-  if (cls == PortClass::kTerminal) return 0;
-  const int cap = buffer_capacity(cls);
-  int total = 0;
-  for (VcId v = 0; v < vc_count(port); ++v) {
-    total += cap - output_vc(r, port, v).credits_phits;
-  }
-  return total;
+  out_first_nom_.assign(static_cast<size_t>(ports_), -1);
 }
 
 void Engine::schedule_flit(Cycle at, FlitEvent ev) {
   assert(at > now_ && at - now_ < ring_size_);
-  flit_ring_[ring_slot(at)].push_back(ev);
+  flit_ring_.push(ring_slot(at), ev);
 }
 
 void Engine::schedule_credit(Cycle at, CreditEvent ev) {
   assert(at > now_ && at - now_ < ring_size_);
-  credit_ring_[ring_slot(at)].push_back(ev);
+  credit_ring_.push(ring_slot(at), ev);
 }
 
 void Engine::schedule_delivery(Cycle at, PacketId id) {
   assert(at > now_ && at - now_ < ring_size_);
-  delivery_ring_[ring_slot(at)].push_back(id);
+  delivery_ring_.push(ring_slot(at), id);
 }
 
 void Engine::process_arrivals() {
   const std::size_t slot = ring_slot(now_);
 
-  auto& credits = credit_ring_[slot];
-  for (const CreditEvent& ev : credits) {
-    OutputVc& ovc = out_vc(ev.router, ev.port, ev.vc);
+  credit_ring_.drain(slot, [&](const CreditEvent& ev) {
+    const std::size_t ovidx = vc_index(ev.router, ev.port, ev.vc);
+    OutputVc& ovc = out_vcs_[ovidx];
     ovc.credits_phits += ev.phits;
-    assert(ovc.credits_phits <=
-           buffer_capacity(topo_.port_class(ev.port)));
-  }
-  credits.clear();
+    assert(ovc.credits_phits <= port_capacity(ev.port));
+    wake_waiters(ovidx);
+  });
 
-  auto& flits = flit_ring_[slot];
-  for (const FlitEvent& ev : flits) {
-    RouterState& rt = routers_[static_cast<size_t>(ev.router)];
-    InputVc& ivc = in_vc(ev.router, ev.port, ev.vc);
+  flit_ring_.drain(slot, [&](const FlitEvent& ev) {
+    const std::size_t vidx = vc_index(ev.router, ev.port, ev.vc);
+    InputVc& ivc = in_vcs_[vidx];
     if (ivc.fifo.empty()) {
-      ++rt.nonempty_vcs;
+      ++nonempty_vcs_[static_cast<size_t>(ev.router)];
       ivc.head_since = now_;
-      if (++rt.port_occupied_vcs[static_cast<size_t>(ev.port)] == 1) {
-        rt.occupied_ports |= 1ULL << ev.port;
+      head_hop_[vidx] = kHeadUnknown;  // this flit becomes the head
+      std::uint32_t& scan = in_scan_[port_index(ev.router, ev.port)];
+      if ((scan >> 16) == 0) {
+        occupied_ports_[static_cast<size_t>(ev.router)] |= 1ULL << ev.port;
       }
+      scan |= 1u << (16 + ev.vc);
+      mark_router_active(ev.router);
     }
     ivc.fifo.push_back(ev.flit);
     ivc.occupancy_phits += ev.flit.size_phits;
-    if (topo_.port_class(ev.port) == PortClass::kTerminal) {
-      const NodeId t = topo_.terminal_id(
-          ev.router, ev.port - topo_.first_terminal_port());
+    if (pclass(ev.port) == PortClass::kTerminal) {
+      const NodeId t = ev.router * terminals_per_router_ +
+                       (ev.port - first_terminal_port_);
       terminals_[static_cast<size_t>(t)].inflight_phits -= ev.flit.size_phits;
     }
-    assert(ivc.occupancy_phits <=
-           buffer_capacity(topo_.port_class(ev.port)));
-  }
-  flits.clear();
+    assert(ivc.occupancy_phits <= port_capacity(ev.port));
+  });
 
-  auto& deliveries = delivery_ring_[slot];
-  for (const PacketId id : deliveries) deliver(id);
-  deliveries.clear();
+  delivery_ring_.drain(slot, [&](PacketId id) { deliver(id); });
 }
 
 void Engine::deliver(PacketId id) {
@@ -238,46 +255,116 @@ void Engine::deliver(PacketId id) {
   last_progress_ = now_;
 }
 
+// Walk only routers with buffered flits, in ascending id order (the same
+// order as the exhaustive scan this replaces — routing mechanisms may draw
+// from the shared RNG inside decide(), so order is part of the contract).
+void Engine::allocate_active_routers() {
+  const std::size_t words = active_routers_.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = active_routers_[w];
+    if (bits == 0) continue;
+    std::uint64_t keep = bits;
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto r = static_cast<RouterId>(w * 64 + static_cast<size_t>(b));
+      if (nonempty_vcs_[static_cast<size_t>(r)] > 0) allocate_router(r);
+      if (nonempty_vcs_[static_cast<size_t>(r)] == 0) {
+        keep &= ~(1ULL << b);  // drained: drop from the worklist
+      }
+    }
+    active_routers_[w] = keep;
+  }
+}
+
 void Engine::allocate_router(RouterId r) {
-  RouterState& rt = routers_[static_cast<size_t>(r)];
-  const int ports = topo_.ports_per_router();
+  const std::size_t rbase = port_index(r, 0);
 
   noms_.clear();
   touched_outs_.clear();
 
-  std::uint64_t pending = rt.occupied_ports;
+  std::uint64_t pending = occupied_ports_[static_cast<size_t>(r)];
   while (pending != 0) {
     const PortId p = static_cast<PortId>(std::countr_zero(pending));
     pending &= pending - 1;
     const int nvc = vc_count(p);
-    const int start = rt.in_rr[static_cast<size_t>(p)] % nvc;
+    const std::uint32_t scan = in_scan_[rbase + static_cast<size_t>(p)];
+    const std::uint32_t mask = scan >> 16;
+    // RR pointers are stored pre-reduced (always < the port's VC count /
+    // port count), so the wraparound is a compare instead of a division.
+    const int start = static_cast<int>(scan & 0xffffu);
     for (int k = 0; k < nvc; ++k) {
-      const VcId v = static_cast<VcId>((start + k) % nvc);
-      InputVc& ivc = in_vc(r, p, v);
-      if (ivc.fifo.empty()) continue;
-      const Flit& flit = ivc.fifo.front();
+      int vi = start + k;
+      if (vi >= nvc) vi -= nvc;
+      if (((mask >> vi) & 1u) == 0) continue;  // empty VC: skip the load
+      const VcId v = static_cast<VcId>(vi);
+      const std::size_t vidx = vc_index(r, p, v);
+      if (vc_sleep_until_[vidx] > now_) continue;  // provably still blocked
+      InputVc& ivc = in_vcs_[vidx];
       if (now_ - ivc.head_since > cfg_.watchdog_cycles) deadlock_ = true;
 
       Nomination nom{p, v, kInvalid, 0, false, {}};
-      if (ivc.bound_out_port != kInvalid) {
+      std::int16_t hh = head_hop_[vidx];
+      if (hh >= 0) {
+        // Cached pure-minimal verdict for this head: decide() would return
+        // exactly this hop iff usable. Neither the packet pool nor the
+        // flit arena needs to be touched to retry it.
+        const PortId op = hh >> 4;
+        const VcId ov = hh & 0xf;
+        if (!head_usable(r, op, ov)) {
+          suppress_retry(vidx, ivc, r, op, ov);
+          continue;
+        }
+        nom.out_port = op;
+        nom.out_vc = ov;
+        nom.fresh = true;
+        nom.choice = RouteChoice{op, ov};
+      } else if (ivc.bound_out_port != kInvalid) {
         // Wormhole continuation: body flits follow the head's decision.
+        const Flit& flit = ivc.fifo.front();
         if (!output_usable(r, ivc.bound_out_port, ivc.bound_out_vc, flit)) {
+          suppress_retry(vidx, ivc, r, ivc.bound_out_port,
+                         ivc.bound_out_vc);
           continue;
         }
         nom.out_port = ivc.bound_out_port;
         nom.out_vc = ivc.bound_out_vc;
       } else {
+        const Flit& flit = ivc.fifo.front();
         assert(flit.head);
         Packet& pkt = pool_[flit.packet];
-        RoutingContext ctx{*this, r, p, v, pkt};
-        const auto choice = routing_.decide(ctx);
-        if (!choice) continue;
-        assert(output_usable(r, choice->port, choice->vc, flit));
-        nom.out_port = choice->port;
-        nom.out_vc = choice->vc;
-        nom.fresh = true;
-        nom.choice = *choice;
+        RoutingContext ctx{*this, r, p, v, pkt, flit};
+        if (hh == kHeadUnknown) {
+          // First decision for this (head, router): ask the mechanism
+          // whether its decision here is provably pure-minimal and
+          // RNG-free, and cache the verdict for the retry cycles.
+          const auto hop = routing_.pure_minimal_hop(ctx);
+          if (hop) {
+            hh = static_cast<std::int16_t>((hop->port << 4) | hop->vc);
+            head_hop_[vidx] = hh;
+            if (!output_usable(r, hop->port, hop->vc, flit)) {
+              suppress_retry(vidx, ivc, r, hop->port, hop->vc);
+              continue;
+            }
+            nom.out_port = hop->port;
+            nom.out_vc = hop->vc;
+            nom.fresh = true;
+            nom.choice = RouteChoice{hop->port, hop->vc};
+            goto nominated;
+          }
+          head_hop_[vidx] = kHeadImpure;
+        }
+        {
+          const auto choice = routing_.decide(ctx);
+          if (!choice) continue;
+          assert(output_usable(r, choice->port, choice->vc, flit));
+          nom.out_port = choice->port;
+          nom.out_vc = choice->vc;
+          nom.fresh = true;
+          nom.choice = *choice;
+        }
       }
+    nominated:
 
       // Output arbitration: keep the requester closest to the RR pointer.
       const auto op = static_cast<size_t>(nom.out_port);
@@ -287,10 +374,11 @@ void Engine::allocate_router(RouterId r) {
         noms_.push_back(nom);
         touched_outs_.push_back(nom.out_port);
       } else {
-        const int base = rt.out_rr[op];
-        const int d_new = (nom.in_port - base + ports) % ports;
-        const int d_cur = (noms_[static_cast<size_t>(cur)].in_port - base +
-                           ports) % ports;
+        const int base = out_rr_[rbase + op];
+        int d_new = nom.in_port - base;
+        if (d_new < 0) d_new += ports_;
+        int d_cur = noms_[static_cast<size_t>(cur)].in_port - base;
+        if (d_cur < 0) d_cur += ports_;
         if (d_new < d_cur) {
           noms_[static_cast<size_t>(cur)] = nom;
         }
@@ -306,21 +394,26 @@ void Engine::allocate_router(RouterId r) {
     const Nomination& nom = noms_[static_cast<size_t>(idx)];
     send_flit(r, nom.in_port, nom.in_vc, nom.out_port, nom.out_vc,
               nom.fresh ? &nom.choice : nullptr);
-    rt.out_rr[static_cast<size_t>(op)] =
-        static_cast<std::uint16_t>((nom.in_port + 1) % ports);
-    rt.in_rr[static_cast<size_t>(nom.in_port)] = static_cast<std::uint16_t>(
-        (nom.in_vc + 1) % vc_count(nom.in_port));
+    const int next_in = nom.in_port + 1;
+    out_rr_[rbase + static_cast<size_t>(op)] =
+        static_cast<std::uint16_t>(next_in == ports_ ? 0 : next_in);
+    const int next_vc = nom.in_vc + 1;
+    std::uint32_t& scan = in_scan_[rbase + static_cast<size_t>(nom.in_port)];
+    scan = (scan & 0xffff0000u) |
+           static_cast<std::uint32_t>(
+               next_vc == vc_count(nom.in_port) ? 0 : next_vc);
   }
 }
 
 void Engine::apply_route_state(Packet& pkt, RouterId r,
                                const RouteChoice& choice) {
+  pkt.min_cache.router = kInvalid;  // the hop changes the route state
   RouteState& rs = pkt.rs;
   if (choice.commit_valiant) {
     rs.valiant = true;
     rs.inter_group = choice.inter_group;
   }
-  switch (topo_.port_class(choice.port)) {
+  switch (pclass(choice.port)) {
     case PortClass::kLocal:
       rs.prev_local_idx = static_cast<std::int8_t>(topo_.local_index(r));
       ++rs.local_hops_group;
@@ -349,15 +442,18 @@ void Engine::apply_route_state(Packet& pkt, RouterId r,
 void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
                        PortId out_port, VcId out_vc_id,
                        const RouteChoice* fresh_choice) {
-  RouterState& rt = routers_[static_cast<size_t>(r)];
-  InputVc& ivc = in_vc(r, in_port, in_vc_id);
+  const std::size_t in_vidx = vc_index(r, in_port, in_vc_id);
+  InputVc& ivc = in_vcs_[in_vidx];
   const Flit flit = ivc.fifo.front();
   ivc.fifo.pop_front();
   ivc.occupancy_phits -= flit.size_phits;
+  head_hop_[in_vidx] = kHeadUnknown;  // whatever follows is a new head
   if (ivc.fifo.empty()) {
-    --rt.nonempty_vcs;
-    if (--rt.port_occupied_vcs[static_cast<size_t>(in_port)] == 0) {
-      rt.occupied_ports &= ~(1ULL << in_port);
+    --nonempty_vcs_[static_cast<size_t>(r)];
+    std::uint32_t& scan = in_scan_[port_index(r, in_port)];
+    scan &= ~(1u << (16 + in_vc_id));
+    if ((scan >> 16) == 0) {
+      occupied_ports_[static_cast<size_t>(r)] &= ~(1ULL << in_port);
     }
   } else {
     ivc.head_since = now_;
@@ -365,9 +461,9 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
 
   // Return the freed space upstream. Injection-buffer space is visible to
   // the co-located source immediately (no wire to cross).
-  const PortClass in_cls = topo_.port_class(in_port);
+  const PortClass in_cls = pclass(in_port);
   if (in_cls != PortClass::kTerminal) {
-    const auto up = topo_.remote_endpoint(r, in_port);
+    const auto up = endpoints_[port_index(r, in_port)];
     schedule_credit(now_ + link_latency(in_cls),
                     {up.router, up.port, in_vc_id, flit.size_phits});
   }
@@ -379,20 +475,20 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
     if (on_hop_) on_hop_(pkt, *fresh_choice, r);
   }
 
-  const PortClass out_cls = topo_.port_class(out_port);
-  rt.out_busy_until[static_cast<size_t>(out_port)] =
+  const PortClass out_cls = pclass(out_port);
+  out_busy_until_[port_index(r, out_port)] =
       now_ + static_cast<Cycle>(flit.size_phits);
   phits_sent_[static_cast<int>(out_cls)] +=
       static_cast<std::uint64_t>(flit.size_phits);
 
   // Input-VC binding for multi-flit packets (wormhole).
   if (flit.head && !flit.tail) {
-    ivc.bound_out_port = out_port;
-    ivc.bound_out_vc = out_vc_id;
+    ivc.bound_out_port = static_cast<std::int16_t>(out_port);
+    ivc.bound_out_vc = static_cast<std::int16_t>(out_vc_id);
   }
   if (flit.tail) {
-    ivc.bound_out_port = kInvalid;
-    ivc.bound_out_vc = kInvalid;
+    ivc.bound_out_port = InputVc::kInvalid16;
+    ivc.bound_out_vc = InputVc::kInvalid16;
   }
 
   if (out_cls == PortClass::kTerminal) {
@@ -404,46 +500,80 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
     return;
   }
 
-  OutputVc& ovc = out_vc(r, out_port, out_vc_id);
+  const std::size_t out_vidx = vc_index(r, out_port, out_vc_id);
+  OutputVc& ovc = out_vcs_[out_vidx];
   ovc.credits_phits -= flit.size_phits;
   assert(ovc.credits_phits >= 0);
   if (cfg_.flow == FlowControl::kWormhole) {
     if (flit.head) ovc.bound_packet = flit.packet;
-    if (flit.tail) ovc.bound_packet = kInvalid;
+    if (flit.tail) {
+      ovc.bound_packet = kInvalid;
+      wake_waiters(out_vidx);
+    }
   }
 
-  const auto down = topo_.remote_endpoint(r, out_port);
+  const auto down = endpoints_[port_index(r, out_port)];
   schedule_flit(
       now_ + static_cast<Cycle>(flit.size_phits + link_latency(out_cls)),
       {down.router, down.port, out_vc_id, flit});
   last_progress_ = now_;
 }
 
+// Terminals draw generation randomness in strict ascending order — that
+// per-terminal draw order is part of the seed contract, so the Bernoulli
+// loop still visits every terminal. The pending bitmap only gates the
+// injection attempt (source-queue, link and buffer checks), which is the
+// expensive part at low load.
 void Engine::inject_terminals() {
-  const bool bernoulli = injection_.mode == InjectionProcess::Mode::kBernoulli;
-  const int num_terms = topo_.num_terminals();
-  for (NodeId t = 0; t < num_terms; ++t) {
-    TerminalState& ts = terminals_[static_cast<size_t>(t)];
-    if (bernoulli && gen_probability_ > 0.0 &&
-        rng_.bernoulli(gen_probability_)) {
-      const bool accepted =
-          ts.pending_created.size() <
-          static_cast<std::size_t>(cfg_.source_queue_cap);
-      if (accepted) ts.pending_created.push_back(now_);
-      if (on_generated_) on_generated_(now_, accepted);
+  const bool draws = injection_.mode == InjectionProcess::Mode::kBernoulli &&
+                     gen_probability_ > 0.0;
+  if (draws) {
+    const int num_terms = topo_.num_terminals();
+    for (NodeId t = 0; t < num_terms; ++t) {
+      if (rng_.bernoulli(gen_probability_)) {
+        TerminalState& ts = terminals_[static_cast<size_t>(t)];
+        const bool accepted =
+            ts.pending_created.size() <
+            static_cast<std::size_t>(cfg_.source_queue_cap);
+        if (accepted) {
+          ts.pending_created.push_back(now_);
+          mark_terminal_pending(t);
+        }
+        if (on_generated_) on_generated_(now_, accepted);
+      }
+      if (terminal_pending(t)) try_inject(t);
     }
-    const bool has_pending =
-        !ts.pending_created.empty() || ts.burst_remaining > 0;
-    if (!has_pending || ts.link_busy_until > now_) continue;
+    return;
+  }
+  // No generation randomness this cycle (burst mode, or zero load): only
+  // terminals with queued work need a look, still in ascending order.
+  const std::size_t words = pending_terminals_.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = pending_terminals_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      try_inject(static_cast<NodeId>(w * 64 + static_cast<size_t>(b)));
+    }
+  }
+}
 
-    const RouterId r = topo_.router_of_terminal(t);
-    const PortId port = topo_.terminal_port(t);
-    const InputVc& ivc = input_vc(r, port, 0);
-    if (ivc.occupancy_phits + ts.inflight_phits + cfg_.packet_phits >
-        injection_buf_phits_) {
-      continue;
-    }
-    materialize(t, ts);
+void Engine::try_inject(NodeId t) {
+  TerminalState& ts = terminals_[static_cast<size_t>(t)];
+  if (ts.pending_created.empty() && ts.burst_remaining == 0) {
+    clear_terminal_pending(t);
+    return;
+  }
+  if (ts.link_busy_until > now_) return;
+
+  const InputVc& ivc = in_vcs_[vc_index(ts.router, ts.port, 0)];
+  if (ivc.occupancy_phits + ts.inflight_phits + cfg_.packet_phits >
+      injection_buf_phits_) {
+    return;
+  }
+  materialize(t, ts);
+  if (ts.pending_created.empty() && ts.burst_remaining == 0) {
+    clear_terminal_pending(t);
   }
 }
 
@@ -479,8 +609,6 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
   pkt.rs.dst_group = topo_.group_of_terminal(dst);
   pkt.rs.src_group = topo_.group_of_terminal(t);
 
-  const RouterId r = topo_.router_of_terminal(t);
-  const PortId port = topo_.terminal_port(t);
   for (int k = 0; k < flits_per_packet_; ++k) {
     Flit flit;
     flit.packet = id;
@@ -489,7 +617,7 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
     flit.head = (k == 0);
     flit.tail = (k == flits_per_packet_ - 1);
     schedule_flit(now_ + static_cast<Cycle>((k + 1) * flit_phits_),
-                  {r, port, 0, flit});
+                  {ts.router, ts.port, 0, flit});
   }
   ts.inflight_phits += cfg_.packet_phits;
   ts.link_busy_until = now_ + static_cast<Cycle>(cfg_.packet_phits);
@@ -500,18 +628,14 @@ void Engine::inject_for_test(NodeId src, NodeId dst, Cycle created) {
   TerminalState& ts = terminals_[static_cast<size_t>(src)];
   ts.pending_created.push_back(created);
   ts.forced_dst.push_back(dst);
+  mark_terminal_pending(src);
 }
 
 bool Engine::step() {
   if (deadlock_) return false;
   process_arrivals();
   routing_.per_cycle(*this);
-  const int num_routers = topo_.num_routers();
-  for (RouterId r = 0; r < num_routers; ++r) {
-    if (routers_[static_cast<size_t>(r)].nonempty_vcs > 0) {
-      allocate_router(r);
-    }
-  }
+  allocate_active_routers();
   inject_terminals();
   if (pool_.in_use() > 0 && now_ - last_progress_ > cfg_.watchdog_cycles) {
     deadlock_ = true;

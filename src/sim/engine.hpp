@@ -10,14 +10,22 @@
 //   2. flit arrivals     (full flit lands in the downstream input VC)
 //   3. switch allocation (input nomination + output round-robin grant)
 //   4. injection         (terminals materialize pending packets)
+//
+// Hot-path layout: all per-router and per-terminal state lives in flat
+// engine-level arrays (no per-router heap objects), every input VC's flit
+// FIFO is a fixed-capacity ring carved from one contiguous arena, and the
+// timing wheels recycle slab chunks across wraps. Two bitmap worklists —
+// active routers and terminals with pending work — keep step() away from
+// idle state entirely. All of it is iterated in ascending id order, so
+// results are bit-identical to the exhaustive scans they replaced.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/ring_buffer.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "routing/routing.hpp"
@@ -82,6 +90,9 @@ class Engine {
          RoutingAlgorithm& routing, TrafficPattern& pattern,
          const InjectionProcess& injection);
 
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
   /// Advance one cycle. Returns false once deadlock was detected.
   bool step();
   /// Run until `end` cycles (absolute) or deadlock.
@@ -108,39 +119,86 @@ class Engine {
   void set_hop_hook(HopHook hook) { on_hop_ = std::move(hook); }
 
   // --- queries used by routing mechanisms -------------------------------
+  // (defined inline: mechanisms call these once or more per decide(), so
+  // they must not cost a cross-module call)
+
   /// True when a flit could depart on (port, vc) this cycle: link idle,
   /// enough credits for the flow-control discipline, and (wormhole) the
   /// downstream VC not owned by another packet.
-  bool output_usable(RouterId r, PortId port, VcId vc, const Flit& flit) const;
+  bool output_usable(RouterId r, PortId port, VcId vc,
+                     const Flit& flit) const {
+    if (out_busy_until_[port_index(r, port)] > now_) return false;
+    if (pclass(port) == PortClass::kTerminal) return true;
+    const OutputVc& ovc = out_vcs_[vc_index(r, port, vc)];
+    if (flit.head) {
+      if (ovc.bound_packet != kInvalid) return false;
+    } else {
+      if (ovc.bound_packet != flit.packet) return false;
+    }
+    return ovc.credits_phits >= flit.size_phits;
+  }
 
   /// Downstream buffer occupancy fraction in [0,1] derived from credits —
   /// the misrouting trigger's input (paper Sec. III: "a misrouting trigger
   /// based on the credits count of the output ports").
-  double output_occupancy(RouterId r, PortId port, VcId vc) const;
+  double output_occupancy(RouterId r, PortId port, VcId vc) const {
+    const int cls = port_class_[static_cast<size_t>(port)];
+    if (static_cast<PortClass>(cls) == PortClass::kTerminal) return 0.0;
+    const OutputVc& ovc = out_vcs_[vc_index(r, port, vc)];
+    // inv_cap_ is nonzero only for power-of-two capacities, where the
+    // multiply is bit-identical to the division (exact exponent shift);
+    // other capacities take the division so results never drift.
+    const double inv = inv_cap_[cls];
+    const double credits = static_cast<double>(ovc.credits_phits);
+    if (inv != 0.0) return 1.0 - credits * inv;
+    return 1.0 - credits / static_cast<double>(cap_by_class_[cls]);
+  }
 
   /// Occupancy averaged over all VCs of an output port.
-  double port_occupancy(RouterId r, PortId port) const;
+  double port_occupancy(RouterId r, PortId port) const {
+    const int n = vc_count(port);
+    double total = 0.0;
+    for (VcId v = 0; v < n; ++v) total += output_occupancy(r, port, v);
+    return total / static_cast<double>(n);
+  }
 
   /// Worst (most occupied) VC of an output port — a saturated VC must not
   /// be diluted by its idle siblings (Piggybacking's saturation signal).
-  double port_max_occupancy(RouterId r, PortId port) const;
+  double port_max_occupancy(RouterId r, PortId port) const {
+    const int n = vc_count(port);
+    double worst = 0.0;
+    for (VcId v = 0; v < n; ++v) {
+      worst = std::max(worst, output_occupancy(r, port, v));
+    }
+    return worst;
+  }
 
   /// Total queued phits believed downstream of an output port, over all
   /// VCs (UGAL's queue-depth comparison).
-  int port_queue_phits(RouterId r, PortId port) const;
+  int port_queue_phits(RouterId r, PortId port) const {
+    if (pclass(port) == PortClass::kTerminal) return 0;
+    const int cap = port_capacity(port);
+    int total = 0;
+    for (VcId v = 0; v < vc_count(port); ++v) {
+      total += cap - out_vcs_[vc_index(r, port, v)].credits_phits;
+    }
+    return total;
+  }
 
-  int vc_count(PortId port) const;
-  int buffer_capacity(PortClass cls) const;
+  int vc_count(PortId port) const {
+    return vc_count_[static_cast<size_t>(port)];
+  }
+  int buffer_capacity(PortClass cls) const {
+    return cap_by_class_[static_cast<int>(cls)];
+  }
   int flit_phits() const { return flit_phits_; }
   int flits_per_packet() const { return flits_per_packet_; }
 
   const InputVc& input_vc(RouterId r, PortId port, VcId vc) const {
-    return routers_[static_cast<size_t>(r)]
-        .in[static_cast<size_t>(port * vc_stride_ + vc)];
+    return in_vcs_[vc_index(r, port, vc)];
   }
   const OutputVc& output_vc(RouterId r, PortId port, VcId vc) const {
-    return routers_[static_cast<size_t>(r)]
-        .out[static_cast<size_t>(port * vc_stride_ + vc)];
+    return out_vcs_[vc_index(r, port, vc)];
   }
   const Packet& packet(PacketId id) const { return pool_[id]; }
 
@@ -150,23 +208,14 @@ class Engine {
   void inject_for_test(NodeId src, NodeId dst, Cycle created);
 
  private:
-  struct RouterState {
-    std::vector<InputVc> in;    // [port * vc_stride + vc]
-    std::vector<OutputVc> out;  // [port * vc_stride + vc]
-    std::vector<Cycle> out_busy_until;
-    std::vector<std::uint16_t> in_rr;   // per input port, over VCs
-    std::vector<std::uint16_t> out_rr;  // per output port, over input ports
-    std::vector<std::uint8_t> port_occupied_vcs;  // nonempty VCs per port
-    std::uint64_t occupied_ports = 0;  // bitmask (4h-1 <= 63 for h <= 16)
-    int nonempty_vcs = 0;
-  };
-
   struct TerminalState {
-    std::deque<Cycle> pending_created;  // capped backlog of creation times
-    std::deque<NodeId> forced_dst;      // scripted destinations (tests)
+    RingDeque<Cycle> pending_created;  // capped backlog of creation times
+    RingDeque<NodeId> forced_dst;      // scripted destinations (tests)
     std::uint64_t burst_remaining = 0;
     Cycle link_busy_until = 0;
     std::int32_t inflight_phits = 0;  // reserved in the injection buffer
+    RouterId router = kInvalid;       // cached topo_.router_of_terminal
+    PortId port = kInvalid;           // cached topo_.terminal_port
   };
 
   struct FlitEvent {
@@ -182,21 +231,109 @@ class Engine {
     std::int32_t phits;
   };
 
+  std::size_t port_index(RouterId r, PortId port) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(ports_) +
+           static_cast<std::size_t>(port);
+  }
+  std::size_t vc_index(RouterId r, PortId port, VcId vc) const {
+    return port_index(r, port) * static_cast<std::size_t>(vc_stride_) +
+           static_cast<std::size_t>(vc);
+  }
+  PortClass pclass(PortId port) const {
+    return static_cast<PortClass>(port_class_[static_cast<size_t>(port)]);
+  }
+  int port_capacity(PortId port) const {
+    return cap_by_class_[port_class_[static_cast<size_t>(port)]];
+  }
+
   InputVc& in_vc(RouterId r, PortId port, VcId vc) {
-    return routers_[static_cast<size_t>(r)]
-        .in[static_cast<size_t>(port * vc_stride_ + vc)];
+    return in_vcs_[vc_index(r, port, vc)];
   }
   OutputVc& out_vc(RouterId r, PortId port, VcId vc) {
-    return routers_[static_cast<size_t>(r)]
-        .out[static_cast<size_t>(port * vc_stride_ + vc)];
+    return out_vcs_[vc_index(r, port, vc)];
+  }
+
+  // --- worklists --------------------------------------------------------
+  void mark_router_active(RouterId r) {
+    active_routers_[static_cast<std::size_t>(r) >> 6] |=
+        1ULL << (static_cast<std::size_t>(r) & 63);
+  }
+  void mark_terminal_pending(NodeId t) {
+    pending_terminals_[static_cast<std::size_t>(t) >> 6] |=
+        1ULL << (static_cast<std::size_t>(t) & 63);
+  }
+  bool terminal_pending(NodeId t) const {
+    return (pending_terminals_[static_cast<std::size_t>(t) >> 6] >>
+            (static_cast<std::size_t>(t) & 63)) &
+           1ULL;
+  }
+  void clear_terminal_pending(NodeId t) {
+    pending_terminals_[static_cast<std::size_t>(t) >> 6] &=
+        ~(1ULL << (static_cast<std::size_t>(t) & 63));
+  }
+
+  /// output_usable() specialized for a head flit (every flit in flight is
+  /// exactly flit_phits_ phits), so pure retries skip the arena read.
+  bool head_usable(RouterId r, PortId port, VcId vc) const {
+    if (out_busy_until_[port_index(r, port)] > now_) return false;
+    if (pclass(port) == PortClass::kTerminal) return true;
+    const OutputVc& ovc = out_vcs_[vc_index(r, port, vc)];
+    return ovc.bound_packet == kInvalid && ovc.credits_phits >= flit_phits_;
+  }
+
+  /// Head at `vidx` just failed its (decision-free) usability check
+  /// toward (out_port, out_vc). Nothing can change the verdict except
+  ///   - the output link's serialization ending (a known future cycle),
+  ///   - a credit arriving on that output VC, or
+  ///   - (wormhole) the VC's owning packet releasing it (tail sent),
+  /// so suppress retries until the earliest such event: a timed sleep for
+  /// the busy case, an entry on the output VC's waiter list for the other
+  /// two. Both are capped at the head's watchdog deadline — exactly the
+  /// first cycle the per-head deadlock check would fire — so detection
+  /// timing is untouched. Only callers that provably draw no RNG while
+  /// blocked (pure-minimal heads, wormhole continuations) may use this.
+  void suppress_retry(std::size_t vidx, const InputVc& ivc, RouterId r,
+                      PortId out_port, VcId out_vc) {
+    const Cycle deadline = ivc.head_since + cfg_.watchdog_cycles + 1;
+    const Cycle busy = out_busy_until_[port_index(r, out_port)];
+    if (busy > now_) {
+      vc_sleep_until_[vidx] = busy < deadline ? busy : deadline;
+      return;
+    }
+    // An idle terminal output is always usable — being blocked on one is
+    // impossible here.
+    assert(pclass(out_port) != PortClass::kTerminal);
+    const std::size_t ovidx = vc_index(r, out_port, out_vc);
+    vc_sleep_until_[vidx] = deadline;
+    if (vc_waiter_next_[vidx] == kNotWaiting) {
+      vc_waiter_next_[vidx] = ovc_waiter_head_[ovidx];
+      ovc_waiter_head_[ovidx] = static_cast<std::int32_t>(vidx);
+    }
+  }
+
+  /// A credit arrived on / ownership was released from output VC `ovidx`:
+  /// put every input VC waiting on it back into the allocation scan.
+  void wake_waiters(std::size_t ovidx) {
+    std::int32_t w = ovc_waiter_head_[ovidx];
+    if (w < 0) return;
+    ovc_waiter_head_[ovidx] = -1;
+    do {
+      const auto wi = static_cast<std::size_t>(w);
+      const std::int32_t next = vc_waiter_next_[wi];
+      vc_waiter_next_[wi] = kNotWaiting;
+      vc_sleep_until_[wi] = 0;
+      w = next;
+    } while (w >= 0);
   }
 
   void process_arrivals();
+  void allocate_active_routers();
   void allocate_router(RouterId r);
   void send_flit(RouterId r, PortId in_port, VcId in_vc_id, PortId out_port,
                  VcId out_vc_id, const RouteChoice* fresh_choice);
   void apply_route_state(Packet& pkt, RouterId r, const RouteChoice& choice);
   void inject_terminals();
+  void try_inject(NodeId terminal);
   void materialize(NodeId terminal, TerminalState& ts);
   void deliver(PacketId id);
 
@@ -216,13 +353,66 @@ class Engine {
   TrafficPattern& pattern_;
   InjectionProcess injection_;
 
+  int ports_;
   int vc_stride_;
+  int first_terminal_port_;
+  int terminals_per_router_;
   int flit_phits_;
   int flits_per_packet_;
   int injection_buf_phits_;
   double gen_probability_;
 
-  std::vector<RouterState> routers_;
+  // Per-port-class constants, indexed by static_cast<int>(PortClass).
+  int cap_by_class_[3] = {0, 0, 0};
+  double inv_cap_[3] = {0.0, 0.0, 0.0};  ///< 1/cap if pow2 capacity, else 0
+
+  // Per-port lookups shared by all routers (the port layout is uniform).
+  std::vector<std::uint8_t> port_class_;  // [port] -> PortClass
+  std::vector<std::int32_t> vc_count_;    // [port]
+
+  // Flat router state, indexed via port_index()/vc_index().
+  std::vector<InputVc> in_vcs_;
+  std::vector<OutputVc> out_vcs_;
+  /// Retry suppression for heads blocked by output serialization: while a
+  /// pure-minimal head (or a wormhole continuation, which never consults
+  /// the routing mechanism) waits on a port that is busy until cycle T,
+  /// no cycle before T can change the verdict and no RNG would be drawn —
+  /// so the VC sleeps until min(T, its watchdog deadline) and the scan
+  /// skips it with a single load. Bit-identical to retrying every cycle.
+  std::vector<Cycle> vc_sleep_until_;
+  /// Per-VC verdict of RoutingAlgorithm::pure_minimal_hop for the current
+  /// head flit: kHeadUnknown (re-ask on next scan), kHeadImpure (full
+  /// decide() every retry), or the encoded pure hop port*16+vc. Reset
+  /// whenever the VC's head changes (send, or arrival into an empty VC);
+  /// the head's RouteState cannot change between those points, so a
+  /// cached verdict never goes stale. Pure retries then touch neither the
+  /// packet pool nor the flit arena.
+  std::vector<std::int16_t> head_hop_;
+  static constexpr std::int16_t kHeadUnknown = -1;
+  static constexpr std::int16_t kHeadImpure = -2;
+  /// Intrusive waiter lists for the event-driven half of retry
+  /// suppression: ovc_waiter_head_[output vc] chains the input VCs whose
+  /// pure heads are blocked on that VC's credits/ownership, linked
+  /// through vc_waiter_next_[input vc] (kNotWaiting when not enlisted).
+  std::vector<std::int32_t> ovc_waiter_head_;
+  std::vector<std::int32_t> vc_waiter_next_;
+  static constexpr std::int32_t kNotWaiting = -2;
+  std::vector<Flit> flit_arena_;  // backs every InputVc::fifo
+  std::vector<DragonflyTopology::Endpoint> endpoints_;  // [router*ports+port]
+  std::vector<Cycle> out_busy_until_;          // [router*ports+port]
+  /// Input-side per-port scan state, packed so the allocation scan loads
+  /// one word per port: low 16 bits = RR pointer over VCs (pre-reduced),
+  /// high 16 bits = bitmask of nonempty VCs.
+  std::vector<std::uint32_t> in_scan_;         // [router*ports+port]
+  std::vector<std::uint16_t> out_rr_;  // [router*ports+port], over inputs
+  std::vector<std::uint64_t> occupied_ports_;  // [router] port bitmask
+  std::vector<std::int32_t> nonempty_vcs_;     // [router]
+
+  // Worklist bitmaps: a router is active while any input VC holds flits; a
+  // terminal is pending while its source queue or burst budget is nonzero.
+  std::vector<std::uint64_t> active_routers_;
+  std::vector<std::uint64_t> pending_terminals_;
+
   std::vector<TerminalState> terminals_;
   PacketPool pool_;
   Rng rng_;
@@ -232,9 +422,9 @@ class Engine {
   bool deadlock_ = false;
 
   std::size_t ring_size_ = 0;
-  std::vector<std::vector<FlitEvent>> flit_ring_;
-  std::vector<std::vector<CreditEvent>> credit_ring_;
-  std::vector<std::vector<PacketId>> delivery_ring_;
+  SlabEventRing<FlitEvent> flit_ring_;
+  SlabEventRing<CreditEvent> credit_ring_;
+  SlabEventRing<PacketId> delivery_ring_;
 
   std::uint64_t delivered_packets_ = 0;
   std::uint64_t delivered_phits_ = 0;

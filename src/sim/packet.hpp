@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "common/types.hpp"
@@ -42,15 +43,32 @@ struct RouteState {
   std::int8_t last_local_vc = -1;
 };
 
+/// Memoized minimal-continuation port for one (packet, router) pairing.
+/// The minimal output port is a pure function of the router and the
+/// packet's RouteState, and a blocked head flit re-runs decide() every
+/// cycle it waits — caching the port walk turns those retries into one
+/// load. Invalidated whenever a hop updates the RouteState.
+struct MinPortCache {
+  RouterId router = kInvalid;  ///< router this entry is valid at
+  PortId port = kInvalid;
+  std::int8_t cls = 0;  ///< PortClass of `port`
+};
+
 struct Packet {
+  // Hot while routing (read by every decide() retry) — keep at the front
+  // so they share a cache line.
   NodeId src = kInvalid;
   NodeId dst = kInvalid;
   std::int32_t size_phits = 0;
   std::int16_t num_flits = 0;
   std::int16_t flit_phits = 0;
+  RouteState rs;
+  /// Decision-retry memo; mutable because deciding doesn't alter a route.
+  mutable MinPortCache min_cache;
+
+  // Read at delivery only.
   Cycle created = 0;   ///< cycle the source generated it (queue time counts)
   Cycle injected = 0;  ///< cycle its head entered the injection buffer
-  RouteState rs;
 };
 
 struct Flit {
@@ -61,12 +79,24 @@ struct Flit {
   bool tail = false;
 };
 
+// Flits are copied into arena ring buffers and event slabs with plain
+// stores; keep them trivially copyable.
+static_assert(std::is_trivially_copyable_v<Flit>);
+
 /// Slab allocator for packets. Open-loop runs create millions of packets;
 /// recycling keeps the working set flat and ids stable while in flight.
 class PacketPool {
  public:
   PacketId alloc();
   void release(PacketId id);
+
+  /// Pre-size both the slot slab and the free list so steady-state churn
+  /// never reallocates. Ids handed out are unaffected: alloc() prefers
+  /// the free list and only grows the slab when it is empty.
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    free_.reserve(n);
+  }
 
   Packet& operator[](PacketId id) { return slots_[static_cast<size_t>(id)]; }
   const Packet& operator[](PacketId id) const {

@@ -1,6 +1,5 @@
 #include "topology/dragonfly_topology.hpp"
 
-#include <cassert>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,90 +8,6 @@ namespace dfsim {
 DragonflyTopology::DragonflyTopology(int h, GlobalArrangement arrangement)
     : h_(h), arrangement_(arrangement) {
   if (h < 1) throw std::invalid_argument("dragonfly h must be >= 1");
-}
-
-PortClass DragonflyTopology::port_class(PortId port) const {
-  if (port < first_global_port()) return PortClass::kLocal;
-  if (port < first_terminal_port()) return PortClass::kGlobal;
-  return PortClass::kTerminal;
-}
-
-int DragonflyTopology::local_peer(int from_local, PortId local_port) const {
-  assert(local_port >= 0 && local_port < num_local_ports());
-  return local_port < from_local ? local_port : local_port + 1;
-}
-
-PortId DragonflyTopology::local_port_to(int from_local, int to_local) const {
-  assert(from_local != to_local);
-  return to_local < from_local ? to_local : to_local - 1;
-}
-
-GroupId DragonflyTopology::global_link_dest(GroupId g, int j) const {
-  const int G = num_groups();
-  if (arrangement_ == GlobalArrangement::kAbsolute) {
-    return (g + j + 1) % G;
-  }
-  return ((g - j - 1) % G + G) % G;
-}
-
-int DragonflyTopology::global_link_reverse(GroupId /*g*/, int j) const {
-  // Both arrangements satisfy dest(dest(g, j), G - 2 - j) == g.
-  return num_groups() - 2 - j;
-}
-
-int DragonflyTopology::global_link_to(GroupId g, GroupId target) const {
-  assert(g != target);
-  const int G = num_groups();
-  int j;
-  if (arrangement_ == GlobalArrangement::kAbsolute) {
-    j = ((target - g - 1) % G + G) % G;
-  } else {
-    j = ((g - target - 1) % G + G) % G;
-  }
-  assert(j >= 0 && j < G - 1);
-  return j;
-}
-
-RouterId DragonflyTopology::gateway_router(GroupId g, GroupId target) const {
-  return router_id(g, global_link_router(global_link_to(g, target)));
-}
-
-PortId DragonflyTopology::gateway_port(GroupId g, GroupId target) const {
-  return global_link_port(global_link_to(g, target));
-}
-
-DragonflyTopology::Endpoint DragonflyTopology::remote_endpoint(
-    RouterId r, PortId port) const {
-  const GroupId g = group_of_router(r);
-  const int rl = local_index(r);
-  switch (port_class(port)) {
-    case PortClass::kLocal: {
-      const int peer = local_peer(rl, port);
-      return {router_id(g, peer), local_port_to(peer, rl)};
-    }
-    case PortClass::kGlobal: {
-      const int j = global_link_of(rl, port);
-      const GroupId dest = global_link_dest(g, j);
-      const int jr = global_link_reverse(g, j);
-      return {router_id(dest, global_link_router(jr)), global_link_port(jr)};
-    }
-    case PortClass::kTerminal:
-      return {};
-  }
-  return {};
-}
-
-int DragonflyTopology::min_hops(RouterId from, RouterId to) const {
-  if (from == to) return 0;
-  const GroupId gf = group_of_router(from);
-  const GroupId gt = group_of_router(to);
-  if (gf == gt) return 1;
-  const RouterId out_gw = gateway_router(gf, gt);
-  const RouterId in_gw = gateway_router(gt, gf);
-  int hops = 1;                 // the global hop
-  if (from != out_gw) ++hops;   // local hop to exit gateway
-  if (to != in_gw) ++hops;      // local hop from entry gateway
-  return hops;
 }
 
 std::string DragonflyTopology::describe() const {

@@ -13,6 +13,7 @@
 //   [3h-1, 4h-1)             terminal ports (injection input / ejection out)
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -54,7 +55,11 @@ class DragonflyTopology {
     return num_local_ports() + num_global_ports();
   }
 
-  PortClass port_class(PortId port) const;
+  PortClass port_class(PortId port) const {
+    if (port < first_global_port()) return PortClass::kLocal;
+    if (port < first_terminal_port()) return PortClass::kGlobal;
+    return PortClass::kTerminal;
+  }
 
   // --- coordinates -----------------------------------------------------
   GroupId group_of_router(RouterId r) const { return r / routers_per_group(); }
@@ -80,18 +85,44 @@ class DragonflyTopology {
   // --- local (intra-group) wiring --------------------------------------
   /// Local index of the router reached by `local_port` of router with
   /// local index `from_local`. Ports enumerate peers skipping self.
-  int local_peer(int from_local, PortId local_port) const;
+  int local_peer(int from_local, PortId local_port) const {
+    assert(local_port >= 0 && local_port < num_local_ports());
+    return local_port < from_local ? local_port : local_port + 1;
+  }
   /// Local port on `from_local` that reaches local index `to_local`.
-  PortId local_port_to(int from_local, int to_local) const;
+  PortId local_port_to(int from_local, int to_local) const {
+    assert(from_local != to_local);
+    return to_local < from_local ? to_local : to_local - 1;
+  }
 
   // --- global (inter-group) wiring --------------------------------------
   /// Group reached by global link index j (0 <= j < 2h^2) of group g.
-  GroupId global_link_dest(GroupId g, int j) const;
+  GroupId global_link_dest(GroupId g, int j) const {
+    const int G = num_groups();
+    if (arrangement_ == GlobalArrangement::kAbsolute) {
+      const int d = g + j + 1;  // g < G, j <= G-2: at most one wrap
+      return d >= G ? d - G : d;
+    }
+    const int d = g - j - 1;
+    return d < 0 ? d + G : d;
+  }
   /// Link index of the reverse direction of link j (same in both groups'
   /// numbering thanks to the arrangement's involution).
-  int global_link_reverse(GroupId g, int j) const;
+  int global_link_reverse(GroupId /*g*/, int j) const {
+    // Both arrangements satisfy dest(dest(g, j), G - 2 - j) == g.
+    return num_groups() - 2 - j;
+  }
   /// Global link index from group `g` toward group `target` (g != target).
-  int global_link_to(GroupId g, GroupId target) const;
+  int global_link_to(GroupId g, GroupId target) const {
+    assert(g != target);
+    const int G = num_groups();
+    // Both operands are in [0, G), so the modulo reduces to one wrap.
+    int j = arrangement_ == GlobalArrangement::kAbsolute ? target - g - 1
+                                                         : g - target - 1;
+    if (j < 0) j += G;
+    assert(j >= 0 && j < G - 1);
+    return j;
+  }
 
   /// Local index of the router inside group `g` owning global link j.
   int global_link_router(int j) const { return j / h_; }
@@ -103,9 +134,13 @@ class DragonflyTopology {
   }
 
   /// Router (global id) inside group `g` owning the link to `target`.
-  RouterId gateway_router(GroupId g, GroupId target) const;
+  RouterId gateway_router(GroupId g, GroupId target) const {
+    return router_id(g, global_link_router(global_link_to(g, target)));
+  }
   /// Global port on `gateway_router(g, target)` reaching `target`.
-  PortId gateway_port(GroupId g, GroupId target) const;
+  PortId gateway_port(GroupId g, GroupId target) const {
+    return global_link_port(global_link_to(g, target));
+  }
 
   // --- link endpoints ---------------------------------------------------
   struct Endpoint {
@@ -114,10 +149,38 @@ class DragonflyTopology {
   };
   /// Router+port on the far side of (router, port). Only for local/global
   /// ports; terminal ports have no router endpoint.
-  Endpoint remote_endpoint(RouterId r, PortId port) const;
+  Endpoint remote_endpoint(RouterId r, PortId port) const {
+    const GroupId g = group_of_router(r);
+    const int rl = local_index(r);
+    switch (port_class(port)) {
+      case PortClass::kLocal: {
+        const int peer = local_peer(rl, port);
+        return {router_id(g, peer), local_port_to(peer, rl)};
+      }
+      case PortClass::kGlobal: {
+        const int j = global_link_of(rl, port);
+        const GroupId dest = global_link_dest(g, j);
+        const int jr = global_link_reverse(g, j);
+        return {router_id(dest, global_link_router(jr)),
+                global_link_port(jr)};
+      }
+      case PortClass::kTerminal:
+        return {};
+    }
+    return {};
+  }
 
   /// Minimal hop distance between routers (0, 1, 2, or 3).
-  int min_hops(RouterId from, RouterId to) const;
+  int min_hops(RouterId from, RouterId to) const {
+    if (from == to) return 0;
+    const GroupId gf = group_of_router(from);
+    const GroupId gt = group_of_router(to);
+    if (gf == gt) return 1;
+    int hops = 1;                                 // the global hop
+    if (from != gateway_router(gf, gt)) ++hops;   // local exit hop
+    if (to != gateway_router(gt, gf)) ++hops;     // local entry hop
+    return hops;
+  }
 
   std::string describe() const;
 

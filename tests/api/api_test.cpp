@@ -2,7 +2,9 @@
 // replication, sweeps and CSV output.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 #include "api/experiment.hpp"
@@ -84,6 +86,57 @@ TEST(Replication, AggregatesAcrossSeeds) {
   EXPECT_GT(r.latency_stddev(), 0.0);
 }
 
+// Regression: replication k used to run with seed `base + k`, so
+// replication 1 of base seed s was the *same stream* as replication 0 of
+// base seed s+1 — neighboring sweep points shared error-bar samples.
+TEST(Replication, SeedsAreDerivedNotOffsets) {
+  EXPECT_NE(replication_seed(1, 1), replication_seed(2, 0));
+  EXPECT_NE(replication_seed(1, 2), replication_seed(3, 0));
+  std::set<std::uint64_t> all;
+  for (std::uint64_t base = 1; base <= 4; ++base) {
+    for (int k = 0; k < 4; ++k) all.insert(replication_seed(base, k));
+  }
+  EXPECT_EQ(all.size(), 16u);  // base+k collides 6 of these
+}
+
+TEST(Replication, ExposesPerRunSeedsAndResults) {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.routing = "minimal";
+  cfg.load = 0.2;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 1000;
+  const ReplicatedResult r = run_replicated(cfg, 2);
+  ASSERT_EQ(r.seeds.size(), 2u);
+  ASSERT_EQ(r.runs.size(), 2u);
+  EXPECT_EQ(r.seeds[0], replication_seed(cfg.seed, 0));
+  EXPECT_EQ(r.seeds[1], replication_seed(cfg.seed, 1));
+  EXPECT_NE(r.seeds[0], r.seeds[1]);
+  EXPECT_GT(r.runs[0].delivered, 0u);
+}
+
+// Regression: the collector counted generated/dropped packets but
+// run_steady never surfaced them, so a saturated point (sources dropping
+// under the queue cap) looked identical to a healthy accepted-load
+// plateau.
+TEST(Facade, SurfacesOfferedLoadAndDropRate) {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.routing = "minimal";
+  cfg.warmup_cycles = 1000;
+  cfg.measure_cycles = 4000;
+
+  cfg.load = 0.2;  // far below saturation: healthy sources
+  const SteadyResult light = run_steady(cfg);
+  EXPECT_NEAR(light.offered_load, 0.2, 0.05);
+  EXPECT_DOUBLE_EQ(light.source_drop_rate, 0.0);
+
+  cfg.load = 1.5;  // far beyond saturation: queue cap must bind
+  const SteadyResult heavy = run_steady(cfg);
+  EXPECT_GT(heavy.offered_load, heavy.accepted_load);
+  EXPECT_GT(heavy.source_drop_rate, 0.0);
+}
+
 TEST(Sweep, ProducesOnePointPerComboInOrder) {
   SimConfig cfg;
   cfg.h = 2;
@@ -104,9 +157,12 @@ TEST(Sweep, PrintFormatsCsv) {
   pts[0].x = 0.5;
   pts[0].result.avg_latency = 123.5;
   pts[0].result.accepted_load = 0.25;
+  pts[0].result.offered_load = 0.5;
+  pts[0].result.source_drop_rate = 0.125;
   print_sweep(os, pts, Metric::kLatency, "offered_load");
   EXPECT_EQ(os.str(),
-            "series,offered_load,avg_latency_cycles\nolm,0.5,123.5\n");
+            "series,offered_load,avg_latency_cycles,offered_load_measured,"
+            "source_drop_rate\nolm,0.5,123.5,0.5,0.125\n");
 }
 
 TEST(Sweep, DefaultLoadsAreEvenlySpaced) {

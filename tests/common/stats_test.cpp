@@ -79,5 +79,29 @@ TEST(Histogram, EmptyPercentileIsZero) {
   EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
 }
 
+// Regression: percentile() used to return the bucket *upper edge*
+// width*(i+1), biasing every percentile upward by up to one bucket width
+// (16 cycles at the collector's default width).
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+  // 100 uniform samples: rank k sits at (k-0.5) under interpolation.
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 49.5);  // upper-edge bug gave 50
+  EXPECT_DOUBLE_EQ(h.percentile(99.0), 98.5);  // upper-edge bug gave 100
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.5);    // upper-edge bug gave 10
+}
+
+// Regression: ranks landing in the overflow bucket were reported as
+// width*(num_buckets+1) — an in-range-looking value one bucket past the
+// end — conflating unbounded samples with the last real bucket. They now
+// pin to the end of the covered range.
+TEST(Histogram, OverflowNotConflatedWithLastBucket) {
+  Histogram h(1.0, 4);
+  h.add(0.5);
+  h.add(1000.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 4.0);  // conflation bug gave 5
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.5);
+}
+
 }  // namespace
 }  // namespace dfsim

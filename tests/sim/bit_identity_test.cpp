@@ -1,0 +1,88 @@
+// Bit-identity pins: run_steady results for one seed per routing
+// algorithm, captured on the pre-refactor engine (PR 1, commit f69a197)
+// with the exact configuration below. The hot-path overhaul (arena flit
+// rings, worklists, decision memoization, retry suppression) must leave
+// every simulated outcome byte-for-byte intact; these doubles are
+// compared exactly, not approximately.
+//
+// p99_latency is deliberately NOT pinned here: the Histogram::percentile
+// bugfix in the same change legitimately shifts it (the old value was
+// biased to the bucket upper edge). Everything else in SteadyResult is
+// produced by the simulation proper and must not move.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/config.hpp"
+#include "api/simulator.hpp"
+
+namespace dfsim {
+namespace {
+
+struct Golden {
+  const char* routing;
+  double avg_latency;
+  double accepted_load;
+  double avg_hops;
+  std::uint64_t delivered;
+};
+
+SimConfig pinned_config() {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.warmup_cycles = 500;
+  cfg.measure_cycles = 1500;
+  cfg.load = 0.3;
+  cfg.seed = 7;
+  return cfg;
+}
+
+// Captured from the pre-refactor engine (printf "%.17g").
+constexpr Golden kVctGoldens[] = {
+    {"minimal", 144.0289732770741, 0.29170370370370369, 2.32658227848101,
+     3555},
+    {"valiant", 275.93769470405044, 0.29459259259259257, 4.1722741433021691,
+     3210},
+    {"olm", 164.74287343215516, 0.29237037037037039, 2.7642531356898568,
+     3508},
+    {"rlm", 158.95648512071915, 0.29814814814814816, 2.6282987085906679,
+     3562},
+    {"par-6/2", 165.63303013075608, 0.29414814814814816, 2.7680500284252467,
+     3518},
+    {"pb", 148.65119589977235, 0.29170370370370369, 2.3712984054669706,
+     3512},
+    {"ugal", 172.24207492795384, 0.29155555555555557, 2.8394812680115304,
+     3470},
+};
+
+TEST(BitIdentity, VctRunSteadyMatchesPreRefactorEngine) {
+  for (const Golden& g : kVctGoldens) {
+    SCOPED_TRACE(g.routing);
+    SimConfig cfg = pinned_config();
+    cfg.routing = g.routing;
+    const SteadyResult r = run_steady(cfg);
+    EXPECT_EQ(r.avg_latency, g.avg_latency);
+    EXPECT_EQ(r.accepted_load, g.accepted_load);
+    EXPECT_EQ(r.avg_hops, g.avg_hops);
+    EXPECT_EQ(r.delivered, g.delivered);
+    EXPECT_FALSE(r.deadlock);
+  }
+}
+
+TEST(BitIdentity, WormholeRunSteadyMatchesPreRefactorEngine) {
+  SimConfig cfg = pinned_config();
+  cfg.routing = "rlm";
+  cfg.flow = FlowControl::kWormhole;
+  cfg.packet_phits = 80;
+  cfg.flit_phits = 10;
+  cfg.load = 0.2;
+  const SteadyResult r = run_steady(cfg);
+  EXPECT_EQ(r.avg_latency, 275.80444444444441);
+  EXPECT_EQ(r.accepted_load, 0.20592592592592593);
+  EXPECT_EQ(r.avg_hops, 2.6622222222222227);
+  EXPECT_EQ(r.delivered, 225u);
+  EXPECT_FALSE(r.deadlock);
+}
+
+}  // namespace
+}  // namespace dfsim
