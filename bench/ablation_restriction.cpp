@@ -16,22 +16,24 @@ int main(int argc, char** argv) {
   SimConfig cfg = bench_defaults();
   bench::banner("Ablation: local-route restriction policies", cfg);
 
-  std::cout << "\n## route-count balance per policy (group of 2h)\n";
+  std::cout << "\n## route-count balance per policy (group of a = 2h)\n";
   {
     CsvWriter csv(std::cout, {"policy", "h", "min_routes", "max_routes"});
     for (const int h : {2, 4, 8}) {
+      // Group size through the topology (a = 2h for balanced shapes).
+      const int a = DragonflyTopology(h).routers_per_group();
       const LocalRouteRestriction ps(RestrictionPolicy::kParitySign);
       const LocalRouteRestriction so(RestrictionPolicy::kSignOnly);
       const LocalRouteRestriction none(RestrictionPolicy::kNone);
       csv.row({"parity-sign", CsvWriter::fmt(h),
-               CsvWriter::fmt(ps.min_two_hop_routes(2 * h)),
-               CsvWriter::fmt(ps.max_two_hop_routes(2 * h))});
+               CsvWriter::fmt(ps.min_two_hop_routes(a)),
+               CsvWriter::fmt(ps.max_two_hop_routes(a))});
       csv.row({"sign-only", CsvWriter::fmt(h),
-               CsvWriter::fmt(so.min_two_hop_routes(2 * h)),
-               CsvWriter::fmt(so.max_two_hop_routes(2 * h))});
+               CsvWriter::fmt(so.min_two_hop_routes(a)),
+               CsvWriter::fmt(so.max_two_hop_routes(a))});
       csv.row({"unrestricted", CsvWriter::fmt(h),
-               CsvWriter::fmt(none.min_two_hop_routes(2 * h)),
-               CsvWriter::fmt(none.max_two_hop_routes(2 * h))});
+               CsvWriter::fmt(none.min_two_hop_routes(a)),
+               CsvWriter::fmt(none.max_two_hop_routes(a))});
     }
   }
 

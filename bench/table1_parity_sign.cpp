@@ -23,9 +23,10 @@ int main(int argc, char** argv) {
   std::cout << "h,group_size,min_two_hop_routes,max_two_hop_routes\n";
   const int max_h = static_cast<int>(env_int("DF_MAX_H", 16));
   for (int h = 2; h <= max_h; h *= 2) {
-    std::cout << h << ',' << 2 * h << ','
-              << restriction.min_two_hop_routes(2 * h) << ','
-              << restriction.max_two_hop_routes(2 * h) << '\n';
+    const int a = DragonflyTopology(h).routers_per_group();
+    std::cout << h << ',' << a << ','
+              << restriction.min_two_hop_routes(a) << ','
+              << restriction.max_two_hop_routes(a) << '\n';
   }
   return 0;
 }

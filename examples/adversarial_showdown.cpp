@@ -18,12 +18,15 @@ int main(int argc, char** argv) {
   cfg.warmup_cycles = 3000;
   cfg.measure_cycles = 8000;
 
-  const dfsim::DragonflyTopology topo(cfg.h);
+  const dfsim::DragonflyTopology topo = cfg.make_topology();
   std::cout << topo.describe() << "\noffered load " << cfg.load
             << " phits/(node*cycle)\n\n";
+  // ADVG: the group's a*p terminals share one global link; ADVL: the
+  // router's p terminals share one local link.
   std::cout << "analytic caps without misrouting: ADVG "
-            << 1.0 / topo.num_groups() << " (single global link), ADVL "
-            << 1.0 / cfg.h << " (single local link)\n\n";
+            << 1.0 / (topo.routers_per_group() * topo.terminals_per_router())
+            << " (single global link), ADVL "
+            << 1.0 / topo.terminals_per_router() << " (single local link)\n\n";
 
   std::cout << std::left << std::setw(14) << "routing" << std::right
             << std::setw(12) << "UN" << std::setw(12) << "ADVG+1"

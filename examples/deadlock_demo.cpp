@@ -13,15 +13,19 @@
 int main() {
   using namespace dfsim;
 
-  std::cout << "== static analysis: intra-group CDG (group of 8) ==\n";
+  // Size the intra-group analysis from the topology (a routers per
+  // group) instead of hard-coding the balanced 2h.
+  const DragonflyTopology topo(4);  // a = 8
+  std::cout << "== static analysis: intra-group CDG (group of "
+            << topo.routers_per_group() << ") ==\n";
   const LocalRouteRestriction none(RestrictionPolicy::kNone);
-  const LocalChannelDependencyGraph g_none(8, none);
+  const LocalChannelDependencyGraph g_none(topo, none);
   const auto cycle = g_none.find_cycle();
   std::cout << "unrestricted: cycle of length " << cycle.size()
             << " among local channels -> deadlock possible\n";
 
   const LocalRouteRestriction ps(RestrictionPolicy::kParitySign);
-  const LocalChannelDependencyGraph g_ps(8, ps);
+  const LocalChannelDependencyGraph g_ps(topo, ps);
   std::cout << "parity-sign:  "
             << (g_ps.has_cycle() ? "CYCLE (bug!)" : "acyclic")
             << " -> RLM is deadlock-free by construction\n\n";

@@ -3,11 +3,13 @@
 // idle; run it again with OLM and watch the load spread. Then do the same
 // for ADVL+1 and local links.
 //
-//   ./link_utilization [h] [load]
+//   ./link_utilization [h | topo-spec] [load]
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <string>
 
+#include "api/config.hpp"
 #include "metrics/link_stats.hpp"
 #include "routing/factory.hpp"
 #include "sim/engine.hpp"
@@ -16,10 +18,17 @@
 
 namespace {
 
+dfsim::DragonflyTopology build_topology(const std::string& shape) {
+  // Accepts a bare h or a full spec string, like SimConfig::topo.
+  const dfsim::TopoParams tp = dfsim::parse_topo_spec(shape);
+  return dfsim::DragonflyTopology(tp.p, tp.a, tp.h, tp.g);
+}
+
 void report(const char* title, const char* routing_name,
-            const char* pattern_name, int h, double load) {
+            const char* pattern_name, const std::string& shape,
+            double load) {
   using namespace dfsim;
-  const DragonflyTopology topo(h);
+  const DragonflyTopology topo = build_topology(shape);
   auto routing = make_routing(routing_name, topo, {});
   auto pattern = make_pattern(topo, pattern_name, 1, 0.0);
   InjectionProcess inj;
@@ -48,18 +57,18 @@ void report(const char* title, const char* routing_name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int h = argc > 1 ? std::atoi(argv[1]) : 3;
+  const std::string shape = argc > 1 ? argv[1] : "3";
   const double load = argc > 2 ? std::atof(argv[2]) : 0.4;
 
-  std::cout << dfsim::DragonflyTopology(h).describe() << ", load " << load
+  std::cout << build_topology(shape).describe() << ", load " << load
             << "\n\n";
   report("ADVG+1, no misrouting: one global link takes everything",
-         "minimal", "advg", h, load);
+         "minimal", "advg", shape, load);
   report("ADVG+1, OLM: Valiant detours spread the global load", "olm",
-         "advg", h, load);
+         "advg", shape, load);
   report("ADVL+1, no misrouting: one local link per router saturates",
-         "minimal", "advl", h, load);
-  report("ADVL+1, OLM: local misrouting spreads it", "olm", "advl", h,
+         "minimal", "advl", shape, load);
+  report("ADVL+1, OLM: local misrouting spreads it", "olm", "advl", shape,
          load);
   return 0;
 }

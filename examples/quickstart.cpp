@@ -1,8 +1,12 @@
 // Quickstart: build a dragonfly, pick a routing mechanism, run uniform
 // and adversarial traffic, print latency/throughput. Start here.
 //
-//   ./quickstart [routing] [h] [load]
+// The topology argument is either a bare h (the balanced paper shape) or
+// a full (p, a, h, g) spec string:
+//
+//   ./quickstart [routing] [h | topo-spec] [load]
 //   ./quickstart olm 4 0.5
+//   ./quickstart rlm p2a6h3g8 0.4
 #include <cstdlib>
 #include <iostream>
 
@@ -11,12 +15,14 @@
 int main(int argc, char** argv) {
   dfsim::SimConfig cfg;
   cfg.routing = argc > 1 ? argv[1] : "olm";
-  cfg.h = argc > 2 ? std::atoi(argv[2]) : 3;
+  // A bare integer is the balanced-h shorthand; anything else is a full
+  // (p, a, h, g) spec — parse_topo_spec handles both.
+  cfg.topo = argc > 2 ? argv[2] : "h3";
   cfg.load = argc > 3 ? std::atof(argv[3]) : 0.5;
   cfg.warmup_cycles = 3000;
   cfg.measure_cycles = 8000;
 
-  const dfsim::DragonflyTopology topo(cfg.h);
+  const dfsim::DragonflyTopology topo = cfg.make_topology();
   std::cout << topo.describe() << "\n";
   std::cout << "routing=" << cfg.routing << " offered load=" << cfg.load
             << " phits/(node*cycle)\n\n";

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   cfg.measure_cycles = 8000;
 
   std::cout << "threshold tuning for " << cfg.routing << " on "
-            << dfsim::DragonflyTopology(cfg.h).describe() << "\n\n";
+            << cfg.make_topology().describe() << "\n\n";
   std::cout << std::left << std::setw(12) << "threshold" << std::right
             << std::setw(14) << "UN thpt" << std::setw(14) << "UN lat"
             << std::setw(14) << "ADVG+1 thpt" << std::setw(14)

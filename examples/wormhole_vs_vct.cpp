@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
   base.pattern_offset = 1;
   base.load = 0.4;
 
-  std::cout << "ADVG+1 at load 0.4 on "
-            << dfsim::DragonflyTopology(base.h).describe() << "\n\n";
+  std::cout << "ADVG+1 at load 0.4 on " << base.make_topology().describe()
+            << "\n\n";
   std::cout << std::left << std::setw(10) << "routing" << std::setw(12)
             << "flow" << std::right << std::setw(12) << "latency"
             << std::setw(12) << "accepted" << "\n";

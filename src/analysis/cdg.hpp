@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "routing/parity_sign.hpp"
+#include "topology/dragonfly_topology.hpp"
 
 namespace dfsim {
 
@@ -25,6 +26,10 @@ class LocalChannelDependencyGraph {
   /// `group_size` routers under `restriction`.
   LocalChannelDependencyGraph(int group_size,
                               const LocalRouteRestriction& restriction);
+  /// Same, sized from a topology's group (a routers, balanced or not).
+  LocalChannelDependencyGraph(const DragonflyTopology& topo,
+                              const LocalRouteRestriction& restriction)
+      : LocalChannelDependencyGraph(topo.routers_per_group(), restriction) {}
 
   int num_channels() const { return group_size_ * (group_size_ - 1); }
   int channel_id(int i, int j) const;  // i != j

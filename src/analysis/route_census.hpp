@@ -9,12 +9,17 @@
 #include <vector>
 
 #include "routing/parity_sign.hpp"
+#include "topology/dragonfly_topology.hpp"
 
 namespace dfsim {
 
 class RouteCensus {
  public:
   RouteCensus(int group_size, const LocalRouteRestriction& restriction);
+  /// Same, sized from a topology's group (a routers, balanced or not).
+  RouteCensus(const DragonflyTopology& topo,
+              const LocalRouteRestriction& restriction)
+      : RouteCensus(topo.routers_per_group(), restriction) {}
 
   /// routes[i][j]: number of allowed 2-hop routes from i to j (i != j).
   const std::vector<std::vector<int>>& routes() const { return routes_; }

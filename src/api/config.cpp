@@ -1,10 +1,209 @@
 #include "api/config.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
 
 #include "common/env.hpp"
 
 namespace dfsim {
+
+TopoParams parse_topo_spec(const std::string& spec) {
+  TopoParams tp;
+  // A bare integer is the balanced-h shorthand ("4" == "h4"), so every
+  // consumer that accepts a spec also accepts a plain h.
+  if (!spec.empty() &&
+      spec.find_first_not_of("0123456789") == std::string::npos) {
+    return parse_topo_spec("h" + spec);
+  }
+  bool seen[4] = {false, false, false, false};  // p, a, h, g
+  std::size_t i = 0;
+  while (i < spec.size()) {
+    const char c = spec[i];
+    if (c == ' ' || c == ',' || c == ';' || c == ':' || c == '=') {
+      ++i;
+      continue;
+    }
+    int* field = nullptr;
+    int slot = -1;
+    switch (std::tolower(static_cast<unsigned char>(c))) {
+      case 'p':
+        field = &tp.p;
+        slot = 0;
+        break;
+      case 'a':
+        field = &tp.a;
+        slot = 1;
+        break;
+      case 'h':
+        field = &tp.h;
+        slot = 2;
+        break;
+      case 'g':
+        field = &tp.g;
+        slot = 3;
+        break;
+      default:
+        throw std::invalid_argument(
+            "topology spec \"" + spec + "\": unknown dimension '" +
+            std::string(1, c) + "' (expected p, a, h or g)");
+    }
+    ++i;
+    while (i < spec.size() && (spec[i] == ' ' || spec[i] == '=')) ++i;
+    std::size_t digits = i;
+    while (digits < spec.size() &&
+           std::isdigit(static_cast<unsigned char>(spec[digits]))) {
+      ++digits;
+    }
+    if (digits == i) {
+      throw std::invalid_argument("topology spec \"" + spec +
+                                  "\": dimension '" + std::string(1, c) +
+                                  "' has no value");
+    }
+    // Bound the value before std::stoi so oversized dimensions get the
+    // documented invalid_argument (not out_of_range), and downstream
+    // a*h arithmetic stays far from integer overflow.
+    if (digits - i > 7) {
+      throw std::invalid_argument("topology spec \"" + spec +
+                                  "\": dimension '" + std::string(1, c) +
+                                  "' value is out of range (max 7 digits)");
+    }
+    if (seen[slot]) {
+      throw std::invalid_argument("topology spec \"" + spec +
+                                  "\": dimension '" + std::string(1, c) +
+                                  "' given twice");
+    }
+    seen[slot] = true;
+    *field = std::stoi(spec.substr(i, digits - i));
+    i = digits;
+  }
+  if (!seen[2]) {
+    throw std::invalid_argument("topology spec \"" + spec +
+                                "\": missing mandatory dimension 'h'");
+  }
+  if (!seen[0]) tp.p = tp.h;
+  if (!seen[1]) tp.a = 2 * tp.h;
+  if (!seen[3]) {
+    const long long max_g =
+        static_cast<long long>(tp.a) * static_cast<long long>(tp.h) + 1;
+    if (max_g > INT32_MAX) {
+      throw std::invalid_argument(
+          "topology spec \"" + spec +
+          "\": balanced default g = a*h + 1 overflows; give g explicitly");
+    }
+    tp.g = static_cast<int>(max_g);
+  }
+  return tp;
+}
+
+TopoParams SimConfig::topo_params() const {
+  if (!topo.empty()) return parse_topo_spec(topo);
+  TopoParams tp;
+  tp.h = h;
+  // Exactly 0 selects the balanced default; negatives flow through so
+  // validate()/the topology constructor reject them with a pointed
+  // message instead of silently running the wrong shape.
+  tp.p = p != 0 ? p : h;
+  // 64-bit intermediates: the balanced defaults multiply user-supplied
+  // knobs, which must not overflow before validate() can reject them.
+  const long long def_a = a != 0 ? a : 2LL * h;
+  const long long def_g =
+      g != 0 ? g : def_a * static_cast<long long>(tp.h) + 1;
+  if (def_a > INT32_MAX || def_a < INT32_MIN || def_g > INT32_MAX ||
+      def_g < INT32_MIN) {
+    throw std::invalid_argument(
+        "SimConfig: balanced topology defaults overflow for h = " +
+        std::to_string(h) + "; set a and g explicitly");
+  }
+  tp.a = static_cast<int>(def_a);
+  tp.g = static_cast<int>(def_g);
+  return tp;
+}
+
+DragonflyTopology SimConfig::make_topology() const {
+  const TopoParams tp = topo_params();
+  return DragonflyTopology(tp.p, tp.a, tp.h, tp.g, arrangement);
+}
+
+void SimConfig::validate() const {
+  const TopoParams tp = topo_params();  // throws on a malformed spec
+  const auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("SimConfig: " + msg);
+  };
+  const auto check_dim = [&](const char* name, int value) {
+    if (value < 1) {
+      std::ostringstream os;
+      os << "topology dimension " << name << " must be >= 1, got " << value;
+      fail(os.str());
+    }
+  };
+  check_dim("h", tp.h);
+  check_dim("p", tp.p);
+  check_dim("a", tp.a);
+  check_dim("g", tp.g);
+  // 64-bit product: directly-set knobs can be arbitrarily large ints.
+  const long long max_groups =
+      static_cast<long long>(tp.a) * static_cast<long long>(tp.h) + 1;
+  if (tp.g > max_groups) {
+    std::ostringstream os;
+    os << "g = " << tp.g << " exceeds the a*h + 1 = " << max_groups
+       << " groups the " << tp.a << "x" << tp.h
+       << " global link slots can connect";
+    fail(os.str());
+  }
+  // RouteState packs local indices into 8 bits (sim/packet.hpp).
+  if (tp.a > 127) {
+    std::ostringstream os;
+    os << "a = " << tp.a << " exceeds the engine's group-size limit of 127";
+    fail(os.str());
+  }
+  // The engine packs per-port state into 64-bit words (sim/engine.cpp);
+  // checking here turns an eventual bad_alloc or engine throw into a
+  // pointed message. a <= 127 already bounds the first term.
+  const long long degree = static_cast<long long>(tp.a) - 1 + tp.h + tp.p;
+  if (degree > 63) {
+    std::ostringstream os;
+    os << "router degree a - 1 + h + p = " << degree
+       << " exceeds the engine's 63-port limit";
+    fail(os.str());
+  }
+  if (!(load > 0.0) || load > 1.0) {
+    std::ostringstream os;
+    os << "load must be in (0, 1], got " << load;
+    fail(os.str());
+  }
+  if (packet_phits < 1) {
+    std::ostringstream os;
+    os << "packet_phits must be >= 1, got " << packet_phits;
+    fail(os.str());
+  }
+  if (flit_phits < 0 || flit_phits > packet_phits) {
+    std::ostringstream os;
+    os << "flit_phits must be 0 (whole-packet) or in [1, packet_phits = "
+       << packet_phits << "], got " << flit_phits;
+    fail(os.str());
+  }
+  if (local_vcs < 1 || global_vcs < 1) {
+    std::ostringstream os;
+    os << "VC counts must be >= 1 per port class (the floor of every "
+          "routing mechanism; counts below a mechanism's own minimum are "
+          "auto-raised), got local_vcs = "
+       << local_vcs << ", global_vcs = " << global_vcs;
+    fail(os.str());
+  }
+  // VCT buffers must hold a whole packet; wormhole ones a whole flit.
+  const int unit =
+      flow == FlowControl::kWormhole && flit_phits > 0 ? flit_phits
+                                                       : packet_phits;
+  if (local_buf_phits < unit || global_buf_phits < unit) {
+    std::ostringstream os;
+    os << "buffers must hold at least one flow-control unit (" << unit
+       << " phits), got local_buf_phits = " << local_buf_phits
+       << ", global_buf_phits = " << global_buf_phits;
+    fail(os.str());
+  }
+}
 
 EngineConfig SimConfig::engine_config(
     const RoutingAlgorithm& routing_algo) const {
@@ -48,6 +247,11 @@ SimConfig bench_defaults() {
     cfg.burst_packets = 200;
   }
   cfg.h = static_cast<int>(env_int("DF_H", cfg.h));
+  // Unbalanced-shape knobs; 0 (the default) keeps the balanced shorthand.
+  cfg.p = static_cast<int>(env_int("DF_P", cfg.p));
+  cfg.a = static_cast<int>(env_int("DF_A", cfg.a));
+  cfg.g = static_cast<int>(env_int("DF_G", cfg.g));
+  cfg.topo = env_str("DF_TOPO", cfg.topo);
   cfg.warmup_cycles =
       static_cast<Cycle>(env_int("DF_WARMUP", static_cast<std::int64_t>(
                                                   cfg.warmup_cycles)));

@@ -13,9 +13,32 @@
 
 namespace dfsim {
 
+/// Resolved dragonfly shape parameters (see SimConfig topology knobs).
+struct TopoParams {
+  int p = 0;  ///< terminals per router
+  int a = 0;  ///< routers per group
+  int h = 0;  ///< global ports per router
+  int g = 0;  ///< number of groups
+};
+
+/// Parse a topology spec string: letter+integer tokens in any order,
+/// optionally separated by spaces/commas (e.g. "h4", "p2a6h3g8",
+/// "p2,a6,h3,g8"). `h` is mandatory; omitted letters default to the
+/// balanced shape for that h (p = h, a = 2h, g = a*h + 1). Throws
+/// std::invalid_argument with a pointed message on malformed input.
+TopoParams parse_topo_spec(const std::string& spec);
+
 struct SimConfig {
   // --- topology ---------------------------------------------------------
+  // The balanced paper shape needs only `h` (shorthand for p = h, a = 2h,
+  // g = 2h^2 + 1). Unbalanced shapes either set p/a/g explicitly (0 keeps
+  // the balanced default for that dimension) or put a full spec string in
+  // `topo`, which then overrides all four numeric knobs.
   int h = 4;
+  int p = 0;         ///< terminals/router; 0 = balanced (p = h)
+  int a = 0;         ///< routers/group;    0 = balanced (a = 2h)
+  int g = 0;         ///< groups;           0 = maximal  (g = a*h + 1)
+  std::string topo;  ///< optional spec string, e.g. "h4" or "p2a6h3g8"
   GlobalArrangement arrangement = GlobalArrangement::kAbsolute;
 
   // --- router / flow control --------------------------------------------
@@ -51,13 +74,28 @@ struct SimConfig {
   Cycle watchdog_cycles = 20000;
   std::uint64_t seed = 1;
 
+  /// The (p, a, h, g) shape this config resolves to: `topo` if set, else
+  /// the numeric knobs with 0s filled from the balanced defaults.
+  TopoParams topo_params() const;
+  /// Construct the topology this config describes.
+  DragonflyTopology make_topology() const;
+
+  /// Throw std::invalid_argument with a precise message when any knob is
+  /// out of range: malformed/inconsistent p/a/h/g, load outside (0, 1],
+  /// non-positive phit counts, flit_phits > packet_phits, or VC counts
+  /// below the floor any mechanism needs (>= 1 per class; the engine
+  /// auto-raises counts below a specific mechanism's minimum). Called by
+  /// run_steady/run_burst before anything is built.
+  void validate() const;
+
   /// Engine-level knobs derived from the above.
   EngineConfig engine_config(const RoutingAlgorithm& routing_algo) const;
   RoutingParams routing_params() const;
 };
 
 /// Defaults for bench binaries: laptop scale unless DF_FULL=1, overridable
-/// via DF_H, DF_WARMUP, DF_MEASURE, DF_SEED, DF_BURST.
+/// via DF_H, DF_P, DF_A, DF_G, DF_TOPO, DF_WARMUP, DF_MEASURE, DF_SEED,
+/// DF_BURST.
 SimConfig bench_defaults();
 
 }  // namespace dfsim

@@ -11,7 +11,7 @@ namespace {
 
 struct Harness {
   explicit Harness(const SimConfig& cfg, InjectionProcess injection)
-      : topo(cfg.h, cfg.arrangement),
+      : topo(cfg.make_topology()),
         routing(make_routing(cfg.routing, topo, cfg.routing_params())),
         pattern(make_pattern(topo, cfg.pattern, cfg.pattern_offset,
                              cfg.global_fraction)),
@@ -36,6 +36,7 @@ struct Harness {
 }  // namespace
 
 SteadyResult run_steady(const SimConfig& cfg) {
+  cfg.validate();
   InjectionProcess inj;
   inj.mode = InjectionProcess::Mode::kBernoulli;
   inj.load = cfg.load;
@@ -58,6 +59,7 @@ SteadyResult run_steady(const SimConfig& cfg) {
 }
 
 BurstResult run_burst(const SimConfig& cfg) {
+  cfg.validate();
   InjectionProcess inj;
   inj.mode = InjectionProcess::Mode::kBurst;
   inj.burst_packets = cfg.burst_packets;

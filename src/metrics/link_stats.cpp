@@ -41,6 +41,7 @@ LinkStats::ClassSummary LinkStats::summarize(PortClass cls,
   for (RouterId r = 0; r < topo_.num_routers(); ++r) {
     for (PortId p = 0; p < topo_.ports_per_router(); ++p) {
       if (topo_.port_class(p) != cls) continue;
+      if (is_unwired(r, p)) continue;
       const double u = utilization(r, p, now);
       total += u;
       s.max = std::max(s.max, u);
@@ -58,6 +59,7 @@ std::vector<LinkStats::HotLink> LinkStats::hottest(PortClass cls, Cycle now,
   for (RouterId r = 0; r < topo_.num_routers(); ++r) {
     for (PortId p = 0; p < topo_.ports_per_router(); ++p) {
       if (topo_.port_class(p) != cls) continue;
+      if (is_unwired(r, p)) continue;
       all.push_back({r, p, utilization(r, p, now)});
     }
   }
@@ -79,12 +81,17 @@ std::string LinkStats::describe_link(RouterId router, PortId port) const {
     case PortClass::kLocal:
       os << " local->r" << topo_.local_peer(topo_.local_index(router), port);
       break;
-    case PortClass::kGlobal:
-      os << " global->g"
-         << topo_.global_link_dest(
-                topo_.group_of_router(router),
-                topo_.global_link_of(topo_.local_index(router), port));
+    case PortClass::kGlobal: {
+      const GroupId dest = topo_.global_link_dest(
+          topo_.group_of_router(router),
+          topo_.global_link_of(topo_.local_index(router), port));
+      if (dest == kInvalid) {
+        os << " global (unwired)";
+      } else {
+        os << " global->g" << dest;
+      }
       break;
+    }
     case PortClass::kTerminal:
       os << " eject->t" << (port - topo_.first_terminal_port());
       break;

@@ -54,6 +54,16 @@ class LinkStats {
   std::string describe_link(RouterId router, PortId port) const;
 
  private:
+  /// Global link slots without a far side (unbalanced shapes) carry no
+  /// traffic and are excluded from class aggregates.
+  bool is_unwired(RouterId router, PortId port) const {
+    return topo_.port_class(port) == PortClass::kGlobal &&
+           topo_.global_link_dest(
+               topo_.group_of_router(router),
+               topo_.global_link_of(topo_.local_index(router), port)) ==
+               kInvalid;
+  }
+
   std::size_t index(RouterId router, PortId port) const {
     return static_cast<std::size_t>(router) *
                static_cast<std::size_t>(topo_.ports_per_router()) +

@@ -124,6 +124,8 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
       c.commit_valiant = true;
       c.inter_group =
           topo_.global_link_dest(g, topo_.global_link_of(rl, port));
+      // Unwired slots (unbalanced shapes) are not candidates.
+      if (c.inter_group == kInvalid) continue;
       if (c.inter_group == rs.dst_group) continue;
       c.port = port;
       c.vc = global_vc;

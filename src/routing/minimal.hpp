@@ -1,6 +1,8 @@
 // Minimal (MIN) routing: always the shortest l-g-l path, ascending VCs
 // lVC1-gVC1-lVC2. The paper's baseline for uniform traffic; collapses to
-// 1/(2h^2+1) throughput under ADVG (single global link per group pair).
+// ~1/(a*p) throughput under ADVG — a group's a*p terminals share the one
+// canonical global link per group pair (1/(2h^2) for the paper's
+// balanced shape).
 #pragma once
 
 #include "routing/routing.hpp"

@@ -9,7 +9,7 @@ PiggybackRouting::PiggybackRouting(const DragonflyTopology& topo,
                                    const PiggybackParams& params)
     : topo_(topo),
       params_(params),
-      links_per_group_(2 * topo.h() * topo.h()),
+      links_per_group_(topo.global_links_per_group()),
       published_(static_cast<size_t>(topo.num_groups() * links_per_group_),
                  0.0) {}
 
@@ -19,6 +19,8 @@ void PiggybackRouting::per_cycle(Engine& engine) {
   }
   for (GroupId g = 0; g < topo_.num_groups(); ++g) {
     for (int j = 0; j < links_per_group_; ++j) {
+      // Unwired slots (unbalanced shapes only) publish a permanent 0.
+      if (topo_.global_link_dest(g, j) == kInvalid) continue;
       const RouterId owner = topo_.router_id(g, topo_.global_link_router(j));
       const PortId port = topo_.global_link_port(j);
       published_[static_cast<size_t>(g * links_per_group_ + j)] =

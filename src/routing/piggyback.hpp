@@ -4,12 +4,13 @@
 //
 // Each router piggybacks the saturation state of its global channels onto
 // traffic inside its group; every router therefore holds a (slightly
-// stale) table of all 2h^2 global-link occupancies of its group. At
+// stale) table of all a*h global-link occupancies of its group. At
 // injection the source picks Valiant iff the minimal global channel is
 // saturated and the candidate Valiant channel is not. Decisions are made
 // only at injection (source routing): no in-transit re-routing and no
-// local misrouting — which is exactly why PB caps at 1/h under ADVG+h
-// (Figs. 4c/5c) and at ~0.5 under pure ADVL (Fig. 6a, via Valiant).
+// local misrouting — which is exactly why PB caps at 1/p (1/h balanced)
+// under ADVG+h (Figs. 4c/5c) and at ~0.5 under pure ADVL (Fig. 6a, via
+// Valiant).
 #pragma once
 
 #include <vector>

@@ -1,4 +1,7 @@
 // Shared route helpers: phase resolution and minimal-hop computation.
+// Everything here is expressed through the topology's gateway tables, so
+// it is valid for any (p, a, h, g) shape — balanced or not, trunked or
+// partially populated global wiring included.
 //
 // A packet's "steering group" is the Valiant intermediate group while a
 // committed global misroute is still pending, and the destination group

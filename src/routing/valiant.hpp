@@ -2,7 +2,8 @@
 // through a uniformly random intermediate group, then forwarded minimally
 // — l-g-l-g-l, VCs lVC1-gVC1-lVC2-gVC2-lVC3. Load-balances ADVG at the
 // cost of halving peak throughput; cannot dodge saturated local links
-// (caps at 1/h under ADVG+h and ADVL, Figs. 4c/5c).
+// (caps at 1/p — the router's p terminals behind one local link — under
+// ADVG+h and ADVL; 1/h for the paper's balanced p = h, Figs. 4c/5c).
 #pragma once
 
 #include "routing/routing.hpp"

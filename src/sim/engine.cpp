@@ -67,7 +67,7 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
 
   if (ports_ > 63) {
     throw std::invalid_argument(
-        "router degree above 63 ports unsupported (h <= 16)");
+        "router degree above 63 ports unsupported (a - 1 + h + p <= 63)");
   }
   if (vc_stride_ > 16) {
     throw std::invalid_argument(

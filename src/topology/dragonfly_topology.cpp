@@ -5,16 +5,119 @@
 
 namespace dfsim {
 
+namespace {
+
+// 64-bit intermediates: the balanced shorthand squares a user-supplied
+// h, which must not overflow before the constructor can reject it.
+int balanced_a(int h) {
+  const long long a = 2LL * h;
+  if (a > INT32_MAX) {
+    throw std::invalid_argument("dragonfly h too large for the balanced "
+                                "shorthand; use the (p, a, h, g) ctor");
+  }
+  return h < 1 ? 1 : static_cast<int>(a);
+}
+
+int balanced_groups(int h) {
+  const long long g = 2LL * h * h + 1;
+  if (g > INT32_MAX) {
+    throw std::invalid_argument("dragonfly h too large for the balanced "
+                                "shorthand; use the (p, a, h, g) ctor");
+  }
+  return g < 1 ? 1 : static_cast<int>(g);
+}
+
+}  // namespace
+
 DragonflyTopology::DragonflyTopology(int h, GlobalArrangement arrangement)
-    : h_(h), arrangement_(arrangement) {
+    : DragonflyTopology(h, balanced_a(h), h, balanced_groups(h),
+                        arrangement) {}
+
+DragonflyTopology::DragonflyTopology(int p, int a, int h, int g,
+                                     GlobalArrangement arrangement)
+    : p_(p), a_(a), h_(h), g_(g), arrangement_(arrangement) {
   if (h < 1) throw std::invalid_argument("dragonfly h must be >= 1");
+  if (p < 1) throw std::invalid_argument("dragonfly p must be >= 1");
+  if (a < 1) throw std::invalid_argument("dragonfly a must be >= 1");
+  if (g < 1) throw std::invalid_argument("dragonfly g must be >= 1");
+  const long long slots = static_cast<long long>(a) * h;
+  if (g > slots + 1) {
+    std::ostringstream os;
+    os << "dragonfly g must be <= a*h + 1 = " << slots + 1
+       << " (each group has only a*h = " << slots
+       << " global link slots); got g = " << g;
+    throw std::invalid_argument(os.str());
+  }
+  // Identifiers are 32-bit; keep every derived count in range, and bound
+  // the global-link tables (g * a*h entries each) before allocating them.
+  const long long terminals =
+      static_cast<long long>(a) * g * p;
+  if (terminals > INT32_MAX / 2) {
+    throw std::invalid_argument(
+        "dragonfly a*g*p exceeds the 32-bit identifier range");
+  }
+  if (slots > INT32_MAX || static_cast<long long>(g) * slots > (1LL << 28)) {
+    throw std::invalid_argument(
+        "dragonfly g*a*h global link slots exceed the supported range");
+  }
+  build_global_tables();
+}
+
+// Global wiring, generated once. Slots are consumed in "rounds" over the
+// g-1 possible group offsets: slot j has round t = j / (g-1) and offset
+// o = j % (g-1) + 1, and connects to group g+o (absolute) or g-o
+// (palmtree), mod g. The far side of offset o is offset g-o in the same
+// round, i.e. slot t*(g-1) + (g-2-o+1) — when that slot index falls past
+// a*h (only possible in the final partial round of an unbalanced shape),
+// the slot stays unwired rather than wiring an asymmetric link. Complete
+// inter-group connectivity is still guaranteed: g <= a*h + 1 means round
+// 0 is always full and covers every offset.
+//
+// Balanced shapes have exactly one full round (a*h = g-1), which makes
+// the tables collapse to the classic closed forms — absolute:
+// dest(g, j) = (g + j + 1) mod G, palmtree: dest(g, j) = (g - j - 1)
+// mod G, reverse(j) = G - 2 - j — preserving historical port numbering
+// bit-for-bit.
+void DragonflyTopology::build_global_tables() {
+  const int L = global_links_per_group();
+  link_dest_.assign(static_cast<std::size_t>(g_) * L, kInvalid);
+  link_reverse_.assign(static_cast<std::size_t>(g_) * L, kInvalid);
+  link_to_.assign(static_cast<std::size_t>(g_) * g_, kInvalid);
+  if (g_ == 1) return;  // single group: all global slots unwired
+
+  const int offsets = g_ - 1;
+  for (GroupId gg = 0; gg < g_; ++gg) {
+    for (int j = 0; j < L; ++j) {
+      const int round = j / offsets;
+      const int c = j % offsets;  // offset index, offset o = c + 1
+      // Far-side offset index: o' = g - o, i.e. c' = g - 2 - c.
+      const int jr = round * offsets + (g_ - 2 - c);
+      if (jr >= L) continue;  // far-side slot missing -> leave unwired
+      const int o = c + 1;
+      const GroupId d = arrangement_ == GlobalArrangement::kAbsolute
+                            ? (gg + o) % g_
+                            : (gg - o + g_) % g_;
+      link_dest_[link_index(gg, j)] = d;
+      link_reverse_[link_index(gg, j)] = jr;
+      auto& canonical = link_to_[static_cast<std::size_t>(gg) * g_ + d];
+      if (canonical == kInvalid) canonical = j;
+    }
+  }
 }
 
 std::string DragonflyTopology::describe() const {
   std::ostringstream os;
-  os << "dragonfly(h=" << h_ << "): " << num_groups() << " groups x "
-     << routers_per_group() << " routers, " << num_routers() << " routers, "
-     << num_terminals() << " terminals, "
+  // Balanced shapes keep the historical one-parameter banner so pinned
+  // bench output stays byte-identical; unbalanced shapes spell out all
+  // four dimensions.
+  if (balanced()) {
+    os << "dragonfly(h=" << h_ << "): ";
+  } else {
+    os << "dragonfly(p=" << p_ << ", a=" << a_ << ", h=" << h_
+       << ", g=" << g_ << "): ";
+  }
+  os << num_groups() << " groups x " << routers_per_group() << " routers, "
+     << num_routers() << " routers, " << num_terminals() << " terminals, "
      << (arrangement_ == GlobalArrangement::kAbsolute ? "absolute"
                                                       : "palmtree")
      << " global arrangement";

@@ -1,53 +1,82 @@
-// Maximum-size well-balanced Dragonfly topology (Kim et al., ISCA'08), as
-// used throughout García et al., ICPP'13:
+// Parametric Dragonfly topology (Kim et al., ISCA'08), covering the full
+// (p, a, h, g) design space:
 //
-//   - integer parameter h
-//   - supernodes (groups) of a = 2h routers, complete local graph K_2h
-//   - G = 2h^2 + 1 groups, complete global graph K_G (one global link
-//     between every pair of groups)
-//   - each router: h terminals, 2h-1 local ports, h global ports
+//   - p terminals per router, a routers per group (complete local graph
+//     K_a), h global ports per router, g groups with g <= a*h + 1
+//   - global links are generated from the arrangement at construction
+//     into per-group link tables; every pair of groups is connected at
+//     least once (the first a*h/(g-1) "rounds" cover all offsets), and
+//     surplus link slots either trunk a pair a second time or stay
+//     unwired (global_link_dest == kInvalid) when their far-side slot
+//     does not exist.
+//
+// The maximum-size well-balanced shape used throughout García et al.,
+// ICPP'13 — p = h, a = 2h, g = 2h^2 + 1 — remains the one-argument
+// shorthand `DragonflyTopology(h)`, and for it the generated tables
+// reproduce the classic closed forms exactly (absolute:
+// dest(g, j) = (g + j + 1) mod G; palmtree: (g - j - 1) mod G;
+// reverse(j) = G - 2 - j), so balanced port numbering and wiring are
+// bit-identical to the historical implementation.
 //
 // Port numbering per router:
-//   [0, 2h-1)                local ports    (peer skips self, see local_peer)
-//   [2h-1, 3h-1)             global ports
-//   [3h-1, 4h-1)             terminal ports (injection input / ejection out)
+//   [0, a-1)                 local ports    (peer skips self, see local_peer)
+//   [a-1, a-1+h)             global ports
+//   [a-1+h, a-1+h+p)         terminal ports (injection input / ejection out)
 #pragma once
 
 #include <cassert>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
 namespace dfsim {
 
 /// Which permutation wires group-to-group links to routers. Both schemes
-/// connect every pair of groups exactly once; they differ in which router
+/// connect every pair of groups at least once; they differ in which router
 /// hosts the link, which matters under adversarial traffic (ablation).
 enum class GlobalArrangement : std::uint8_t {
-  kAbsolute,  ///< link j of group g -> group (g + j + 1) mod G
-  kPalmtree,  ///< link j of group g -> group (g - j - 1) mod G
+  kAbsolute,  ///< link slot offset o of group g -> group (g + o) mod G
+  kPalmtree,  ///< link slot offset o of group g -> group (g - o) mod G
 };
 
 class DragonflyTopology {
  public:
+  /// Balanced shorthand: p = h, a = 2h, g = 2h^2 + 1 (the paper shape).
   explicit DragonflyTopology(
       int h, GlobalArrangement arrangement = GlobalArrangement::kAbsolute);
 
+  /// Full parameterization: p terminals/router, a routers/group, h global
+  /// ports/router, g groups (1 <= g <= a*h + 1).
+  DragonflyTopology(
+      int p, int a, int h, int g,
+      GlobalArrangement arrangement = GlobalArrangement::kAbsolute);
+
   // --- scale ---------------------------------------------------------
+  int p() const { return p_; }
+  int a() const { return a_; }
   int h() const { return h_; }
-  int routers_per_group() const { return 2 * h_; }
-  int num_groups() const { return 2 * h_ * h_ + 1; }
-  int num_routers() const { return routers_per_group() * num_groups(); }
-  int terminals_per_router() const { return h_; }
-  int num_terminals() const { return num_routers() * h_; }
+  int g() const { return g_; }
+  int routers_per_group() const { return a_; }
+  int num_groups() const { return g_; }
+  int num_routers() const { return a_ * g_; }
+  int terminals_per_router() const { return p_; }
+  int num_terminals() const { return num_routers() * p_; }
+  /// Global link slots per group (wired or not): a*h.
+  int global_links_per_group() const { return a_ * h_; }
+  /// True for the paper's maximal well-balanced shape (p=h, a=2h,
+  /// g=2h^2+1), where every global link slot is wired exactly once.
+  bool balanced() const {
+    return p_ == h_ && a_ == 2 * h_ && g_ == a_ * h_ + 1;
+  }
   GlobalArrangement arrangement() const { return arrangement_; }
 
   // --- per-router port layout ----------------------------------------
-  int num_local_ports() const { return 2 * h_ - 1; }
+  int num_local_ports() const { return a_ - 1; }
   int num_global_ports() const { return h_; }
-  int num_terminal_ports() const { return h_; }
-  int ports_per_router() const { return 4 * h_ - 1; }
+  int num_terminal_ports() const { return p_; }
+  int ports_per_router() const { return a_ - 1 + h_ + p_; }
 
   PortId first_local_port() const { return 0; }
   PortId first_global_port() const { return num_local_ports(); }
@@ -62,25 +91,21 @@ class DragonflyTopology {
   }
 
   // --- coordinates -----------------------------------------------------
-  GroupId group_of_router(RouterId r) const { return r / routers_per_group(); }
-  int local_index(RouterId r) const { return r % routers_per_group(); }
+  GroupId group_of_router(RouterId r) const { return r / a_; }
+  int local_index(RouterId r) const { return r % a_; }
   RouterId router_id(GroupId g, int local_idx) const {
-    return g * routers_per_group() + local_idx;
+    return g * a_ + local_idx;
   }
 
-  RouterId router_of_terminal(NodeId t) const {
-    return t / terminals_per_router();
-  }
+  RouterId router_of_terminal(NodeId t) const { return t / p_; }
   GroupId group_of_terminal(NodeId t) const {
     return group_of_router(router_of_terminal(t));
   }
   /// Terminal's ejection/injection port on its router.
   PortId terminal_port(NodeId t) const {
-    return first_terminal_port() + t % terminals_per_router();
+    return first_terminal_port() + t % p_;
   }
-  NodeId terminal_id(RouterId r, int slot) const {
-    return r * terminals_per_router() + slot;
-  }
+  NodeId terminal_id(RouterId r, int slot) const { return r * p_ + slot; }
 
   // --- local (intra-group) wiring --------------------------------------
   /// Local index of the router reached by `local_port` of router with
@@ -96,44 +121,39 @@ class DragonflyTopology {
   }
 
   // --- global (inter-group) wiring --------------------------------------
-  /// Group reached by global link index j (0 <= j < 2h^2) of group g.
+  /// Group reached by global link slot j (0 <= j < a*h) of group g, or
+  /// kInvalid if the slot is unwired (only possible when g < a*h + 1).
   GroupId global_link_dest(GroupId g, int j) const {
-    const int G = num_groups();
-    if (arrangement_ == GlobalArrangement::kAbsolute) {
-      const int d = g + j + 1;  // g < G, j <= G-2: at most one wrap
-      return d >= G ? d - G : d;
-    }
-    const int d = g - j - 1;
-    return d < 0 ? d + G : d;
+    return link_dest_[link_index(g, j)];
   }
-  /// Link index of the reverse direction of link j (same in both groups'
-  /// numbering thanks to the arrangement's involution).
-  int global_link_reverse(GroupId /*g*/, int j) const {
-    // Both arrangements satisfy dest(dest(g, j), G - 2 - j) == g.
-    return num_groups() - 2 - j;
+  /// Slot index of the reverse direction of link j in the destination
+  /// group's numbering; kInvalid for unwired slots.
+  int global_link_reverse(GroupId g, int j) const {
+    return link_reverse_[link_index(g, j)];
   }
-  /// Global link index from group `g` toward group `target` (g != target).
+  /// Canonical (smallest) link slot from group `g` toward group `target`
+  /// (g != target). Minimal routes always use this slot; trunked
+  /// duplicates only carry misrouted traffic.
   int global_link_to(GroupId g, GroupId target) const {
     assert(g != target);
-    const int G = num_groups();
-    // Both operands are in [0, G), so the modulo reduces to one wrap.
-    int j = arrangement_ == GlobalArrangement::kAbsolute ? target - g - 1
-                                                         : g - target - 1;
-    if (j < 0) j += G;
-    assert(j >= 0 && j < G - 1);
+    const int j = link_to_[static_cast<std::size_t>(g) *
+                               static_cast<std::size_t>(g_) +
+                           static_cast<std::size_t>(target)];
+    assert(j != kInvalid);
     return j;
   }
 
-  /// Local index of the router inside group `g` owning global link j.
+  /// Local index of the router inside group `g` owning global link slot j.
   int global_link_router(int j) const { return j / h_; }
-  /// Global port (router-relative) implementing global link j.
+  /// Global port (router-relative) implementing global link slot j.
   PortId global_link_port(int j) const { return first_global_port() + j % h_; }
-  /// Global link index implemented by (`local_idx`, `global_port`).
+  /// Global link slot implemented by (`local_idx`, `global_port`).
   int global_link_of(int local_idx, PortId global_port) const {
     return local_idx * h_ + (global_port - first_global_port());
   }
 
-  /// Router (global id) inside group `g` owning the link to `target`.
+  /// Router (global id) inside group `g` owning the canonical link to
+  /// `target`.
   RouterId gateway_router(GroupId g, GroupId target) const {
     return router_id(g, global_link_router(global_link_to(g, target)));
   }
@@ -148,7 +168,7 @@ class DragonflyTopology {
     PortId port = kInvalid;
   };
   /// Router+port on the far side of (router, port). Only for local/global
-  /// ports; terminal ports have no router endpoint.
+  /// ports; terminal ports and unwired global slots have no endpoint.
   Endpoint remote_endpoint(RouterId r, PortId port) const {
     const GroupId g = group_of_router(r);
     const int rl = local_index(r);
@@ -160,6 +180,7 @@ class DragonflyTopology {
       case PortClass::kGlobal: {
         const int j = global_link_of(rl, port);
         const GroupId dest = global_link_dest(g, j);
+        if (dest == kInvalid) return {};
         const int jr = global_link_reverse(g, j);
         return {router_id(dest, global_link_router(jr)),
                 global_link_port(jr)};
@@ -185,8 +206,26 @@ class DragonflyTopology {
   std::string describe() const;
 
  private:
+  std::size_t link_index(GroupId g, int j) const {
+    assert(g >= 0 && g < g_ && j >= 0 && j < global_links_per_group());
+    return static_cast<std::size_t>(g) *
+               static_cast<std::size_t>(global_links_per_group()) +
+           static_cast<std::size_t>(j);
+  }
+  void build_global_tables();
+
+  int p_;
+  int a_;
   int h_;
+  int g_;
   GlobalArrangement arrangement_;
+
+  /// Arrangement-generated wiring, indexed [group * a*h + slot].
+  std::vector<GroupId> link_dest_;
+  std::vector<std::int32_t> link_reverse_;
+  /// Canonical slot per ordered group pair, indexed [group * g + target];
+  /// kInvalid on the diagonal only.
+  std::vector<std::int32_t> link_to_;
 };
 
 }  // namespace dfsim

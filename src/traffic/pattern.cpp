@@ -4,6 +4,23 @@
 
 namespace dfsim {
 
+namespace {
+
+/// Normalize an adversarial offset into [0, modulus) (negative offsets
+/// wrap, matching the mod-arithmetic the patterns document).
+int normalize_offset(int offset, int modulus) {
+  return ((offset % modulus) + modulus) % modulus;
+}
+
+/// Uniform draw over [0, count) excluding `skip` (0 <= skip < count).
+int uniform_excluding(Rng& rng, int count, int skip) {
+  auto d = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(count - 1)));
+  if (d >= skip) ++d;
+  return d;
+}
+
+}  // namespace
+
 NodeId UniformPattern::dest(NodeId src, Rng& rng) {
   const int n = topo_.num_terminals();
   // Uniform over all terminals except src.
@@ -12,14 +29,43 @@ NodeId UniformPattern::dest(NodeId src, Rng& rng) {
   return d;
 }
 
+AdversarialGlobalPattern::AdversarialGlobalPattern(
+    const DragonflyTopology& topo, int offset)
+    : topo_(topo), offset_(normalize_offset(offset, topo.num_groups())) {
+  if (offset_ == 0 &&
+      topo_.routers_per_group() * topo_.terminals_per_router() < 2) {
+    throw std::invalid_argument(
+        "ADVG offset ≡ 0 (mod g) with a single-terminal group leaves no "
+        "destination other than the source");
+  }
+}
+
 NodeId AdversarialGlobalPattern::dest(NodeId src, Rng& rng) {
   const GroupId g = topo_.group_of_terminal(src);
   const GroupId target = (g + offset_) % topo_.num_groups();
   const int per_group =
       topo_.routers_per_group() * topo_.terminals_per_router();
+  if (target == g) {
+    // Degenerate offset (≡ 0 mod g): honor the never-self contract by
+    // drawing over the group's other terminals.
+    const int src_within = src - g * per_group;
+    return static_cast<NodeId>(
+        g * per_group + uniform_excluding(rng, per_group, src_within));
+  }
   const auto within =
       static_cast<int>(rng.uniform(static_cast<std::uint64_t>(per_group)));
   return static_cast<NodeId>(target * per_group + within);
+}
+
+AdversarialLocalPattern::AdversarialLocalPattern(
+    const DragonflyTopology& topo, int offset)
+    : topo_(topo),
+      offset_(normalize_offset(offset, topo.routers_per_group())) {
+  if (offset_ == 0 && topo_.terminals_per_router() < 2) {
+    throw std::invalid_argument(
+        "ADVL offset ≡ 0 (mod a) with p = 1 leaves no destination other "
+        "than the source");
+  }
 }
 
 NodeId AdversarialLocalPattern::dest(NodeId src, Rng& rng) {
@@ -28,8 +74,14 @@ NodeId AdversarialLocalPattern::dest(NodeId src, Rng& rng) {
   const int target_local =
       (topo_.local_index(r) + offset_) % topo_.routers_per_group();
   const RouterId target = topo_.router_id(g, target_local);
-  const auto slot = static_cast<int>(
-      rng.uniform(static_cast<std::uint64_t>(topo_.terminals_per_router())));
+  const int p = topo_.terminals_per_router();
+  if (target == r) {
+    // Degenerate offset (≡ 0 mod a): draw over the router's other slots.
+    const int src_slot = src - r * p;
+    return topo_.terminal_id(target, uniform_excluding(rng, p, src_slot));
+  }
+  const auto slot =
+      static_cast<int>(rng.uniform(static_cast<std::uint64_t>(p)));
   return topo_.terminal_id(target, slot);
 }
 

@@ -1,13 +1,20 @@
-// Synthetic traffic patterns from the paper's methodology (Sec. IV):
+// Synthetic traffic patterns from the paper's methodology (Sec. IV),
+// generalized to the parametric (p, a, h, g) dragonfly:
 //
 //   UN      — uniform random: every other terminal equally likely.
 //   ADVG+N  — adversarial-global: every node in group i sends to a random
-//             node of group (i+N) mod G; saturates the single global link
-//             between the two groups (throughput cap 1/(2h^2+1) minimal).
+//             node of group (i+N) mod g; saturates the single (canonical)
+//             global link between the two groups (minimal throughput cap
+//             1/(a*p), the group's a*p terminals sharing one link).
 //   ADVL+N  — adversarial-local: every node of router i sends to a random
-//             node of router (i+N) mod 2h in the same group; saturates the
-//             single local link (cap 1/h without local misrouting).
-//   MIX(p)  — ADVG+h with probability p, else ADVL+1 (Figs. 6 and 9).
+//             node of router (i+N) mod a in the same group; saturates the
+//             single local link (cap 1/p without local misrouting).
+//   MIX(f)  — ADVG+h with probability f, else ADVL+1 (Figs. 6 and 9).
+//
+// Offsets are normalized modulo the relevant dimension at construction,
+// and the documented "dest never equals src" contract holds even for the
+// degenerate offsets (N ≡ 0 mod g / mod a), which fall back to a uniform
+// draw over the remaining terminals of the target group/router.
 #pragma once
 
 #include <memory>
@@ -39,8 +46,11 @@ class UniformPattern final : public TrafficPattern {
 
 class AdversarialGlobalPattern final : public TrafficPattern {
  public:
-  AdversarialGlobalPattern(const DragonflyTopology& topo, int offset)
-      : topo_(topo), offset_(offset) {}
+  /// `offset` is normalized mod the group count; an offset ≡ 0 targets
+  /// the sender's own group (minus the sender itself). Throws
+  /// std::invalid_argument when that leaves no valid destination (a
+  /// single-terminal group).
+  AdversarialGlobalPattern(const DragonflyTopology& topo, int offset);
   NodeId dest(NodeId src, Rng& rng) override;
   std::string name() const override {
     return "ADVG+" + std::to_string(offset_);
@@ -53,8 +63,10 @@ class AdversarialGlobalPattern final : public TrafficPattern {
 
 class AdversarialLocalPattern final : public TrafficPattern {
  public:
-  AdversarialLocalPattern(const DragonflyTopology& topo, int offset)
-      : topo_(topo), offset_(offset) {}
+  /// `offset` is normalized mod the group size; an offset ≡ 0 targets
+  /// the sender's own router (minus the sender itself). Throws
+  /// std::invalid_argument when that leaves no valid destination (p = 1).
+  AdversarialLocalPattern(const DragonflyTopology& topo, int offset);
   NodeId dest(NodeId src, Rng& rng) override;
   std::string name() const override {
     return "ADVL+" + std::to_string(offset_);

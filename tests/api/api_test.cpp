@@ -131,7 +131,11 @@ TEST(Facade, SurfacesOfferedLoadAndDropRate) {
   EXPECT_NEAR(light.offered_load, 0.2, 0.05);
   EXPECT_DOUBLE_EQ(light.source_drop_rate, 0.0);
 
-  cfg.load = 1.5;  // far beyond saturation: queue cap must bind
+  // Full load on ADVG+1: minimal routing caps at the single global link
+  // (~1/(a*p) accepted), so the source-queue cap must bind and drop.
+  cfg.pattern = "advg";
+  cfg.pattern_offset = 1;
+  cfg.load = 1.0;
   const SteadyResult heavy = run_steady(cfg);
   EXPECT_GT(heavy.offered_load, heavy.accepted_load);
   EXPECT_GT(heavy.source_drop_rate, 0.0);

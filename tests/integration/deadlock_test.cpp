@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "api/simulator.hpp"
+#include "test_util.hpp"
 
 namespace dfsim {
 namespace {
@@ -76,6 +77,86 @@ TEST_P(DeadlockSeedSweep, SafeMechanismsStaySafe) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeadlockSeedSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// The deadlock-freedom arguments (VC ladders, parity-sign restriction,
+// OLM escape paths) nowhere rely on the balanced shape, so they must
+// survive the palmtree arrangement and unbalanced (p ≠ h, g < a*h + 1)
+// wiring, for EVERY mechanism, under both adversarial stress patterns.
+//
+// Loads sit inside every mechanism's minimal-path envelope (ADVL cap is
+// 1/p without misrouting, ADVG cap 1/(a*p)) and the watchdog horizon is
+// 10k cycles inside a 14k-cycle run: at these operating points a head
+// waiting that long can only be a true cyclic dependency, never the
+// overload-starvation tail the sign-only test above documents.
+using ::dfsim::testing::kAllMechanisms;
+
+SimConfig off_balance(const char* routing, const char* pattern, double load,
+                      bool unbalanced) {
+  SimConfig cfg = stress(routing);
+  cfg.pattern = pattern;
+  cfg.load = load;
+  cfg.measure_cycles = 12000;
+  cfg.watchdog_cycles = 10000;
+  if (unbalanced) {
+    cfg.p = 2;
+    cfg.a = 6;
+    cfg.g = 8;  // h stays 3: p != h, g < a*h + 1 = 19
+  } else {
+    cfg.arrangement = GlobalArrangement::kPalmtree;
+  }
+  return cfg;
+}
+
+class OffBalanceSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(OffBalanceSweep, AllMechanismsStaySafe) {
+  const bool unbalanced = GetParam();
+  for (const char* pattern : {"advl", "advg"}) {
+    const double load = pattern[3] == 'l' ? 0.25 : 0.04;
+    for (const char* routing : kAllMechanisms) {
+      const SteadyResult r =
+          run_steady(off_balance(routing, pattern, load, unbalanced));
+      EXPECT_FALSE(r.deadlock) << routing << " on " << pattern;
+      EXPECT_GT(r.delivered, 0u) << routing << " on " << pattern;
+    }
+  }
+}
+
+// The misrouting mechanisms must additionally survive the full-overload
+// ADVL stress (the balanced tests above) on the generalized wiring.
+TEST_P(OffBalanceSweep, SafeMisroutersSurviveFullStress) {
+  const bool unbalanced = GetParam();
+  for (const char* routing : {"rlm", "olm", "par-6/2"}) {
+    const SteadyResult r =
+        run_steady(off_balance(routing, "advl", 1.0, unbalanced));
+    EXPECT_FALSE(r.deadlock) << routing;
+    EXPECT_GT(r.accepted_load, 0.4) << routing;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OffBalanceSweep, ::testing::Values(false, true),
+    [](const auto& info) {
+      return info.param ? std::string("unbalanced_p2a6h3g8")
+                        : std::string("palmtree_h3");
+    });
+
+TEST(Deadlock, UnbalancedPalmtreeUnrestrictedStillDeadlocks) {
+  // The generalized wiring must not accidentally *hide* the pathology:
+  // unrestricted local misrouting still closes cycles and wedges for
+  // good (seed chosen to form the cycle; it survives a 10k-cycle
+  // watchdog, unlike any starvation artifact).
+  SimConfig cfg = stress("rlm-unrestricted");
+  cfg.p = 2;
+  cfg.a = 6;
+  cfg.g = 8;
+  cfg.arrangement = GlobalArrangement::kPalmtree;
+  cfg.measure_cycles = 16000;
+  cfg.watchdog_cycles = 10000;
+  cfg.seed = 4;
+  const SteadyResult r = run_steady(cfg);
+  EXPECT_TRUE(r.deadlock);
+}
 
 }  // namespace
 }  // namespace dfsim

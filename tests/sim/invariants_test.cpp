@@ -7,6 +7,7 @@
 
 #include "routing/factory.hpp"
 #include "sim/engine.hpp"
+#include "test_util.hpp"
 #include "topology/dragonfly_topology.hpp"
 #include "traffic/pattern.hpp"
 
@@ -38,6 +39,13 @@ void check_invariants(const Engine& engine, const DragonflyTopology& topo) {
         ASSERT_LE(ovc.credits_phits, cap)
             << "r" << r << " p" << p << " v" << v;
         const auto down = topo.remote_endpoint(r, p);
+        if (down.router == kInvalid) {
+          // Unwired global slot (unbalanced shapes only): never carries
+          // traffic, so its input side must stay empty.
+          ASSERT_EQ(ivc.occupancy_phits, 0)
+              << "unwired r" << r << " p" << p << " v" << v;
+          continue;
+        }
         const InputVc& divc = engine.input_vc(down.router, down.port, v);
         ASSERT_LE(ovc.credits_phits + divc.occupancy_phits, cap)
             << "r" << r << " p" << p << " v" << v
@@ -47,9 +55,9 @@ void check_invariants(const Engine& engine, const DragonflyTopology& topo) {
   }
 }
 
-void run_checked(const std::string& routing_name, const EngineConfig& ec,
-                 Cycle cycles) {
-  DragonflyTopology topo(2);
+void run_checked_on(const DragonflyTopology& topo,
+                    const std::string& routing_name, const EngineConfig& ec,
+                    Cycle cycles) {
   auto routing = make_routing(routing_name, topo, {});
   UniformPattern pattern(topo);
   InjectionProcess inj;
@@ -60,6 +68,27 @@ void run_checked(const std::string& routing_name, const EngineConfig& ec,
     check_invariants(engine, topo);
   }
   EXPECT_GT(engine.delivered_packets(), 0u) << routing_name;
+}
+
+void run_checked(const std::string& routing_name, const EngineConfig& ec,
+                 Cycle cycles) {
+  run_checked_on(DragonflyTopology(2), routing_name, ec, cycles);
+}
+
+using ::dfsim::testing::kAllMechanisms;
+
+/// VCs sized for every mechanism in kAllMechanisms at once.
+EngineConfig all_mechanism_config(FlowControl flow) {
+  EngineConfig ec;
+  ec.flow = flow;
+  ec.local_vcs = 6;  // covers par-6/2, the largest requirement
+  ec.global_vcs = 2;
+  if (flow == FlowControl::kWormhole) {
+    ec.packet_phits = 80;
+    ec.flit_phits = 10;
+  }
+  ec.seed = 17;
+  return ec;
 }
 
 TEST(EngineInvariants, VctEveryCycle) {
@@ -79,6 +108,36 @@ TEST(EngineInvariants, WormholeEveryCycle) {
     ec.local_vcs = 6;  // covers par-6/2's requirement
     ec.seed = 17;
     run_checked(routing, ec, 2500);
+  }
+}
+
+// The same per-cycle invariants must hold for every mechanism when the
+// topology leaves the balanced shape: palmtree arrangement, and the
+// unbalanced reference (p=2, a=6, h=3, g=8) whose global wiring is
+// trunked and partially populated.
+TEST(EngineInvariants, PalmtreeEveryMechanism) {
+  const DragonflyTopology topo(2, GlobalArrangement::kPalmtree);
+  for (const char* routing : kAllMechanisms) {
+    run_checked_on(topo, routing,
+                   all_mechanism_config(FlowControl::kVirtualCutThrough),
+                   1500);
+  }
+}
+
+TEST(EngineInvariants, UnbalancedEveryMechanism) {
+  const DragonflyTopology topo(2, 6, 3, 8);
+  for (const char* routing : kAllMechanisms) {
+    run_checked_on(topo, routing,
+                   all_mechanism_config(FlowControl::kVirtualCutThrough),
+                   1500);
+  }
+}
+
+TEST(EngineInvariants, UnbalancedPalmtreeWormhole) {
+  const DragonflyTopology topo(2, 6, 3, 8, GlobalArrangement::kPalmtree);
+  for (const char* routing : {"minimal", "rlm", "par-6/2", "pb"}) {
+    run_checked_on(topo, routing,
+                   all_mechanism_config(FlowControl::kWormhole), 1500);
   }
 }
 

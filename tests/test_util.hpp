@@ -17,6 +17,13 @@
 
 namespace dfsim::testing {
 
+/// Every user-facing routing mechanism the factory can build (the
+/// rlm-signonly/rlm-unrestricted ablation variants excluded). Sweeps
+/// that claim "every mechanism" coverage iterate this list so a new
+/// factory entry only needs adding here.
+inline constexpr const char* kAllMechanisms[] = {
+    "minimal", "valiant", "ugal", "pb", "olm", "rlm", "par-6/2"};
+
 /// Pattern that must never be asked (tests drive inject_for_test).
 class NeverPattern final : public TrafficPattern {
  public:

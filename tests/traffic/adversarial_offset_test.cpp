@@ -1,0 +1,120 @@
+// Regression tests for the adversarial patterns' offset handling: the
+// documented contract is "dest never equals src", which used to break
+// when the offset was ≡ 0 modulo the group count (ADVG) or the group
+// size (ADVL) — the target group/router then contains the source, and
+// the unguarded uniform draw could return it. Offsets are now normalized
+// at construction and the degenerate cases exclude the source.
+#include "traffic/pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dfsim {
+namespace {
+
+TEST(AdvGlobalOffset, MultipleOfGroupCountNeverSelfSends) {
+  const DragonflyTopology topo(2);  // G = 9
+  for (const int offset : {0, 9, 18, -9}) {
+    AdversarialGlobalPattern p(topo, offset);
+    Rng rng(31);
+    for (NodeId src : {0, 1, 17, topo.num_terminals() - 1}) {
+      const GroupId g = topo.group_of_terminal(src);
+      std::set<NodeId> seen;
+      for (int i = 0; i < 500; ++i) {
+        const NodeId d = p.dest(src, rng);
+        EXPECT_NE(d, src) << "offset " << offset;
+        EXPECT_EQ(topo.group_of_terminal(d), g);  // wraps to its own group
+        seen.insert(d);
+      }
+      // Every other terminal of the group is reachable.
+      const int per_group =
+          topo.routers_per_group() * topo.terminals_per_router();
+      EXPECT_EQ(static_cast<int>(seen.size()), per_group - 1);
+    }
+  }
+}
+
+TEST(AdvGlobalOffset, NormalizesToCanonicalRangeInName) {
+  const DragonflyTopology topo(2);  // G = 9
+  EXPECT_EQ(AdversarialGlobalPattern(topo, 10).name(), "ADVG+1");
+  EXPECT_EQ(AdversarialGlobalPattern(topo, -1).name(), "ADVG+8");
+  EXPECT_EQ(AdversarialGlobalPattern(topo, 9).name(), "ADVG+0");
+}
+
+TEST(AdvGlobalOffset, NonDegenerateOffsetsKeepTargetingOffsetGroup) {
+  const DragonflyTopology topo(2);  // G = 9
+  AdversarialGlobalPattern p(topo, 10);  // ≡ +1
+  Rng rng(37);
+  for (int i = 0; i < 300; ++i) {
+    const NodeId d = p.dest(5, rng);
+    EXPECT_EQ(topo.group_of_terminal(d),
+              (topo.group_of_terminal(5) + 1) % topo.num_groups());
+  }
+}
+
+TEST(AdvLocalOffset, MultipleOfGroupSizeNeverSelfSends) {
+  const DragonflyTopology topo(2);  // a = 4, p = 2
+  for (const int offset : {0, 4, 8, -4}) {
+    AdversarialLocalPattern p(topo, offset);
+    Rng rng(41);
+    for (NodeId src : {0, 3, 30, topo.num_terminals() - 1}) {
+      const RouterId r = topo.router_of_terminal(src);
+      std::set<NodeId> seen;
+      for (int i = 0; i < 300; ++i) {
+        const NodeId d = p.dest(src, rng);
+        EXPECT_NE(d, src) << "offset " << offset;
+        EXPECT_EQ(topo.router_of_terminal(d), r);  // wraps to its router
+        seen.insert(d);
+      }
+      // All of the router's other slots are reachable.
+      EXPECT_EQ(static_cast<int>(seen.size()),
+                topo.terminals_per_router() - 1);
+    }
+  }
+}
+
+TEST(AdvLocalOffset, NormalizesModuloGroupSize) {
+  const DragonflyTopology topo(2);  // a = 4
+  EXPECT_EQ(AdversarialLocalPattern(topo, 5).name(), "ADVL+1");
+  EXPECT_EQ(AdversarialLocalPattern(topo, -1).name(), "ADVL+3");
+
+  AdversarialLocalPattern p(topo, 5);  // ≡ +1
+  Rng rng(43);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId d = p.dest(0, rng);
+    EXPECT_EQ(topo.local_index(topo.router_of_terminal(d)), 1);
+  }
+}
+
+TEST(AdvOffset, DegenerateWithSingleDestinationThrows) {
+  // p = 1: an ADVL offset ≡ 0 (mod a) leaves only the source itself.
+  const DragonflyTopology thin(1, 4, 2, 5);
+  EXPECT_THROW(AdversarialLocalPattern(thin, 0), std::invalid_argument);
+  EXPECT_THROW(AdversarialLocalPattern(thin, 4), std::invalid_argument);
+  EXPECT_NO_THROW(AdversarialLocalPattern(thin, 1));
+  // A 1x1 group would do the same for ADVG.
+  const DragonflyTopology lone(1, 1, 2, 3);
+  EXPECT_THROW(AdversarialGlobalPattern(lone, 0), std::invalid_argument);
+  EXPECT_NO_THROW(AdversarialGlobalPattern(lone, 1));
+}
+
+TEST(AdvOffset, UnbalancedShapesHonorContract) {
+  // The unbalanced reference shape: offsets wrap mod g=8 / mod a=6.
+  const DragonflyTopology topo(2, 6, 3, 8);
+  AdversarialGlobalPattern pg(topo, 8);  // ≡ 0 mod g
+  AdversarialLocalPattern pl(topo, 6);   // ≡ 0 mod a
+  Rng rng(47);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_NE(pg.dest(11, rng), 11);
+    EXPECT_NE(pl.dest(11, rng), 11);
+  }
+  // Non-degenerate offsets still shift by the normalized amount.
+  AdversarialGlobalPattern pg9(topo, 9);  // ≡ +1
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(topo.group_of_terminal(pg9.dest(0, rng)), 1);
+  }
+}
+
+}  // namespace
+}  // namespace dfsim
