@@ -1,0 +1,73 @@
+// Fault degradation: accepted throughput vs. global-link failure fraction
+// for Minimal, Valiant, OLM and Piggybacking under UN and ADVG+1.
+//
+// Not a paper figure — the paper only ever evaluates healthy networks —
+// but the natural stress test of its thesis: in-transit adaptive routing
+// claims to route around congestion, and a degraded dragonfly is
+// congestion it cannot negotiate away. Each point samples a fault set
+// (fraction of wired global links, seeded by DF_FAULT_SEED, never
+// disconnecting a group pair) and runs a steady-state measurement at a
+// fixed offered load near saturation; the series show how gracefully
+// each mechanism sheds capacity as links die.
+#include <iostream>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  bench::BenchReport report("fig_fault_degradation", argc, argv);
+  SimConfig cfg = bench_defaults();
+  // Balanced shapes wire exactly one global link per group pair, so the
+  // never-disconnect sampler has nothing it may kill there. Unless the
+  // user pinned a shape (DF_G / DF_TOPO), default to the twice-trunked
+  // sibling — g = a*h/2 + 1 wires every pair exactly twice — whose spare
+  // links are real failure candidates at every fraction swept below.
+  if (cfg.topo.empty() && cfg.g == 0) {
+    const TopoParams tp = cfg.topo_params();
+    cfg.g = tp.a * tp.h / 2 + 1;
+  }
+  bench::banner("Fault degradation: throughput vs failure fraction", cfg);
+  std::cout << "# fault knobs: DF_FAULT_SEED (sampled fault-set seed)\n";
+  // The x-axis IS the sampled failure fraction; an explicit DF_FAULTS
+  // spec would conflict with it at every nonzero point.
+  cfg.fault_spec.clear();
+
+  const std::vector<double> fractions = {0.0, 0.05, 0.1, 0.2};
+  const std::vector<std::string> lineup = {"minimal", "valiant", "olm",
+                                           "pb"};
+
+  struct Panel {
+    const char* id;
+    const char* pattern;
+    int offset;
+    double load;  ///< fixed offered load, near the healthy saturation
+  };
+  const std::vector<Panel> panels = {
+      {"UN", "uniform", 0, 0.9},
+      {"ADVG+1", "advg", 1, 0.5},
+  };
+
+  for (const Panel& panel : panels) {
+    std::vector<SweepJob> jobs;
+    for (const std::string& routing : lineup) {
+      for (const double f : fractions) {
+        SweepJob job;
+        job.series = routing;
+        job.x = f;
+        job.cfg = cfg;
+        job.cfg.routing = routing;
+        job.cfg.pattern = panel.pattern;
+        job.cfg.pattern_offset = panel.offset;
+        job.cfg.load = panel.load;
+        job.cfg.fault_fraction = f;
+        jobs.push_back(std::move(job));
+      }
+    }
+    std::cout << "\n## panel " << panel.id << " @ offered load "
+              << panel.load << "\n";
+    const auto points = parallel_sweep(jobs, {});
+    print_sweep(std::cout, points, Metric::kThroughput,
+                "failure_fraction");
+  }
+  return 0;
+}

@@ -25,6 +25,35 @@ LocalChannelDependencyGraph::LocalChannelDependencyGraph(
   }
 }
 
+LocalChannelDependencyGraph::LocalChannelDependencyGraph(
+    const DragonflyTopology& topo, GroupId group,
+    const LocalRouteRestriction& restriction)
+    : group_size_(topo.routers_per_group()) {
+  const auto link_alive = [&](int u, int v) {
+    const RouterId ru = topo.router_id(group, u);
+    const RouterId rv = topo.router_id(group, v);
+    return topo.router_alive(ru) && topo.router_alive(rv) &&
+           topo.local_link_alive(ru, rv);
+  };
+  adj_.resize(static_cast<size_t>(num_channels()));
+  for (int i = 0; i < group_size_; ++i) {
+    for (int k = 0; k < group_size_; ++k) {
+      if (k == i || !link_alive(i, k)) continue;
+      for (int j = 0; j < group_size_; ++j) {
+        if (j == i || j == k) continue;
+        if (!link_alive(k, j)) continue;
+        if (!restriction.hop_pair_allowed(i, k, j)) continue;
+        adj_[static_cast<size_t>(channel_id(i, k))].push_back(
+            channel_id(k, j));
+      }
+    }
+  }
+  for (auto& row : adj_) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+}
+
 int LocalChannelDependencyGraph::channel_id(int i, int j) const {
   return i * (group_size_ - 1) + (j < i ? j : j - 1);
 }

@@ -30,6 +30,13 @@ class LocalChannelDependencyGraph {
   LocalChannelDependencyGraph(const DragonflyTopology& topo,
                               const LocalRouteRestriction& restriction)
       : LocalChannelDependencyGraph(topo.routers_per_group(), restriction) {}
+  /// Dependency graph of one concrete group of a (possibly degraded)
+  /// topology: channels over dead local links or dead routers do not
+  /// exist, so neither do their dependencies. A subgraph of the healthy
+  /// graph — faults can only remove cycles, never create them — and the
+  /// faulted tests machine-check exactly that.
+  LocalChannelDependencyGraph(const DragonflyTopology& topo, GroupId group,
+                              const LocalRouteRestriction& restriction);
 
   int num_channels() const { return group_size_ * (group_size_ - 1); }
   int channel_id(int i, int j) const;  // i != j

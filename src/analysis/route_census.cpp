@@ -1,8 +1,34 @@
 #include "analysis/route_census.hpp"
 
 #include <algorithm>
+#include <functional>
 
 namespace dfsim {
+
+namespace {
+/// Shared census core: count i -> k -> j routes that the restriction
+/// allows and whose both legs pass `link_ok` (always-true when healthy).
+void count_routes(int group_size, const LocalRouteRestriction& restriction,
+                  const std::function<bool(int, int)>& link_ok,
+                  std::vector<std::vector<int>>& routes,
+                  std::vector<std::vector<int>>& link_load) {
+  for (int i = 0; i < group_size; ++i) {
+    for (int j = 0; j < group_size; ++j) {
+      if (i == j) continue;
+      for (int k = 0; k < group_size; ++k) {
+        if (k == i || k == j) continue;
+        if (!restriction.hop_pair_allowed(i, k, j)) continue;
+        if (!link_ok(i, k) || !link_ok(k, j)) continue;
+        ++routes[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
+        ++link_load[static_cast<std::size_t>(i)]
+                   [static_cast<std::size_t>(k)];
+        ++link_load[static_cast<std::size_t>(k)]
+                   [static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+}  // namespace
 
 RouteCensus::RouteCensus(int group_size,
                          const LocalRouteRestriction& restriction)
@@ -11,20 +37,27 @@ RouteCensus::RouteCensus(int group_size,
               std::vector<int>(static_cast<std::size_t>(group_size), 0)),
       link_load_(static_cast<std::size_t>(group_size),
                  std::vector<int>(static_cast<std::size_t>(group_size), 0)) {
-  for (int i = 0; i < group_size_; ++i) {
-    for (int j = 0; j < group_size_; ++j) {
-      if (i == j) continue;
-      for (int k = 0; k < group_size_; ++k) {
-        if (k == i || k == j) continue;
-        if (!restriction.hop_pair_allowed(i, k, j)) continue;
-        ++routes_[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)];
-        ++link_load_[static_cast<std::size_t>(i)]
-                    [static_cast<std::size_t>(k)];
-        ++link_load_[static_cast<std::size_t>(k)]
-                    [static_cast<std::size_t>(j)];
-      }
-    }
-  }
+  count_routes(group_size_, restriction, [](int, int) { return true; },
+               routes_, link_load_);
+}
+
+RouteCensus::RouteCensus(const DragonflyTopology& topo, GroupId group,
+                         const LocalRouteRestriction& restriction)
+    : group_size_(topo.routers_per_group()),
+      routes_(static_cast<std::size_t>(group_size_),
+              std::vector<int>(static_cast<std::size_t>(group_size_), 0)),
+      link_load_(static_cast<std::size_t>(group_size_),
+                 std::vector<int>(static_cast<std::size_t>(group_size_),
+                                  0)) {
+  count_routes(
+      group_size_, restriction,
+      [&](int u, int v) {
+        const RouterId ru = topo.router_id(group, u);
+        const RouterId rv = topo.router_id(group, v);
+        return topo.router_alive(ru) && topo.router_alive(rv) &&
+               topo.local_link_alive(ru, rv);
+      },
+      routes_, link_load_);
 }
 
 std::vector<int> RouteCensus::pair_histogram() const {

@@ -20,6 +20,12 @@ class RouteCensus {
   RouteCensus(const DragonflyTopology& topo,
               const LocalRouteRestriction& restriction)
       : RouteCensus(topo.routers_per_group(), restriction) {}
+  /// Census of one concrete group of a (possibly degraded) topology:
+  /// routes through dead routers or dead local links are not counted, so
+  /// the diversity/starvation numbers reflect what a faulted group really
+  /// offers. Identical to the group-size ctor on healthy topologies.
+  RouteCensus(const DragonflyTopology& topo, GroupId group,
+              const LocalRouteRestriction& restriction);
 
   /// routes[i][j]: number of allowed 2-hop routes from i to j (i != j).
   const std::vector<std::vector<int>>& routes() const { return routes_; }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/env.hpp"
+#include "topology/fault_model.hpp"
 
 namespace dfsim {
 
@@ -123,7 +124,14 @@ TopoParams SimConfig::topo_params() const {
 
 DragonflyTopology SimConfig::make_topology() const {
   const TopoParams tp = topo_params();
-  return DragonflyTopology(tp.p, tp.a, tp.h, tp.g, arrangement);
+  DragonflyTopology topo(tp.p, tp.a, tp.h, tp.g, arrangement);
+  if (!fault_spec.empty()) {
+    topo.apply_faults(FaultModel::parse(topo, fault_spec));
+  } else if (fault_fraction != 0.0) {
+    topo.apply_faults(
+        FaultModel::sample(topo, fault_fraction, fault_seed));
+  }
+  return topo;
 }
 
 void SimConfig::validate() const {
@@ -203,6 +211,26 @@ void SimConfig::validate() const {
        << ", global_buf_phits = " << global_buf_phits;
     fail(os.str());
   }
+  if (fault_fraction < 0.0 || fault_fraction >= 1.0) {
+    std::ostringstream os;
+    os << "fault_fraction must be in [0, 1), got " << fault_fraction;
+    fail(os.str());
+  }
+  if (!fault_spec.empty() && fault_fraction != 0.0) {
+    fail("set fault_spec or fault_fraction, not both (an explicit fault "
+         "set and a sampled one cannot be combined)");
+  }
+  if (!fault_spec.empty() || fault_fraction != 0.0) {
+    // Resolve and apply the fault set (surfacing spec parse errors with
+    // their own pointed messages) and reject sets that sever the minimal
+    // route between any pair of live terminals — such a pair would starve
+    // under every routing mechanism.
+    const DragonflyTopology faulted = make_topology();
+    const std::string err = faulted.connectivity_failure();
+    if (!err.empty()) {
+      fail("fault set disconnects the network: " + err);
+    }
+  }
 }
 
 EngineConfig SimConfig::engine_config(
@@ -261,6 +289,11 @@ SimConfig bench_defaults() {
   cfg.burst_packets = static_cast<std::uint64_t>(
       env_int("DF_BURST", static_cast<std::int64_t>(cfg.burst_packets)));
   cfg.seed = static_cast<std::uint64_t>(env_int("DF_SEED", 1));
+  // Degraded-network knobs (README "Faults"); all default to healthy.
+  cfg.fault_spec = env_str("DF_FAULTS", cfg.fault_spec);
+  cfg.fault_fraction = env_double("DF_FAULT_FRACTION", cfg.fault_fraction);
+  cfg.fault_seed = static_cast<std::uint64_t>(
+      env_int("DF_FAULT_SEED", static_cast<std::int64_t>(cfg.fault_seed)));
   return cfg;
 }
 

@@ -41,6 +41,17 @@ struct SimConfig {
   std::string topo;  ///< optional spec string, e.g. "h4" or "p2a6h3g8"
   GlobalArrangement arrangement = GlobalArrangement::kAbsolute;
 
+  // --- faults -----------------------------------------------------------
+  // Degraded-network runs: either an explicit fault spec ("gl:3-17,r:42",
+  // see src/topology/fault_model.hpp for the grammar) or a sampled
+  // failure fraction of the wired global links, drawn from fault_seed.
+  // Exactly one of the two may be set; both empty/zero (the default) is a
+  // healthy network with zero overhead. validate() rejects fault sets
+  // that disconnect any pair of live terminals.
+  std::string fault_spec;        ///< explicit dead routers/links
+  double fault_fraction = 0.0;   ///< sampled dead global-link fraction
+  std::uint64_t fault_seed = 1;  ///< RNG seed for the sampled set
+
   // --- router / flow control --------------------------------------------
   FlowControl flow = FlowControl::kVirtualCutThrough;
   int packet_phits = 8;   ///< paper VCT experiments: 8
@@ -77,7 +88,8 @@ struct SimConfig {
   /// The (p, a, h, g) shape this config resolves to: `topo` if set, else
   /// the numeric knobs with 0s filled from the balanced defaults.
   TopoParams topo_params() const;
-  /// Construct the topology this config describes.
+  /// Construct the topology this config describes, with the fault set
+  /// (fault_spec, or sampled from fault_fraction/fault_seed) applied.
   DragonflyTopology make_topology() const;
 
   /// Throw std::invalid_argument with a precise message when any knob is

@@ -54,6 +54,7 @@ SteadyResult run_steady(const SimConfig& cfg) {
   out.source_drop_rate = hx.collector.drop_rate();
   out.avg_hops = hx.collector.avg_hops();
   out.delivered = hx.collector.delivered_packets();
+  out.dead_destination_drops = hx.engine.dead_destination_drops();
   out.deadlock = hx.engine.deadlock_detected();
   return out;
 }
@@ -68,15 +69,26 @@ BurstResult run_burst(const SimConfig& cfg) {
   adjusted.warmup_cycles = 0;  // every packet counts in a drain run
   Harness hx(adjusted, inj);
 
-  const auto expected =
-      cfg.burst_packets * static_cast<std::uint64_t>(hx.topo.num_terminals());
-  while (hx.collector.delivered_packets_total() < expected &&
+  // Degraded topologies: dead terminals never inject their burst, and a
+  // live source's packet to a dead destination is dropped at injection
+  // (counted) — both must come off the drain target or the loop would
+  // spin to max_cycles on every faulted burst run.
+  std::uint64_t live_terminals = 0;
+  for (NodeId t = 0; t < hx.topo.num_terminals(); ++t) {
+    if (hx.topo.terminal_alive(t)) ++live_terminals;
+  }
+  const auto expected = cfg.burst_packets * live_terminals;
+  while (hx.collector.delivered_packets_total() +
+                 hx.engine.dead_destination_drops() <
+             expected &&
          hx.engine.now() < cfg.max_cycles && hx.engine.step()) {
   }
 
   BurstResult out;
   out.consumption_cycles = hx.engine.now();
-  out.completed = hx.collector.delivered_packets_total() == expected;
+  out.completed = hx.collector.delivered_packets_total() +
+                      hx.engine.dead_destination_drops() ==
+                  expected;
   out.deadlock = hx.engine.deadlock_detected();
   return out;
 }

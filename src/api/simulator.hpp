@@ -22,6 +22,9 @@ struct SteadyResult {
   double source_drop_rate = 0.0;
   double avg_hops = 0.0;        ///< network hops per packet
   std::uint64_t delivered = 0;  ///< packets measured
+  /// Packets dropped at injection because their destination sat on a dead
+  /// router (degraded topologies only; 0 on healthy networks).
+  std::uint64_t dead_destination_drops = 0;
   bool deadlock = false;
 };
 

@@ -1,16 +1,44 @@
 #include "common/env.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 namespace dfsim {
 
+namespace {
+
+void warn(const char* name, const char* raw, const char* why) {
+  std::fprintf(stderr, "dfsim: ignoring %s=\"%s\" (%s)\n", name, raw, why);
+}
+
+/// True when anything but trailing whitespace follows the parsed number.
+bool trailing_garbage(const char* end) {
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return true;
+    ++end;
+  }
+  return false;
+}
+
+}  // namespace
+
 std::int64_t env_int(const char* name, std::int64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long value = std::strtoll(raw, &end, 10);
-  if (end == raw) return fallback;
+  if (end == raw || trailing_garbage(end)) {
+    warn(name, raw, "not an integer");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    warn(name, raw, "out of the 64-bit integer range");
+    return fallback;
+  }
   return static_cast<std::int64_t>(value);
 }
 
@@ -18,8 +46,16 @@ double env_double(const char* name, double fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(raw, &end);
-  if (end == raw) return fallback;
+  if (end == raw || trailing_garbage(end)) {
+    warn(name, raw, "not a number");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    warn(name, raw, "out of the double range");
+    return fallback;
+  }
   return value;
 }
 
@@ -35,6 +71,16 @@ bool env_flag(const char* name) {
 
 int env_jobs() {
   const std::int64_t jobs = env_int("DF_JOBS", 0);
+  if (jobs < 0) {
+    warn("DF_JOBS", std::getenv("DF_JOBS"),
+         "worker counts must be positive; using auto");
+    return 0;
+  }
+  if (jobs > INT32_MAX) {
+    warn("DF_JOBS", std::getenv("DF_JOBS"),
+         "worker count out of range; using auto");
+    return 0;
+  }
   return jobs > 0 ? static_cast<int>(jobs) : 0;
 }
 

@@ -8,10 +8,13 @@
 
 namespace dfsim {
 
-/// Integer env var, or `fallback` when unset/unparsable.
+/// Integer env var, or `fallback` when unset. Trailing non-numeric input
+/// ("3x") and out-of-range values are rejected — with a warning on
+/// stderr — rather than silently truncated to their numeric prefix.
 std::int64_t env_int(const char* name, std::int64_t fallback);
 
-/// Floating-point env var, or `fallback` when unset/unparsable.
+/// Floating-point env var, or `fallback` when unset. Same trailing-junk
+/// and range policy as env_int.
 double env_double(const char* name, double fallback);
 
 /// Boolean flag: set and not "0"/"false"/"" -> true.
@@ -21,7 +24,9 @@ bool env_flag(const char* name);
 std::string env_str(const char* name, const std::string& fallback);
 
 /// Worker-count knob DF_JOBS: a positive integer, or 0 (meaning "auto",
-/// i.e. hardware concurrency) when unset, zero, negative or unparsable.
+/// i.e. hardware concurrency) when unset, zero, or unparsable. Negative
+/// and oversized values fall back to auto WITH a stderr warning instead
+/// of being coerced silently.
 int env_jobs();
 
 }  // namespace dfsim

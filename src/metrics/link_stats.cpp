@@ -41,7 +41,7 @@ LinkStats::ClassSummary LinkStats::summarize(PortClass cls,
   for (RouterId r = 0; r < topo_.num_routers(); ++r) {
     for (PortId p = 0; p < topo_.ports_per_router(); ++p) {
       if (topo_.port_class(p) != cls) continue;
-      if (is_unwired(r, p)) continue;
+      if (is_excluded(r, p)) continue;
       const double u = utilization(r, p, now);
       total += u;
       s.max = std::max(s.max, u);
@@ -59,7 +59,7 @@ std::vector<LinkStats::HotLink> LinkStats::hottest(PortClass cls, Cycle now,
   for (RouterId r = 0; r < topo_.num_routers(); ++r) {
     for (PortId p = 0; p < topo_.ports_per_router(); ++p) {
       if (topo_.port_class(p) != cls) continue;
-      if (is_unwired(r, p)) continue;
+      if (is_excluded(r, p)) continue;
       all.push_back({r, p, utilization(r, p, now)});
     }
   }
@@ -77,6 +77,7 @@ std::string LinkStats::describe_link(RouterId router, PortId port) const {
   std::ostringstream os;
   os << "g" << topo_.group_of_router(router) << ".r"
      << topo_.local_index(router);
+  bool wired = true;
   switch (topo_.port_class(port)) {
     case PortClass::kLocal:
       os << " local->r" << topo_.local_peer(topo_.local_index(router), port);
@@ -87,6 +88,7 @@ std::string LinkStats::describe_link(RouterId router, PortId port) const {
           topo_.global_link_of(topo_.local_index(router), port));
       if (dest == kInvalid) {
         os << " global (unwired)";
+        wired = false;
       } else {
         os << " global->g" << dest;
       }
@@ -96,6 +98,7 @@ std::string LinkStats::describe_link(RouterId router, PortId port) const {
       os << " eject->t" << (port - topo_.first_terminal_port());
       break;
   }
+  if (wired && !topo_.port_alive(router, port)) os << " (dead)";
   return os.str();
 }
 

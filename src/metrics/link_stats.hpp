@@ -54,14 +54,12 @@ class LinkStats {
   std::string describe_link(RouterId router, PortId port) const;
 
  private:
-  /// Global link slots without a far side (unbalanced shapes) carry no
-  /// traffic and are excluded from class aggregates.
-  bool is_unwired(RouterId router, PortId port) const {
-    return topo_.port_class(port) == PortClass::kGlobal &&
-           topo_.global_link_dest(
-               topo_.group_of_router(router),
-               topo_.global_link_of(topo_.local_index(router), port)) ==
-               kInvalid;
+  /// Ports that can carry no traffic — unwired global slots (unbalanced
+  /// shapes) and dead ports (degraded networks) — are excluded from
+  /// class aggregates, so fault-free links are compared against each
+  /// other rather than diluted by permanent zeros.
+  bool is_excluded(RouterId router, PortId port) const {
+    return !topo_.port_alive(router, port);
   }
 
   std::size_t index(RouterId router, PortId port) const {

@@ -120,12 +120,13 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
     const VcId global_vc = minimal_global_vc(ctx);  // invariant across ports
     for (int k = 0; k < topo_.num_global_ports(); ++k) {
       const PortId port = topo_.first_global_port() + k;
+      const int slot = topo_.global_link_of(rl, port);
+      // Unwired slots (unbalanced shapes) and dead slots (degraded
+      // networks) are not candidates.
+      if (!topo_.global_slot_alive(g, slot)) continue;
       RouteChoice c;
       c.commit_valiant = true;
-      c.inter_group =
-          topo_.global_link_dest(g, topo_.global_link_of(rl, port));
-      // Unwired slots (unbalanced shapes) are not candidates.
-      if (c.inter_group == kInvalid) continue;
+      c.inter_group = topo_.global_link_dest(g, slot);
       if (c.inter_group == rs.dst_group) continue;
       c.port = port;
       c.vc = global_vc;
@@ -144,6 +145,10 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
     auto x = static_cast<GroupId>(
         rng.uniform(static_cast<std::uint64_t>(num_groups)));
     if (x == g || x == rs.dst_group) continue;
+    // Degraded networks: a sampled group whose every link from here died
+    // has no gateway to commit through (the sample still consumed its RNG
+    // draw, keeping the draw sequence fault-independent).
+    if (topo_.faulted() && !topo_.groups_linked(g, x)) continue;
 
     RouteChoice c;
     c.commit_valiant = true;
@@ -154,6 +159,12 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
       c.vc = global_vc;
     } else {
       if (!commit_hop_allowed(ctx, gw)) continue;
+      // The connectivity invariant keeps source->gateway local links of
+      // canonical routes alive; guard anyway for engines driven on
+      // unvalidated fault sets.
+      if (topo_.faulted() && !topo_.local_link_alive(ctx.router, gw)) {
+        continue;
+      }
       c.port = topo_.local_port_to(topo_.local_index(ctx.router),
                                    topo_.local_index(gw));
       c.vc = commit_vc;
@@ -195,6 +206,13 @@ void AdaptiveBase::collect_local_candidates(RoutingContext& ctx) {
     const auto k = static_cast<int>(
         rng.uniform(static_cast<std::uint64_t>(group_size)));
     if (k == my_local || k == target_local) continue;
+    // Degraded networks: both legs of the detour (here -> k -> target)
+    // must be alive; a dead k fails both checks via its dead ports.
+    if (topo_.faulted() &&
+        (!topo_.local_link_alive(ctx.router, topo_.router_id(g, k)) ||
+         !topo_.local_link_alive(topo_.router_id(g, k), target))) {
+      continue;
+    }
 
     vc_scratch_.clear();
     local_misroute_vcs(ctx, topo_.router_id(g, k),

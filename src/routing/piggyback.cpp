@@ -19,8 +19,9 @@ void PiggybackRouting::per_cycle(Engine& engine) {
   }
   for (GroupId g = 0; g < topo_.num_groups(); ++g) {
     for (int j = 0; j < links_per_group_; ++j) {
-      // Unwired slots (unbalanced shapes only) publish a permanent 0.
-      if (topo_.global_link_dest(g, j) == kInvalid) continue;
+      // Unwired slots (unbalanced shapes) and dead slots (degraded
+      // networks) carry no traffic and publish a permanent 0.
+      if (!topo_.global_slot_alive(g, j)) continue;
       const RouterId owner = topo_.router_id(g, topo_.global_link_router(j));
       const PortId port = topo_.global_link_port(j);
       published_[static_cast<size_t>(g * links_per_group_ + j)] =
@@ -50,12 +51,10 @@ std::optional<RouteChoice> PiggybackRouting::decide(RoutingContext& ctx) {
           ctx.router, topo_.local_port_to(topo_.local_index(ctx.router),
                                           topo_.local_index(rs.dst_router)));
     }
-    if (min_occ > params_.saturation_threshold) {
-      GroupId x;
-      do {
-        x = static_cast<GroupId>(eng.rng().uniform(
-            static_cast<std::uint64_t>(topo_.num_groups())));
-      } while (x == g || x == rs.dst_group);
+    if (min_occ > params_.saturation_threshold &&
+        valiant_groups_available(topo_, g, rs.dst_group)) {
+      const GroupId x =
+          draw_valiant_group(eng.rng(), topo_, g, rs.dst_group);
       if (!saturated(g, topo_.global_link_to(g, x))) {
         RouteChoice c;
         c.commit_valiant = true;

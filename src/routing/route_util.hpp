@@ -10,6 +10,7 @@
 // (local-to-gateway)? + global toward the steering group.
 #pragma once
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/packet.hpp"
 #include "topology/dragonfly_topology.hpp"
@@ -26,6 +27,41 @@ struct MinimalClasses {
   int count = 0;
   PortClass cls[3]{};
 };
+
+/// Degraded-network guard for the source-side Valiant draws (VAL, PB,
+/// UGAL, PAR's sampled gateways): true when at least one intermediate
+/// group with an alive global link from `g` remains after excluding `g`
+/// itself and the destination group. Healthy topologies always qualify
+/// (complete inter-group connectivity; callers already require G >= 3),
+/// so the healthy RNG stream is untouched. Without this guard the
+/// rejection-sampling draw loops could spin forever on a heavily degraded
+/// source group.
+inline bool valiant_groups_available(const DragonflyTopology& topo,
+                                     GroupId g, GroupId dst) {
+  if (!topo.faulted()) return true;
+  int eligible = topo.reachable_groups(g);
+  if (dst != g && topo.groups_linked(g, dst)) --eligible;
+  return eligible > 0;
+}
+
+/// The shared rejection-sampling draw of a Valiant intermediate group:
+/// uniform over groups, excluding the source group, the destination
+/// group, and — on degraded networks — groups with no alive link from
+/// `g`. Callers must have established eligibility via
+/// valiant_groups_available first, or the loop cannot terminate. Healthy
+/// topologies skip the faulted() clause, so the draw sequence (and with
+/// it every pinned golden) is bit-identical to the historical loops this
+/// replaces.
+inline GroupId draw_valiant_group(Rng& rng, const DragonflyTopology& topo,
+                                  GroupId g, GroupId dst) {
+  GroupId x;
+  do {
+    x = static_cast<GroupId>(
+        rng.uniform(static_cast<std::uint64_t>(topo.num_groups())));
+  } while (x == g || x == dst ||
+           (topo.faulted() && !topo.groups_linked(g, x)));
+  return x;
+}
 
 inline GroupId steering_group(const RouteState& rs, GroupId current) {
   if (rs.valiant && rs.global_hops == 0 && current != rs.inter_group) {

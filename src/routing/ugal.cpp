@@ -10,20 +10,18 @@ std::optional<RouteChoice> UgalRouting::decide(RoutingContext& ctx) {
   const RouteState& rs = ctx.packet.rs;
   const Flit& flit = ctx.flit;
 
-  const bool at_injection = !rs.valiant && rs.total_hops == 0 &&
-                            ctx.router != rs.dst_router &&
-                            topo_.num_groups() >= 3;
+  const bool at_injection =
+      !rs.valiant && rs.total_hops == 0 && ctx.router != rs.dst_router &&
+      topo_.num_groups() >= 3 &&
+      valiant_groups_available(topo_, topo_.group_of_router(ctx.router),
+                               rs.dst_group);
   if (at_injection) {
     const GroupId g = topo_.group_of_router(ctx.router);
     const Hop min = minimal_hop_with(topo_, ctx.router, ctx.packet, 0, 0);
     const double q_min =
         static_cast<double>(eng.port_queue_phits(ctx.router, min.port));
 
-    GroupId x;
-    do {
-      x = static_cast<GroupId>(
-          eng.rng().uniform(static_cast<std::uint64_t>(topo_.num_groups())));
-    } while (x == g || x == rs.dst_group);
+    const GroupId x = draw_valiant_group(eng.rng(), topo_, g, rs.dst_group);
 
     RouteChoice val;
     val.commit_valiant = true;

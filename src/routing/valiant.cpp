@@ -11,15 +11,14 @@ std::optional<RouteChoice> ValiantRouting::decide(RoutingContext& ctx) {
   const Flit& flit = ctx.flit;
 
   // At injection (and only there), commit to a random intermediate group.
-  // Same-router packets and tiny networks (G < 3) go minimally.
+  // Same-router packets, tiny networks (G < 3), and degraded sources with
+  // no alive link to any eligible intermediate group go minimally.
   if (!rs.valiant && rs.total_hops == 0 && ctx.router != rs.dst_router &&
-      topo_.num_groups() >= 3) {
+      topo_.num_groups() >= 3 &&
+      valiant_groups_available(topo_, topo_.group_of_router(ctx.router),
+                               rs.dst_group)) {
     const GroupId g = topo_.group_of_router(ctx.router);
-    GroupId x;
-    do {
-      x = static_cast<GroupId>(
-          eng.rng().uniform(static_cast<std::uint64_t>(topo_.num_groups())));
-    } while (x == g || x == rs.dst_group);
+    const GroupId x = draw_valiant_group(eng.rng(), topo_, g, rs.dst_group);
 
     RouteChoice c;
     c.commit_valiant = true;

@@ -172,11 +172,21 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
   terminals_.resize(static_cast<size_t>(topo_.num_terminals()));
   pending_terminals_.assign(
       (static_cast<std::size_t>(topo_.num_terminals()) + 63) / 64, 0);
+  if (topo_.faulted()) {
+    terminal_dead_.assign(static_cast<size_t>(topo_.num_terminals()), 0);
+    for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
+      if (!topo_.terminal_alive(t)) {
+        terminal_dead_[static_cast<size_t>(t)] = 1;
+        has_dead_terminals_ = true;
+      }
+    }
+  }
   for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
     TerminalState& ts = terminals_[static_cast<size_t>(t)];
     ts.router = topo_.router_of_terminal(t);
     ts.port = topo_.terminal_port(t);
-    if (injection_.mode == InjectionProcess::Mode::kBurst) {
+    if (injection_.mode == InjectionProcess::Mode::kBurst &&
+        !(has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)])) {
       ts.burst_remaining = injection_.burst_packets;
       if (ts.burst_remaining > 0) mark_terminal_pending(t);
     }
@@ -475,6 +485,11 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
     if (on_hop_) on_hop_(pkt, *fresh_choice, r);
   }
 
+  // No flit may ever depart on a dead (or unwired) port: the routing
+  // mechanisms' alive filters and the recomputed canonical tables are
+  // supposed to make this unreachable.
+  assert(topo_.port_alive(r, out_port));
+
   const PortClass out_cls = pclass(out_port);
   out_busy_until_[port_index(r, out_port)] =
       now_ + static_cast<Cycle>(flit.size_phits);
@@ -530,6 +545,12 @@ void Engine::inject_terminals() {
   if (draws) {
     const int num_terms = topo_.num_terminals();
     for (NodeId t = 0; t < num_terms; ++t) {
+      // Terminals on dead routers generate nothing (and draw nothing, so
+      // the fault set fully determines the degraded-network RNG stream);
+      // the flag is never set on healthy topologies.
+      if (has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)]) {
+        continue;
+      }
       if (rng_.bernoulli(gen_probability_)) {
         TerminalState& ts = terminals_[static_cast<size_t>(t)];
         const bool accepted =
@@ -595,6 +616,14 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
     dst = pattern_.dest(t, rng_);
   }
   assert(dst != t && dst >= 0 && dst < topo_.num_terminals());
+
+  // A packet addressed to a terminal on a dead router can never be
+  // delivered; it is dropped at the source (counted, so accepted-load
+  // analysis can separate fault losses from congestion).
+  if (has_dead_terminals_ && terminal_dead_[static_cast<size_t>(dst)]) {
+    ++dead_dst_drops_;
+    return;
+  }
 
   const PacketId id = pool_.alloc();
   Packet& pkt = pool_[id];

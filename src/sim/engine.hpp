@@ -104,6 +104,9 @@ class Engine {
   std::uint64_t packets_in_flight() const { return pool_.in_use(); }
   std::uint64_t delivered_packets() const { return delivered_packets_; }
   std::uint64_t delivered_phits() const { return delivered_phits_; }
+  /// Packets dropped at injection because their destination terminal sits
+  /// on a dead router (degraded topologies only; always 0 when healthy).
+  std::uint64_t dead_destination_drops() const { return dead_dst_drops_; }
   std::uint64_t phits_sent(PortClass cls) const {
     return phits_sent_[static_cast<int>(cls)];
   }
@@ -414,6 +417,12 @@ class Engine {
   std::vector<std::uint64_t> pending_terminals_;
 
   std::vector<TerminalState> terminals_;
+  /// Degraded topologies only: terminals on dead routers neither draw
+  /// generation randomness nor inject. Empty (and the flag false) on
+  /// healthy networks, so the hot injection loop is untouched there.
+  std::vector<std::uint8_t> terminal_dead_;
+  bool has_dead_terminals_ = false;
+  std::uint64_t dead_dst_drops_ = 0;
   PacketPool pool_;
   Rng rng_;
 

@@ -1,7 +1,10 @@
 #include "topology/dragonfly_topology.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+
+#include "topology/fault_model.hpp"
 
 namespace dfsim {
 
@@ -83,6 +86,9 @@ void DragonflyTopology::build_global_tables() {
   link_dest_.assign(static_cast<std::size_t>(g_) * L, kInvalid);
   link_reverse_.assign(static_cast<std::size_t>(g_) * L, kInvalid);
   link_to_.assign(static_cast<std::size_t>(g_) * g_, kInvalid);
+  // Healthy shapes are completely connected (round 0 covers every
+  // offset), so every group reaches the g-1 others.
+  reachable_groups_.assign(static_cast<std::size_t>(g_), g_ - 1);
   if (g_ == 1) return;  // single group: all global slots unwired
 
   const int offsets = g_ - 1;
@@ -105,6 +111,139 @@ void DragonflyTopology::build_global_tables() {
   }
 }
 
+void DragonflyTopology::mark_port_dead(RouterId r, PortId port) {
+  dead_port_[static_cast<std::size_t>(r) *
+                 static_cast<std::size_t>(ports_per_router()) +
+             static_cast<std::size_t>(port)] = 1;
+}
+
+// Recompute the canonical slot of every group pair as the smallest ALIVE
+// slot, so minimal routes steer around dead canonical links onto trunked
+// duplicates; pairs whose every link died drop to kInvalid (and out of
+// reachable_groups_), which the Valiant/adaptive candidate filters and
+// the connectivity check consult.
+void DragonflyTopology::rebuild_canonical_links() {
+  std::fill(link_to_.begin(), link_to_.end(), kInvalid);
+  for (GroupId gg = 0; gg < g_; ++gg) {
+    for (int j = 0; j < global_links_per_group(); ++j) {
+      if (!global_slot_alive(gg, j)) continue;
+      auto& canonical =
+          link_to_[static_cast<std::size_t>(gg) * g_ +
+                   link_dest_[link_index(gg, j)]];
+      if (canonical == kInvalid) canonical = j;
+    }
+  }
+  for (GroupId gg = 0; gg < g_; ++gg) {
+    int count = 0;
+    for (GroupId d = 0; d < g_; ++d) {
+      if (link_to_[static_cast<std::size_t>(gg) * g_ + d] != kInvalid) {
+        ++count;
+      }
+    }
+    reachable_groups_[static_cast<std::size_t>(gg)] = count;
+  }
+}
+
+void DragonflyTopology::apply_faults(const FaultModel& faults) {
+  if (faulted_) {
+    throw std::logic_error(
+        "DragonflyTopology::apply_faults called twice; faults are static "
+        "and must be applied in one set");
+  }
+  if (faults.empty()) return;
+  dead_router_.assign(static_cast<std::size_t>(num_routers()), 0);
+  dead_port_.assign(static_cast<std::size_t>(num_routers()) *
+                        static_cast<std::size_t>(ports_per_router()),
+                    0);
+  faulted_ = true;
+
+  for (const RouterId r : faults.dead_routers()) {
+    if (r < 0 || r >= num_routers()) {
+      throw std::invalid_argument("fault set names router " +
+                                  std::to_string(r) +
+                                  ", outside this topology");
+    }
+    if (dead_router_[static_cast<std::size_t>(r)] != 0) continue;
+    dead_router_[static_cast<std::size_t>(r)] = 1;
+    ++dead_router_count_;
+    // Every attached link dies with the router — including the far-side
+    // ports, so no neighbour ever selects an output toward it.
+    for (PortId p = 0; p < ports_per_router(); ++p) {
+      mark_port_dead(r, p);
+      if (port_class(p) == PortClass::kTerminal) continue;
+      const Endpoint far = remote_endpoint(r, p);
+      if (far.router != kInvalid) mark_port_dead(far.router, far.port);
+    }
+  }
+  for (const FaultModel::DeadLink& l : faults.dead_links()) {
+    if (l.a < 0 || l.a >= num_routers() || l.b < 0 || l.b >= num_routers()) {
+      throw std::invalid_argument(
+          "fault set names a link endpoint outside this topology");
+    }
+    mark_port_dead(l.a, l.a_port);
+    mark_port_dead(l.b, l.b_port);
+    ++dead_link_count_;
+  }
+  rebuild_canonical_links();
+}
+
+std::string DragonflyTopology::connectivity_failure() const {
+  const auto name = [this](RouterId r) {
+    std::ostringstream os;
+    os << "router " << r << " (g" << group_of_router(r) << ".r"
+       << local_index(r) << ")";
+    return os.str();
+  };
+  int live_terminals = 0;
+  for (RouterId r = 0; r < num_routers(); ++r) {
+    if (router_alive(r)) live_terminals += p_;
+  }
+  if (live_terminals < 2) {
+    return "fewer than two live terminals remain; no traffic can flow";
+  }
+  // Minimal-route feasibility for every ordered pair of live routers:
+  // the (recomputed-canonical) gateway path local -> global -> local must
+  // use only alive links. This is exactly the escape path every routing
+  // mechanism falls back to, so a pair failing here would starve no
+  // matter the mechanism.
+  for (RouterId u = 0; u < num_routers(); ++u) {
+    if (!router_alive(u)) continue;
+    const GroupId gu = group_of_router(u);
+    for (RouterId v = 0; v < num_routers(); ++v) {
+      if (v == u || !router_alive(v)) continue;
+      const GroupId gv = group_of_router(v);
+      if (gu == gv) {
+        if (!local_link_alive(u, v)) {
+          return "the minimal route from " + name(u) + " to " + name(v) +
+                 " needs the dead local link between them (ll:" +
+                 std::to_string(std::min(u, v)) + "-" +
+                 std::to_string(std::max(u, v)) + ")";
+        }
+        continue;
+      }
+      if (!groups_linked(gu, gv)) {
+        return "no alive global link remains from group " +
+               std::to_string(gu) + " to group " + std::to_string(gv) +
+               ", cutting off " + name(u) + " from " + name(v);
+      }
+      const RouterId gw = gateway_router(gu, gv);
+      if (u != gw && !local_link_alive(u, gw)) {
+        return "the minimal route from " + name(u) + " to " + name(v) +
+               " needs the dead local link to its gateway " + name(gw);
+      }
+      const int j = global_link_to(gu, gv);
+      const int jr = global_link_reverse(gu, j);
+      const RouterId entry = router_id(gv, global_link_router(jr));
+      if (entry != v && !local_link_alive(entry, v)) {
+        return "the minimal route from " + name(u) + " to " + name(v) +
+               " needs the dead local link from its entry gateway " +
+               name(entry);
+      }
+    }
+  }
+  return {};
+}
+
 std::string DragonflyTopology::describe() const {
   std::ostringstream os;
   // Balanced shapes keep the historical one-parameter banner so pinned
@@ -121,6 +260,10 @@ std::string DragonflyTopology::describe() const {
      << (arrangement_ == GlobalArrangement::kAbsolute ? "absolute"
                                                       : "palmtree")
      << " global arrangement";
+  if (faulted_) {
+    os << ", degraded: " << dead_router_count_ << " dead routers, "
+       << dead_link_count_ << " dead links";
+  }
   return os.str();
 }
 

@@ -33,6 +33,8 @@
 
 namespace dfsim {
 
+class FaultModel;
+
 /// Which permutation wires group-to-group links to routers. Both schemes
 /// connect every pair of groups at least once; they differ in which router
 /// hosts the link, which matters under adversarial traffic (ablation).
@@ -191,6 +193,78 @@ class DragonflyTopology {
     return {};
   }
 
+  // --- faults -----------------------------------------------------------
+  // A topology starts fully healthy. apply_faults() marks the given
+  // routers and links dead (both directions of a link die together, and a
+  // dead router takes every attached link with it) and recomputes the
+  // canonical per-group-pair link table so minimal routes steer around
+  // dead canonical slots onto alive trunked duplicates. Faults are static;
+  // apply_faults may be called at most once.
+
+  /// Mark `faults` dead. Throws std::logic_error when called twice.
+  void apply_faults(const FaultModel& faults);
+  /// True once a non-empty fault set was applied.
+  bool faulted() const { return faulted_; }
+  bool router_alive(RouterId r) const {
+    return !faulted_ || dead_router_[static_cast<std::size_t>(r)] == 0;
+  }
+  /// THE per-port liveness predicate every layer consults: false for
+  /// unwired global slots (unbalanced shapes), for ports killed by a
+  /// fault (either side of a dead link), and for every port of a dead
+  /// router — including its terminal ports.
+  bool port_alive(RouterId r, PortId port) const {
+    if (faulted_ &&
+        dead_port_[static_cast<std::size_t>(r) *
+                       static_cast<std::size_t>(ports_per_router()) +
+                   static_cast<std::size_t>(port)] != 0) {
+      return false;
+    }
+    if (port_class(port) == PortClass::kGlobal) {
+      return global_link_dest(group_of_router(r),
+                              global_link_of(local_index(r), port)) !=
+             kInvalid;
+    }
+    return true;
+  }
+  /// Global link slot j of group g is wired and not dead.
+  bool global_slot_alive(GroupId g, int j) const {
+    if (link_dest_[link_index(g, j)] == kInvalid) return false;
+    if (!faulted_) return true;
+    const RouterId r = router_id(g, global_link_router(j));
+    return dead_port_[static_cast<std::size_t>(r) *
+                          static_cast<std::size_t>(ports_per_router()) +
+                      static_cast<std::size_t>(global_link_port(j))] == 0;
+  }
+  /// The direct local link between two routers of one group is alive
+  /// (false when either router is dead or the link itself was failed).
+  bool local_link_alive(RouterId u, RouterId v) const {
+    assert(group_of_router(u) == group_of_router(v) && u != v);
+    if (!faulted_) return true;
+    return dead_port_[static_cast<std::size_t>(u) *
+                          static_cast<std::size_t>(ports_per_router()) +
+                      static_cast<std::size_t>(local_port_to(
+                          local_index(u), local_index(v)))] == 0;
+  }
+  bool terminal_alive(NodeId t) const {
+    return router_alive(router_of_terminal(t));
+  }
+  /// Groups with at least one alive global link from `g` (g-1 when
+  /// healthy; unbalanced shapes are still completely connected).
+  int reachable_groups(GroupId g) const {
+    return reachable_groups_[static_cast<std::size_t>(g)];
+  }
+  /// At least one alive global link runs from group u to group v.
+  bool groups_linked(GroupId u, GroupId v) const {
+    return u != v && link_to_[static_cast<std::size_t>(u) *
+                                  static_cast<std::size_t>(g_) +
+                              static_cast<std::size_t>(v)] != kInvalid;
+  }
+  /// Empty when every pair of live terminals still has a fully-alive
+  /// minimal route (the invariant all routing mechanisms rely on for
+  /// their escape paths); otherwise a pointed description of one broken
+  /// pair. O(routers^2), intended for validation time.
+  std::string connectivity_failure() const;
+
   /// Minimal hop distance between routers (0, 1, 2, or 3).
   int min_hops(RouterId from, RouterId to) const {
     if (from == to) return 0;
@@ -213,6 +287,8 @@ class DragonflyTopology {
            static_cast<std::size_t>(j);
   }
   void build_global_tables();
+  void mark_port_dead(RouterId r, PortId port);
+  void rebuild_canonical_links();
 
   int p_;
   int a_;
@@ -223,9 +299,19 @@ class DragonflyTopology {
   /// Arrangement-generated wiring, indexed [group * a*h + slot].
   std::vector<GroupId> link_dest_;
   std::vector<std::int32_t> link_reverse_;
-  /// Canonical slot per ordered group pair, indexed [group * g + target];
-  /// kInvalid on the diagonal only.
+  /// Canonical (smallest *alive*) slot per ordered group pair, indexed
+  /// [group * g + target]; kInvalid on the diagonal, and — after faults —
+  /// for pairs whose every link died.
   std::vector<std::int32_t> link_to_;
+  /// Per group: targets with at least one alive link (g-1 when healthy).
+  std::vector<std::int32_t> reachable_groups_;
+
+  /// Fault state (empty vectors until apply_faults).
+  bool faulted_ = false;
+  std::vector<std::uint8_t> dead_router_;  ///< [router]
+  std::vector<std::uint8_t> dead_port_;    ///< [router * ports + port]
+  int dead_router_count_ = 0;
+  int dead_link_count_ = 0;  ///< bidirectional links killed (either way)
 };
 
 }  // namespace dfsim

@@ -1,0 +1,75 @@
+// Static fault injection for degraded dragonflies: a set of dead global
+// links, dead local links, and dead routers, resolved against a concrete
+// topology and then applied to it (DragonflyTopology::apply_faults) so
+// every layer — routing, engine, metrics — sees one per-port alive/dead
+// predicate.
+//
+// Fault sets come from two sources:
+//   - an explicit spec string, comma/space-separated tokens:
+//       r:<router>          the whole router (all links + its terminals)
+//       gl:<rA>-<rB>        every global link between routers rA and rB
+//       ll:<rA>-<rB>        the local link between rA and rB (same group)
+//     e.g. "gl:3-17,r:42" or "ll:0-1 gl:2-30 r:7"
+//   - sampling: kill a fraction of the wired global links, drawn from a
+//     seeded RNG. Sampling never removes the last alive link between a
+//     group pair, so a sampled set always keeps every live minimal route
+//     intact (routers and local links are untouched).
+//
+// Faults are static for the lifetime of a run; there is no repair or
+// mid-run failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dfsim {
+
+class DragonflyTopology;
+
+class FaultModel {
+ public:
+  /// One dead bidirectional link, resolved to both endpoint ports.
+  struct DeadLink {
+    RouterId a = kInvalid;
+    PortId a_port = kInvalid;
+    RouterId b = kInvalid;
+    PortId b_port = kInvalid;
+    bool local = false;  ///< local (intra-group) vs global link
+  };
+
+  FaultModel() = default;
+
+  /// Resolve a spec string (grammar above) against `topo`. Throws
+  /// std::invalid_argument with a pointed message naming the offending
+  /// token on malformed input, out-of-range ids, or links that do not
+  /// exist in the topology.
+  static FaultModel parse(const DragonflyTopology& topo,
+                          const std::string& spec);
+
+  /// Kill round(fraction * wired-global-links) global links chosen by a
+  /// seeded RNG, never the last alive link of a group pair. fraction must
+  /// be in [0, 1); deterministic for a given (topology, fraction, seed).
+  static FaultModel sample(const DragonflyTopology& topo, double fraction,
+                           std::uint64_t seed);
+
+  bool empty() const { return dead_routers_.empty() && dead_links_.empty(); }
+  const std::vector<RouterId>& dead_routers() const { return dead_routers_; }
+  const std::vector<DeadLink>& dead_links() const { return dead_links_; }
+
+  /// Canonical spec-string form of this fault set ("r:5,gl:3-17,..."),
+  /// deterministic — equal fault sets stringify equally, which is what
+  /// the seed-determinism tests compare. Valid spec grammar, with one
+  /// caveat: a gl token names EVERY trunk between its router pair, so
+  /// re-parsing a set that sampled only one of a pair's trunked links
+  /// yields a (more degraded) superset of it.
+  std::string describe() const;
+
+ private:
+  std::vector<RouterId> dead_routers_;
+  std::vector<DeadLink> dead_links_;
+};
+
+}  // namespace dfsim

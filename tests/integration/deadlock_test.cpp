@@ -141,6 +141,35 @@ INSTANTIATE_TEST_SUITE_P(
                         : std::string("palmtree_h3");
     });
 
+// Degraded networks must not manufacture deadlock: with a few failed
+// global links (sampled; never the last link of a pair) the safe
+// mechanisms still drain adversarial stress on both off-balance shapes.
+// Loads sit inside the minimal-path envelope, as above, so a watchdog
+// firing could only be a genuine cyclic wait introduced by the fault
+// handling (e.g. a candidate filter breaking a VC ladder).
+TEST_P(OffBalanceSweep, FaultedSafeMechanismsStaySafe) {
+  const bool unbalanced = GetParam();
+  for (const char* pattern : {"advl", "advg"}) {
+    const double load = pattern[3] == 'l' ? 0.25 : 0.04;
+    for (const char* routing : {"rlm", "olm", "par-6/2", "pb"}) {
+      SimConfig cfg = off_balance(routing, pattern, load, unbalanced);
+      if (unbalanced) {
+        cfg.fault_fraction = 0.15;  // p2a6h3g8 has trunked spares to kill
+        cfg.fault_seed = 11;
+      } else {
+        // Balanced palmtree h=3 wires one link per pair; the survivable
+        // whole-router fault is an entire dead group (see the invariants
+        // suite): kill group 9, routers 54..59.
+        cfg.fault_spec = "r:54,r:55,r:56,r:57,r:58,r:59";
+      }
+      const SteadyResult r = run_steady(cfg);
+      EXPECT_FALSE(r.deadlock)
+          << routing << " on " << pattern << " with faults";
+      EXPECT_GT(r.delivered, 0u) << routing << " on " << pattern;
+    }
+  }
+}
+
 TEST(Deadlock, UnbalancedPalmtreeUnrestrictedStillDeadlocks) {
   // The generalized wiring must not accidentally *hide* the pathology:
   // unrestricted local misrouting still closes cycles and wedges for

@@ -9,6 +9,7 @@
 #include "sim/engine.hpp"
 #include "test_util.hpp"
 #include "topology/dragonfly_topology.hpp"
+#include "topology/fault_model.hpp"
 #include "traffic/pattern.hpp"
 
 namespace dfsim {
@@ -46,6 +47,15 @@ void check_invariants(const Engine& engine, const DragonflyTopology& topo) {
               << "unwired r" << r << " p" << p << " v" << v;
           continue;
         }
+        if (!topo.port_alive(r, p)) {
+          // Dead port (degraded topologies): wired, but no flit may ever
+          // traverse it, so its input side must stay empty and its
+          // credits untouched.
+          ASSERT_EQ(ivc.occupancy_phits, 0)
+              << "dead r" << r << " p" << p << " v" << v;
+          ASSERT_EQ(ovc.credits_phits, cap)
+              << "dead r" << r << " p" << p << " v" << v;
+        }
         const InputVc& divc = engine.input_vc(down.router, down.port, v);
         ASSERT_LE(ovc.credits_phits + divc.occupancy_phits, cap)
             << "r" << r << " p" << p << " v" << v
@@ -63,6 +73,15 @@ void run_checked_on(const DragonflyTopology& topo,
   InjectionProcess inj;
   inj.load = 0.4;
   Engine engine(topo, ec, *routing, pattern, inj);
+  // Degraded topologies: machine-check that no mechanism ever routes a
+  // flit onto a dead (or unwired) port.
+  engine.set_hop_hook(
+      [&topo, &routing_name](const Packet&, const RouteChoice& choice,
+                             RouterId r) {
+        ASSERT_TRUE(topo.port_alive(r, choice.port))
+            << routing_name << " traversed dead port " << choice.port
+            << " at router " << r;
+      });
   for (Cycle t = 0; t < cycles; ++t) {
     ASSERT_TRUE(engine.step()) << routing_name << " deadlocked at " << t;
     check_invariants(engine, topo);
@@ -135,6 +154,52 @@ TEST(EngineInvariants, UnbalancedEveryMechanism) {
 
 TEST(EngineInvariants, UnbalancedPalmtreeWormhole) {
   const DragonflyTopology topo(2, 6, 3, 8, GlobalArrangement::kPalmtree);
+  for (const char* routing : {"minimal", "rlm", "par-6/2", "pb"}) {
+    run_checked_on(topo, routing,
+                   all_mechanism_config(FlowControl::kWormhole), 1500);
+  }
+}
+
+// Degraded networks: the same per-cycle invariants — plus the hop-hook
+// check that no dead port is ever traversed — must hold for every
+// mechanism with failed global links, under both reference off-balance
+// shapes. Sampled sets never disconnect a group pair, so every terminal
+// stays reachable and no false deadlock may fire.
+TEST(EngineInvariants, FaultedPalmtreeEveryMechanism) {
+  // Balanced shapes wire exactly one link per group pair, so any dead
+  // link would sever a pair; the survivable whole-router fault there is
+  // an entire dead group (its pairs disappear with its terminals, and no
+  // live pair routed through it). Every mechanism must drop the dead
+  // group's traffic at the sources and keep the rest flowing.
+  DragonflyTopology topo(2, GlobalArrangement::kPalmtree);
+  topo.apply_faults(
+      FaultModel::parse(topo, "r:12,r:13,r:14,r:15"));  // all of group 3
+  ASSERT_EQ(topo.connectivity_failure(), "");
+  for (const char* routing : kAllMechanisms) {
+    run_checked_on(topo, routing,
+                   all_mechanism_config(FlowControl::kVirtualCutThrough),
+                   1500);
+  }
+}
+
+TEST(EngineInvariants, FaultedUnbalancedEveryMechanism) {
+  DragonflyTopology topo(2, 6, 3, 8);
+  const FaultModel fm = FaultModel::sample(topo, 0.2, 11);
+  ASSERT_FALSE(fm.empty());  // the trunked shape has spare links to kill
+  topo.apply_faults(fm);
+  ASSERT_EQ(topo.connectivity_failure(), "");
+  for (const char* routing : kAllMechanisms) {
+    run_checked_on(topo, routing,
+                   all_mechanism_config(FlowControl::kVirtualCutThrough),
+                   1500);
+  }
+}
+
+TEST(EngineInvariants, FaultedUnbalancedWormhole) {
+  DragonflyTopology topo(2, 6, 3, 8, GlobalArrangement::kPalmtree);
+  const FaultModel fm = FaultModel::sample(topo, 0.2, 5);
+  ASSERT_FALSE(fm.empty());
+  topo.apply_faults(fm);
   for (const char* routing : {"minimal", "rlm", "par-6/2", "pb"}) {
     run_checked_on(topo, routing,
                    all_mechanism_config(FlowControl::kWormhole), 1500);

@@ -1,0 +1,309 @@
+// The fault-injection subsystem: spec parsing, seeded sampling, the
+// per-port alive/dead predicate, canonical-link rerouting around dead
+// trunks, the connectivity check, engine-level drop semantics, the
+// fault-aware census/CDG analyses, and the seed-determinism contract
+// (same fault_seed -> identical fault set -> bit-identical sweep CSV).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/cdg.hpp"
+#include "analysis/route_census.hpp"
+#include "api/config.hpp"
+#include "api/simulator.hpp"
+#include "api/sweep.hpp"
+#include "routing/parity_sign.hpp"
+#include "topology/dragonfly_topology.hpp"
+#include "topology/fault_model.hpp"
+
+namespace dfsim {
+namespace {
+
+std::string spec_for_global_link(const DragonflyTopology& topo, GroupId u,
+                                 GroupId v) {
+  const RouterId a = topo.gateway_router(u, v);
+  const auto far = topo.remote_endpoint(a, topo.gateway_port(u, v));
+  return "gl:" + std::to_string(a) + "-" + std::to_string(far.router);
+}
+
+TEST(FaultModel, DeadRouterKillsItsPortsTerminalsAndNeighbourPorts) {
+  DragonflyTopology topo(2);  // 9 groups x 4 routers, p=2
+  const RouterId victim = 5;
+  topo.apply_faults(FaultModel::parse(topo, "r:5"));
+
+  ASSERT_TRUE(topo.faulted());
+  EXPECT_FALSE(topo.router_alive(victim));
+  for (PortId p = 0; p < topo.ports_per_router(); ++p) {
+    EXPECT_FALSE(topo.port_alive(victim, p)) << "port " << p;
+    // Every neighbour's port toward the dead router dies with it, so no
+    // mechanism can ever select an output into the corpse.
+    if (topo.port_class(p) == PortClass::kTerminal) continue;
+    const auto far = topo.remote_endpoint(victim, p);
+    if (far.router == kInvalid) continue;
+    EXPECT_FALSE(topo.port_alive(far.router, far.port));
+  }
+  for (int slot = 0; slot < topo.terminals_per_router(); ++slot) {
+    EXPECT_FALSE(topo.terminal_alive(topo.terminal_id(victim, slot)));
+  }
+  // Live routers and their ports are untouched.
+  EXPECT_TRUE(topo.router_alive(0));
+  EXPECT_TRUE(topo.terminal_alive(0));
+}
+
+TEST(FaultModel, BalancedShapeLosesGroupPairWhenItsOnlyLinkDies) {
+  DragonflyTopology topo(2);
+  // The balanced h=2 shape wires exactly one link per group pair, so
+  // killing it must sever the pair (and the connectivity check must
+  // reject the set with a pointed message).
+  topo.apply_faults(FaultModel::parse(topo, spec_for_global_link(topo, 0, 1)));
+  EXPECT_FALSE(topo.groups_linked(0, 1));
+  EXPECT_FALSE(topo.groups_linked(1, 0));
+  EXPECT_EQ(topo.reachable_groups(0), topo.num_groups() - 2);
+  const std::string err = topo.connectivity_failure();
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("no alive global link"), std::string::npos) << err;
+}
+
+TEST(FaultModel, TrunkedDuplicateTakesOverAsCanonicalLink) {
+  // p2a6h3g8: 18 link slots over 7 offsets -> several group pairs are
+  // trunked twice. Find one, kill its canonical link, and the minimal
+  // route must fall over to the duplicate — no connectivity loss.
+  DragonflyTopology topo(2, 6, 3, 8);
+  GroupId u = kInvalid, v = kInvalid;
+  int canonical = -1, duplicate = -1;
+  for (GroupId g = 0; g < topo.num_groups() && u == kInvalid; ++g) {
+    for (GroupId d = 0; d < topo.num_groups(); ++d) {
+      if (d == g) continue;
+      int first = -1, second = -1;
+      for (int j = 0; j < topo.global_links_per_group(); ++j) {
+        if (topo.global_link_dest(g, j) != d) continue;
+        (first < 0 ? first : second) = j;
+      }
+      if (second >= 0) {
+        u = g;
+        v = d;
+        canonical = first;
+        duplicate = second;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(u, kInvalid) << "expected a trunked pair in p2a6h3g8";
+  ASSERT_EQ(topo.global_link_to(u, v), canonical);
+
+  const RouterId gw = topo.router_id(u, topo.global_link_router(canonical));
+  const auto far = topo.remote_endpoint(
+      gw, topo.global_link_port(canonical));
+  DragonflyTopology faulted(2, 6, 3, 8);
+  faulted.apply_faults(FaultModel::parse(
+      faulted,
+      "gl:" + std::to_string(gw) + "-" + std::to_string(far.router)));
+
+  EXPECT_TRUE(faulted.groups_linked(u, v));
+  EXPECT_EQ(faulted.global_link_to(u, v), duplicate);
+  EXPECT_EQ(faulted.connectivity_failure(), "");
+}
+
+TEST(FaultModel, DeadLocalLinkBreaksMinimalRouteAndIsReported) {
+  DragonflyTopology topo(2);
+  topo.apply_faults(FaultModel::parse(topo, "ll:0-1"));
+  EXPECT_FALSE(topo.local_link_alive(0, 1));
+  EXPECT_TRUE(topo.local_link_alive(0, 2));
+  const std::string err = topo.connectivity_failure();
+  ASSERT_FALSE(err.empty());
+  EXPECT_NE(err.find("local link"), std::string::npos) << err;
+}
+
+TEST(FaultModel, ParseRejectsMalformedSpecsWithPointedMessages) {
+  const DragonflyTopology topo(2);
+  const auto message = [&](const std::string& spec) {
+    try {
+      FaultModel::parse(topo, spec);
+    } catch (const std::invalid_argument& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message("x:1").find("unknown kind"), std::string::npos);
+  EXPECT_NE(message("r:9999").find("only routers"), std::string::npos);
+  EXPECT_NE(message("gl:0-1").find("wires none"), std::string::npos);
+  // Routers 0 and 4 sit in different groups (a = 4): not a local link.
+  EXPECT_NE(message("ll:0-4").find("never cross groups"),
+            std::string::npos);
+  EXPECT_NE(message("gl:3").find("<routerA>-<routerB>"), std::string::npos);
+  EXPECT_NE(message("r:1-2").find("trailing"), std::string::npos);
+  EXPECT_NE(message("ll:2-2").find("same router twice"), std::string::npos);
+}
+
+TEST(FaultModel, SampleIsSeedDeterministicAndNeverDisconnects) {
+  // Balanced shapes wire exactly one link per group pair (a*h = g-1), so
+  // the never-disconnect rule forbids every kill: the sampled set is
+  // empty and the network stays whole.
+  const DragonflyTopology balanced(3);
+  EXPECT_TRUE(FaultModel::sample(balanced, 0.15, 42).empty());
+
+  // The trunked unbalanced shape has spare links; the sampler kills only
+  // those, deterministically per seed, keeping connectivity green.
+  const DragonflyTopology topo(2, 6, 3, 8);
+  const FaultModel a = FaultModel::sample(topo, 0.2, 42);
+  const FaultModel b = FaultModel::sample(topo, 0.2, 42);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.describe(), b.describe());
+
+  const FaultModel c = FaultModel::sample(topo, 0.2, 43);
+  EXPECT_NE(a.describe(), c.describe());
+
+  DragonflyTopology faulted(2, 6, 3, 8);
+  faulted.apply_faults(a);
+  EXPECT_EQ(faulted.connectivity_failure(), "");
+}
+
+TEST(FaultModel, ValidateRejectsDisconnectingAndConflictingKnobs) {
+  SimConfig cfg;
+  cfg.topo = "h2";
+  cfg.fault_spec = "ll:0-1";
+  try {
+    cfg.validate();
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("disconnects"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("local link"), std::string::npos) << msg;
+  }
+
+  cfg = SimConfig{};
+  cfg.fault_fraction = 1.0;  // must be < 1
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.fault_fraction = -0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.fault_spec = "r:0";
+  cfg.fault_fraction = 0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // A survivable fault set passes.
+  cfg = SimConfig{};
+  cfg.topo = "p2a6h3g8";
+  cfg.fault_fraction = 0.15;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(FaultModel, DeadDestinationsAreDroppedAndCounted) {
+  // Kill a whole group (the survivable whole-router fault on a balanced
+  // shape: a single dead router would take the only link to each of its
+  // h destination groups with it). Uniform traffic toward the dead
+  // group's terminals is dropped at the sources (counted), everything
+  // else still flows.
+  SimConfig cfg;
+  cfg.topo = "h2";
+  cfg.fault_spec = "r:4,r:5,r:6,r:7";  // all of group 1 (a = 4)
+  cfg.routing = "olm";
+  cfg.load = 0.3;
+  cfg.warmup_cycles = 300;
+  cfg.measure_cycles = 900;
+  const SteadyResult r = run_steady(cfg);
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_GT(r.delivered, 0u);
+  EXPECT_GT(r.dead_destination_drops, 0u);
+}
+
+TEST(FaultModel, FaultedBurstDrainsToCompletion) {
+  // Burst mode on a degraded network: dead terminals inject nothing and
+  // live sources' packets to dead destinations are dropped — the drain
+  // target must account for both, or the run would spin to max_cycles
+  // and report completed=false forever.
+  SimConfig cfg;
+  cfg.topo = "h2";
+  cfg.fault_spec = "r:4,r:5,r:6,r:7";  // all of group 1
+  cfg.routing = "minimal";
+  cfg.burst_packets = 5;
+  cfg.max_cycles = 200000;
+  const BurstResult r = run_burst(cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_LT(r.consumption_cycles, cfg.max_cycles);
+}
+
+TEST(FaultModel, HealthyRunsReportZeroDeadDrops) {
+  SimConfig cfg;
+  cfg.topo = "h2";
+  cfg.routing = "minimal";
+  cfg.load = 0.3;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 600;
+  const SteadyResult r = run_steady(cfg);
+  EXPECT_EQ(r.dead_destination_drops, 0u);
+  EXPECT_FALSE(r.deadlock);
+}
+
+TEST(FaultModel, FaultedCensusAndCdgDropDeadChannels) {
+  DragonflyTopology topo(2, 6, 3, 8);
+  topo.apply_faults(FaultModel::parse(topo, "ll:1-2"));
+
+  const LocalRouteRestriction none_restriction(RestrictionPolicy::kNone);
+  const RouteCensus healthy(6, none_restriction);
+  const RouteCensus faulted(topo, GroupId{0}, none_restriction);
+  // Routes THROUGH the dead link vanish (1 -> 2 -> 3 is gone from the
+  // 1 -> 3 set), the dead link carries zero 2-hop routes, and routes
+  // avoiding it (1 -> k -> 2) survive; other groups are untouched.
+  EXPECT_LT(faulted.routes()[1][3], healthy.routes()[1][3]);
+  EXPECT_EQ(faulted.link_load()[1][2], 0);
+  EXPECT_EQ(faulted.link_load()[2][1], 0);
+  EXPECT_EQ(faulted.routes()[1][2], healthy.routes()[1][2]);
+  const RouteCensus other_group(topo, GroupId{3}, none_restriction);
+  EXPECT_EQ(other_group.routes()[1][3], healthy.routes()[1][3]);
+
+  // The faulted CDG is a subgraph: faults can only remove dependencies.
+  const LocalChannelDependencyGraph healthy_cdg(6, none_restriction);
+  const LocalChannelDependencyGraph faulted_cdg(topo, GroupId{0},
+                                                none_restriction);
+  std::size_t healthy_edges = 0, faulted_edges = 0;
+  for (const auto& row : healthy_cdg.adjacency()) healthy_edges += row.size();
+  for (const auto& row : faulted_cdg.adjacency()) faulted_edges += row.size();
+  EXPECT_LT(faulted_edges, healthy_edges);
+  // Channels over the dead link have no outgoing dependencies at all.
+  EXPECT_TRUE(faulted_cdg.adjacency()[static_cast<std::size_t>(
+                                          faulted_cdg.channel_id(1, 2))]
+                  .empty());
+
+  // The parity-sign restriction stays acyclic on the degraded group.
+  const LocalRouteRestriction parity(RestrictionPolicy::kParitySign);
+  EXPECT_FALSE(
+      LocalChannelDependencyGraph(topo, GroupId{0}, parity).has_cycle());
+}
+
+std::string sweep_csv(const SimConfig& base, int jobs) {
+  SweepOptions opts;
+  opts.jobs = jobs;
+  const auto points =
+      parallel_sweep(base, {"minimal", "olm"}, {0.2, 0.4}, opts);
+  std::ostringstream os;
+  print_sweep(os, points, Metric::kThroughput, "offered_load");
+  return os.str();
+}
+
+TEST(FaultModel, SameFaultSeedYieldsBitIdenticalSweeps) {
+  SimConfig cfg;
+  cfg.topo = "p2a6h3g8";
+  cfg.fault_fraction = 0.15;
+  cfg.fault_seed = 9;
+  cfg.warmup_cycles = 200;
+  cfg.measure_cycles = 600;
+  cfg.seed = 42;
+
+  const std::string serial = sweep_csv(cfg, 1);
+  const std::string parallel = sweep_csv(cfg, 4);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, sweep_csv(cfg, 1));
+
+  // A different fault seed samples a different fault set and (with
+  // overwhelming probability) perturbs the measured numbers.
+  SimConfig other = cfg;
+  other.fault_seed = 10;
+  EXPECT_NE(serial, sweep_csv(other, 1));
+}
+
+}  // namespace
+}  // namespace dfsim

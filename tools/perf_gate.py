@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare fresh BENCH_sweep.json records against the
+committed baseline and fail when wall-clock regresses beyond tolerance.
+
+Usage:
+    tools/perf_gate.py --baseline bench/baseline/BENCH_baseline.json \
+                       --current build/BENCH_sweep.json [--tolerance 0.25]
+
+Both files are JSON arrays of {"bench": <name>, "wall_s": <s>, "jobs": N}
+records (the format every bench's BenchReport appends). When a bench name
+appears several times on either side — e.g. best-of-N runs — the FASTEST
+record is used, which filters scheduler noise on shared runners.
+
+Every bench present in the baseline must be present in the current file;
+a missing bench means the gate step forgot to run it and is an error, not
+a pass. Benches only present in the current file are reported but not
+gated (they have no reference yet — refresh the baseline to gate them,
+see tools/refresh_baseline.sh).
+
+Exit status: 0 = within tolerance, 1 = regression or missing bench,
+2 = bad invocation/unreadable input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fastest_by_bench(path):
+    try:
+        with open(path) as f:
+            records = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"perf_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    best = {}
+    for r in records:
+        name, wall = r.get("bench"), r.get("wall_s")
+        if not isinstance(name, str) or not isinstance(wall, (int, float)):
+            print(f"perf_gate: malformed record in {path}: {r}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if name not in best or wall < best[name]:
+            best[name] = float(wall)
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed reference (bench/baseline/...)")
+    ap.add_argument("--current", required=True,
+                    help="freshly produced BENCH_sweep.json")
+    ap.add_argument("--tolerance",
+                    type=float,
+                    default=float(os.environ.get("PERF_GATE_TOLERANCE",
+                                                 "0.25")),
+                    help="allowed fractional slowdown (default 0.25, i.e. "
+                         "fail above +25%%; PERF_GATE_TOLERANCE overrides)")
+    args = ap.parse_args()
+
+    baseline = fastest_by_bench(args.baseline)
+    current = fastest_by_bench(args.current)
+    if not baseline:
+        print("perf_gate: baseline has no records; regenerate it "
+              "(tools/refresh_baseline.sh)", file=sys.stderr)
+        return 2
+
+    failed = False
+    width = max(len(n) for n in set(baseline) | set(current))
+    print(f"perf gate (tolerance +{args.tolerance:.0%}):")
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in current:
+            print(f"  {name:<{width}}  MISSING from current run "
+                  f"(baseline {base:.3f}s) — gate step misconfigured")
+            failed = True
+            continue
+        cur = current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok" if ratio <= 1.0 + args.tolerance else "REGRESSED"
+        print(f"  {name:<{width}}  baseline {base:8.3f}s  "
+              f"current {cur:8.3f}s  ratio {ratio:5.2f}x  {verdict}")
+        if verdict != "ok":
+            failed = True
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<{width}}  current {current[name]:8.3f}s  "
+              f"(no baseline; not gated)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

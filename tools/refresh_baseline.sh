@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerate bench/baseline/BENCH_baseline.json — the perf-gate reference
+# (tools/perf_gate.py). Run from the repository root on a quiet machine:
+#
+#     tools/refresh_baseline.sh [build-dir]
+#
+# It rebuilds Release, then runs exactly the benches the CI gate times —
+# the micro_sim smoke and the pinned fig05 point — three times each,
+# keeping every record (the gate compares against the fastest). Commit
+# the refreshed file together with the change that legitimately moved the
+# numbers, and say so in the commit message.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BASELINE="bench/baseline/BENCH_baseline.json"
+TMP_JSON="$(mktemp --suffix=.json)"
+trap 'rm -f "$TMP_JSON"' EXIT
+rm -f "$TMP_JSON"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j
+
+export DF_BENCH_JSON="$TMP_JSON"
+for _ in 1 2 3; do
+  # The same pinned fig05 point the PR gate runs (keep in sync with
+  # .github/workflows/ci.yml).
+  DF_H=2 DF_WARMUP=500 DF_MEASURE=1500 \
+    "$BUILD_DIR/bench/fig05_throughput_vct" --jobs=2 >/dev/null
+  # The micro_sim smoke (skipped with a note if google-benchmark was
+  # unavailable at configure time).
+  if [ -x "$BUILD_DIR/bench/micro_sim" ]; then
+    (cd "$BUILD_DIR" && ctest -R micro_sim_smoke --output-on-failure >/dev/null)
+  else
+    echo "note: micro_sim not built (google-benchmark missing); baseline" \
+         "will not gate it" >&2
+  fi
+done
+
+mkdir -p "$(dirname "$BASELINE")"
+cp "$TMP_JSON" "$BASELINE"
+echo "wrote $BASELINE:"
+cat "$BASELINE"
