@@ -7,6 +7,7 @@
 
 #include "common/env.hpp"
 #include "topology/fault_model.hpp"
+#include "traffic/factory.hpp"
 
 namespace dfsim {
 
@@ -181,6 +182,42 @@ void SimConfig::validate() const {
     os << "load must be in (0, 1], got " << load;
     fail(os.str());
   }
+  // Traffic spec: reject malformed pattern strings before anything is
+  // built (topology-dependent range checks still happen at construction).
+  try {
+    validate_pattern_spec(pattern);
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+  // Written as negated >=/<= so NaN fails too (every comparison with NaN
+  // is false, which would sail through the direct form).
+  if (!(onoff_on >= 0.0 && onoff_on <= 1.0) ||
+      !(onoff_off >= 0.0 && onoff_off <= 1.0) ||
+      (onoff_on == 0.0) != (onoff_off == 0.0)) {
+    std::ostringstream os;
+    os << "ON/OFF transition probabilities must both be in (0, 1] or both "
+          "0 (disabled), got onoff_on = "
+       << onoff_on << ", onoff_off = " << onoff_off;
+    fail(os.str());
+  }
+  if (onoff_on > 0.0) {
+    // The while-ON generation probability is load / (packet_phits * duty)
+    // and cannot exceed 1: beyond that the sources physically cannot make
+    // up for their OFF time and the real offered load silently undershoots
+    // the configured one. Reject instead of mismeasuring.
+    const double duty = onoff_on / (onoff_on + onoff_off);
+    const double max_load = duty * packet_phits >= 1.0
+                                ? 1.0
+                                : duty * static_cast<double>(packet_phits);
+    if (load > max_load) {
+      std::ostringstream os;
+      os << "ON/OFF duty cycle " << duty << " cannot sustain load " << load
+         << ": ON terminals would need a generation probability above 1. "
+            "Raise onoff_on, lower onoff_off, or keep load <= "
+         << max_load;
+      fail(os.str());
+    }
+  }
   if (packet_phits < 1) {
     std::ostringstream os;
     os << "packet_phits must be >= 1, got " << packet_phits;
@@ -289,6 +326,12 @@ SimConfig bench_defaults() {
   cfg.burst_packets = static_cast<std::uint64_t>(
       env_int("DF_BURST", static_cast<std::int64_t>(cfg.burst_packets)));
   cfg.seed = static_cast<std::uint64_t>(env_int("DF_SEED", 1));
+  // Traffic knobs (README "Traffic patterns"). Benches with fixed panels
+  // (fig04-11) override the pattern per panel; DF_TRAFFIC drives the
+  // single-pattern binaries (quickstart, fig_transient base phase, ...).
+  cfg.pattern = env_str("DF_TRAFFIC", cfg.pattern);
+  cfg.onoff_on = env_double("DF_ONOFF_ON", cfg.onoff_on);
+  cfg.onoff_off = env_double("DF_ONOFF_OFF", cfg.onoff_off);
   // Degraded-network knobs (README "Faults"); all default to healthy.
   cfg.fault_spec = env_str("DF_FAULTS", cfg.fault_spec);
   cfg.fault_fraction = env_double("DF_FAULT_FRACTION", cfg.fault_fraction);

@@ -72,10 +72,22 @@ struct SimConfig {
   int pb_period = 10;
 
   // --- traffic -----------------------------------------------------------
-  std::string pattern = "uniform";  ///< uniform | advg | advl | mixed
-  int pattern_offset = 1;           ///< the +N of ADVG+N / ADVL+N
-  double global_fraction = 0.5;     ///< mixed pattern share of ADVG+h
-  double load = 0.5;                ///< offered phits/(node*cycle)
+  // `pattern` accepts either a historical name (uniform | advg | advl |
+  // mixed | shift | hotspot, parameterized by pattern_offset /
+  // global_fraction) or a DF_TRAFFIC spec string resolved by the traffic
+  // registry: "un", "advg+1", "hotspot:0.2@7", "shuffle", "transpose",
+  // "bitcomp", "bitrev", "mix:un=0.7,advg+1=0.3" (see
+  // src/traffic/factory.hpp for the grammar).
+  std::string pattern = "uniform";
+  int pattern_offset = 1;        ///< the +N of legacy ADVG+N / ADVL+N
+  double global_fraction = 0.5;  ///< legacy mixed pattern share of ADVG+h
+  double load = 0.5;             ///< offered phits/(node*cycle)
+  // Markov ON/OFF source modulation (both 0 = plain Bernoulli): per-cycle
+  // OFF->ON / ON->OFF transition probabilities. The long-run offered load
+  // stays `load`; arrivals clump into geometric ON bursts. Layered on
+  // whatever `pattern` resolves to.
+  double onoff_on = 0.0;
+  double onoff_off = 0.0;
 
   // --- measurement ---------------------------------------------------------
   Cycle warmup_cycles = 5000;

@@ -1,8 +1,11 @@
 #include "api/simulator.hpp"
 
+#include <stdexcept>
+
 #include "metrics/collector.hpp"
 #include "routing/factory.hpp"
 #include "sim/engine.hpp"
+#include "traffic/factory.hpp"
 #include "traffic/pattern.hpp"
 
 namespace dfsim {
@@ -33,18 +36,10 @@ struct Harness {
   Engine engine;
 };
 
-}  // namespace
-
-SteadyResult run_steady(const SimConfig& cfg) {
-  cfg.validate();
-  InjectionProcess inj;
-  inj.mode = InjectionProcess::Mode::kBernoulli;
-  inj.load = cfg.load;
-
-  Harness hx(cfg, inj);
-  const Cycle end = cfg.warmup_cycles + cfg.measure_cycles;
-  hx.engine.run_until(end);
-
+/// The whole-run aggregate both run_steady and run_phased report — one
+/// assembly point so a new SteadyResult field cannot be forgotten in one
+/// of them.
+SteadyResult steady_result_from(const Harness& hx, const SimConfig& cfg) {
   SteadyResult out;
   out.avg_latency = hx.collector.avg_latency();
   out.p99_latency = hx.collector.p99_latency();
@@ -57,6 +52,22 @@ SteadyResult run_steady(const SimConfig& cfg) {
   out.dead_destination_drops = hx.engine.dead_destination_drops();
   out.deadlock = hx.engine.deadlock_detected();
   return out;
+}
+
+}  // namespace
+
+SteadyResult run_steady(const SimConfig& cfg) {
+  cfg.validate();
+  InjectionProcess inj;
+  inj.mode = InjectionProcess::Mode::kBernoulli;
+  inj.load = cfg.load;
+  inj.onoff_on = cfg.onoff_on;
+  inj.onoff_off = cfg.onoff_off;
+
+  Harness hx(cfg, inj);
+  const Cycle end = cfg.warmup_cycles + cfg.measure_cycles;
+  hx.engine.run_until(end);
+  return steady_result_from(hx, cfg);
 }
 
 BurstResult run_burst(const SimConfig& cfg) {
@@ -90,6 +101,115 @@ BurstResult run_burst(const SimConfig& cfg) {
                       hx.engine.dead_destination_drops() ==
                   expected;
   out.deadlock = hx.engine.deadlock_detected();
+  return out;
+}
+
+PhasedResult run_phased(const SimConfig& cfg,
+                        const std::vector<Phase>& phases) {
+  cfg.validate();
+  if (phases.empty()) {
+    throw std::invalid_argument("run_phased: the phase schedule is empty");
+  }
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const Phase& ph = phases[i];
+    if (ph.cycles < 1) {
+      throw std::invalid_argument("run_phased: phase " + std::to_string(i) +
+                                  " has non-positive length");
+    }
+    if (ph.windows < 1 || static_cast<Cycle>(ph.windows) > ph.cycles) {
+      throw std::invalid_argument(
+          "run_phased: phase " + std::to_string(i) + " wants " +
+          std::to_string(ph.windows) + " windows in " +
+          std::to_string(ph.cycles) + " cycles");
+    }
+    if (!ph.pattern.empty()) validate_pattern_spec(ph.pattern);
+    // Negative = keep; otherwise [0, 1]. NaN satisfies neither arm and is
+    // rejected rather than silently meaning "keep".
+    if (!(ph.load < 0.0 || (ph.load >= 0.0 && ph.load <= 1.0))) {
+      throw std::invalid_argument("run_phased: phase " + std::to_string(i) +
+                                  " load must be < 0 (keep) or in [0, 1]");
+    }
+    // The same ON/OFF duty feasibility check validate() applies to the
+    // base load: a switched-to load the duty cycle cannot sustain would
+    // clamp the while-ON probability and silently mismeasure.
+    if (cfg.onoff_on > 0.0 && ph.load >= 0.0) {
+      const double duty = cfg.onoff_on / (cfg.onoff_on + cfg.onoff_off);
+      if (ph.load > duty * static_cast<double>(cfg.packet_phits)) {
+        throw std::invalid_argument(
+            "run_phased: phase " + std::to_string(i) + " load " +
+            std::to_string(ph.load) +
+            " exceeds what the ON/OFF duty cycle can sustain (see "
+            "SimConfig::validate)");
+      }
+    }
+  }
+
+  InjectionProcess inj;
+  inj.mode = InjectionProcess::Mode::kBernoulli;
+  inj.load = cfg.load;
+  inj.onoff_on = cfg.onoff_on;
+  inj.onoff_off = cfg.onoff_off;
+
+  Harness hx(cfg, inj);
+  PhasedResult out;
+
+  // Warmup under the config's own pattern/load, exactly as run_steady.
+  hx.engine.run_until(cfg.warmup_cycles);
+
+  // Patterns built for phase switches must outlive the engine run.
+  std::vector<std::unique_ptr<TrafficPattern>> switched;
+  std::string active_pattern = hx.pattern->name();
+  double active_load = cfg.load;
+
+  for (std::size_t i = 0;
+       i < phases.size() && !hx.engine.deadlock_detected(); ++i) {
+    const Phase& ph = phases[i];
+    if (!ph.pattern.empty()) {
+      switched.push_back(make_pattern(hx.topo, ph.pattern,
+                                      cfg.pattern_offset,
+                                      cfg.global_fraction));
+      hx.engine.set_pattern(*switched.back());
+      active_pattern = switched.back()->name();
+    }
+    if (ph.load >= 0.0) {
+      hx.engine.set_offered_load(ph.load);
+      active_load = ph.load;
+    }
+    const Cycle phase_start = hx.engine.now();
+    const Cycle stride = ph.cycles / ph.windows;
+    for (int w = 0; w < ph.windows; ++w) {
+      const Cycle start = hx.engine.now();
+      // The last window absorbs the integer-division remainder.
+      const Cycle end = w + 1 == ph.windows ? phase_start + ph.cycles
+                                            : start + stride;
+      hx.engine.run_until(end);
+      PhaseWindow pw;
+      pw.phase = static_cast<int>(i);
+      pw.window = w;
+      pw.pattern = active_pattern;
+      pw.load = active_load;
+      pw.stats =
+          hx.collector.cut_window(start, hx.engine.now(), cfg.packet_phits);
+      out.windows.push_back(std::move(pw));
+      if (hx.engine.deadlock_detected()) break;
+    }
+  }
+
+  // Drain: stop injection and let in-flight traffic land, so the windows
+  // plus the drain account for every delivery of the run.
+  const Cycle drain_start = hx.engine.now();
+  if (!hx.engine.deadlock_detected()) {
+    hx.engine.set_offered_load(0.0);
+    const Cycle drain_deadline = drain_start + cfg.max_cycles;
+    while (hx.engine.packets_in_flight() > 0 &&
+           hx.engine.now() < drain_deadline && hx.engine.step()) {
+    }
+  }
+  out.drain = hx.collector.cut_window(drain_start, hx.engine.now(),
+                                      cfg.packet_phits);
+  out.drained = hx.engine.packets_in_flight() == 0 &&
+                !hx.engine.deadlock_detected();
+  out.total = steady_result_from(hx, cfg);
   return out;
 }
 

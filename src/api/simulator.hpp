@@ -1,11 +1,15 @@
 // High-level facade: build topology + routing + traffic + engine from a
-// SimConfig and run the two experiment shapes of the paper — steady-state
-// (latency/throughput curves) and burst drain (consumption time).
+// SimConfig and run the experiment shapes of the paper — steady-state
+// (latency/throughput curves), burst drain (consumption time), and phased
+// runs (transient response to mid-run traffic changes).
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "api/config.hpp"
+#include "metrics/collector.hpp"
 
 namespace dfsim {
 
@@ -42,5 +46,51 @@ SteadyResult run_steady(const SimConfig& cfg);
 /// cfg.burst_packets packets (generated at cycle 0), report the cycles
 /// until the network drains (Figs. 6b / 9b).
 BurstResult run_burst(const SimConfig& cfg);
+
+// --- phased runs ---------------------------------------------------------
+
+/// One phase of a phased run: `cycles` long, split into `windows` equal
+/// stats windows (the last window absorbs the division remainder). On
+/// entry the phase may switch the traffic pattern (a DF_TRAFFIC spec; ""
+/// keeps the current one) and/or the offered load (< 0 keeps it) — the
+/// mid-run swap the paper's "reacting to changing traffic" claim is
+/// about. Packets already in flight keep their destinations.
+struct Phase {
+  Cycle cycles = 0;
+  int windows = 1;
+  std::string pattern;  ///< spec to switch to at phase start; "" = keep
+  double load = -1.0;   ///< load to switch to at phase start; < 0 = keep
+};
+
+/// One closed stats window of a phased run. The post-phase drain is NOT
+/// one of these — it lives in PhasedResult::drain.
+struct PhaseWindow {
+  int phase = 0;         ///< index into the phases vector
+  int window = 0;        ///< window index within the phase
+  std::string pattern;   ///< pattern name active during the window
+  double load = 0.0;     ///< offered load configured during the window
+  TrafficWindow stats;
+};
+
+struct PhasedResult {
+  std::vector<PhaseWindow> windows;  ///< measurement windows, in order
+  /// Post-phase drain: injection stops and the engine runs until the
+  /// network empties (or cfg.max_cycles). Deliveries land here.
+  TrafficWindow drain;
+  bool drained = false;  ///< network fully emptied within the budget
+  /// Whole-run aggregate over [warmup, end of drain]. Every integer
+  /// counter equals the sum of the windows' (including drain's): the
+  /// windows tile the measured span exactly.
+  SteadyResult total;
+};
+
+/// Run a phased experiment: cfg.warmup_cycles of warmup under the
+/// config's own pattern/load (excluded from stats, as in run_steady),
+/// then the phases in order with per-window stats snapshots, then a
+/// drain. cfg.measure_cycles is ignored — the phases define the span.
+/// Throws std::invalid_argument for an empty schedule, a non-positive
+/// phase length or window count, or a bad pattern spec / load.
+PhasedResult run_phased(const SimConfig& cfg,
+                        const std::vector<Phase>& phases);
 
 }  // namespace dfsim

@@ -69,6 +69,43 @@ void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
   }
 }
 
+std::vector<PhasedPoint> parallel_phased_sweep(
+    const std::vector<PhasedJob>& jobs, const SweepOptions& opts) {
+  std::vector<PhasedPoint> out(jobs.size());
+  runtime::parallel_for(jobs.size(), opts.jobs, [&](std::size_t i) {
+    const PhasedJob& job = jobs[i];
+    SimConfig cfg = job.cfg;
+    if (opts.derive_seeds) {
+      cfg.seed = runtime::derive_seed(job.cfg.seed, i);
+    }
+    PhasedPoint& p = out[i];
+    p.series = job.series;
+    p.seed = cfg.seed;
+    p.result = run_phased(cfg, job.phases);
+  });
+  return out;
+}
+
+void print_phased(std::ostream& out,
+                  const std::vector<PhasedPoint>& points) {
+  CsvWriter csv(out, {"series", "cycle_end", "accepted_load",
+                      "offered_load_measured", "avg_latency_cycles",
+                      "pattern"});
+  for (const PhasedPoint& p : points) {
+    for (const PhaseWindow& w : p.result.windows) {
+      csv.row({p.series, CsvWriter::fmt(static_cast<double>(w.stats.end)),
+               CsvWriter::fmt(w.stats.accepted_load),
+               CsvWriter::fmt(w.stats.offered_load),
+               CsvWriter::fmt(w.stats.avg_latency), w.pattern});
+    }
+    csv.row({p.series,
+             CsvWriter::fmt(static_cast<double>(p.result.drain.end)),
+             CsvWriter::fmt(p.result.drain.accepted_load),
+             CsvWriter::fmt(p.result.drain.offered_load),
+             CsvWriter::fmt(p.result.drain.avg_latency), "drain"});
+  }
+}
+
 std::vector<double> default_loads(double max_load, int points) {
   std::vector<double> loads;
   loads.reserve(static_cast<size_t>(points));

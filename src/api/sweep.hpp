@@ -70,4 +70,32 @@ void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
 /// Standard load grids used by the figure benches.
 std::vector<double> default_loads(double max_load, int points);
 
+// --- phased sweeps -------------------------------------------------------
+
+/// One prepared phased run (api/simulator.hpp run_phased) of a transient
+/// sweep: the configured base run plus its phase schedule.
+struct PhasedJob {
+  std::string series;
+  SimConfig cfg;
+  std::vector<Phase> phases;
+};
+
+struct PhasedPoint {
+  std::string series;
+  std::uint64_t seed = 0;  ///< derived per-job seed the run used
+  PhasedResult result;
+};
+
+/// Run run_phased for every job, in parallel, preserving job order. Seeds
+/// derive from each job's cfg.seed and its index (SweepOptions), so the
+/// output is bit-identical for any worker count.
+std::vector<PhasedPoint> parallel_phased_sweep(
+    const std::vector<PhasedJob>& jobs, const SweepOptions& opts = {});
+
+/// Print a phased sweep as CSV rows of per-window throughput over time:
+/// series,cycle_end,accepted_load,offered_load_measured,
+/// avg_latency_cycles,pattern (cycle_end is absolute, warmup included;
+/// the drain window rides along with pattern "drain").
+void print_phased(std::ostream& out, const std::vector<PhasedPoint>& points);
+
 }  // namespace dfsim

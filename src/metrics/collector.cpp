@@ -15,6 +15,7 @@ void Collector::on_delivered(const Packet& pkt, Cycle now) {
   ++delivered_packets_;
   const auto lat = static_cast<double>(now - pkt.created);
   latency_.add(lat);
+  latency_sum_ += lat;
   latency_hist_.add(lat);
   hops_.add(static_cast<double>(pkt.rs.total_hops));
 }
@@ -47,6 +48,38 @@ double Collector::drop_rate() const {
   if (generated_measured_ == 0) return 0.0;
   return static_cast<double>(dropped_measured_) /
          static_cast<double>(generated_measured_);
+}
+
+TrafficWindow Collector::cut_window(Cycle start, Cycle end,
+                                    int packet_phits) {
+  TrafficWindow w;
+  w.start = start;
+  w.end = end;
+  w.delivered = delivered_packets_ - mark_.delivered;
+  w.delivered_phits = delivered_phits_ - mark_.delivered_phits;
+  w.generated = generated_measured_ - mark_.generated;
+  w.dropped = dropped_measured_ - mark_.dropped;
+  const double latency_delta = latency_sum_ - mark_.latency_sum;
+  if (w.delivered > 0) {
+    w.avg_latency = latency_delta / static_cast<double>(w.delivered);
+  }
+  if (end > start) {
+    const auto span = static_cast<double>(end - start);
+    const auto nodes = static_cast<double>(num_terminals_);
+    w.accepted_load = static_cast<double>(w.delivered_phits) / (span * nodes);
+    w.offered_load = static_cast<double>(w.generated) *
+                     static_cast<double>(packet_phits) / (span * nodes);
+  }
+  if (w.generated > 0) {
+    w.drop_rate =
+        static_cast<double>(w.dropped) / static_cast<double>(w.generated);
+  }
+  mark_.delivered = delivered_packets_;
+  mark_.delivered_phits = delivered_phits_;
+  mark_.generated = generated_measured_;
+  mark_.dropped = dropped_measured_;
+  mark_.latency_sum = latency_sum_;
+  return w;
 }
 
 }  // namespace dfsim

@@ -10,6 +10,27 @@
 
 namespace dfsim {
 
+/// Stats of one measurement window of a phased run: deliveries and
+/// (accepted) generations that happened inside [start, end). Cut by
+/// Collector::cut_window. `delivered_phits` (and with it accepted_load)
+/// counts every post-warmup delivery landing in the window — the same
+/// throughput accounting run_steady uses; `delivered` and `avg_latency`
+/// cover only *measured* packets (created after warmup), so in the first
+/// window delivered * packet_phits may undercount delivered_phits by the
+/// warmup-created stragglers.
+struct TrafficWindow {
+  Cycle start = 0;
+  Cycle end = 0;
+  std::uint64_t delivered = 0;        ///< packets delivered in the window
+  std::uint64_t delivered_phits = 0;  ///< their phits
+  std::uint64_t generated = 0;        ///< source generations in the window
+  std::uint64_t dropped = 0;          ///< of which the source cap dropped
+  double avg_latency = 0.0;    ///< mean latency of the window's deliveries
+  double accepted_load = 0.0;  ///< phits/(node*cycle) within the window
+  double offered_load = 0.0;   ///< generated phits/(node*cycle) within it
+  double drop_rate = 0.0;      ///< dropped / generated (0 when idle)
+};
+
 class Collector {
  public:
   /// `warmup`: packets created before this cycle are excluded from
@@ -50,7 +71,23 @@ class Collector {
   /// Mean hop count of measured packets (sanity metric: <= 8 by design).
   double avg_hops() const { return hops_.mean(); }
 
+  /// Close the window [start, end): report every measured counter's delta
+  /// since the previous cut (or since construction) and advance the mark.
+  /// Windows therefore tile the run — summing their integer counters over
+  /// all cuts reproduces the whole-run totals exactly.
+  TrafficWindow cut_window(Cycle start, Cycle end, int packet_phits);
+
  private:
+  /// Counter snapshot cut_window diffs against.
+  struct Mark {
+    std::uint64_t delivered = 0;
+    std::uint64_t delivered_phits = 0;
+    std::uint64_t generated = 0;
+    std::uint64_t dropped = 0;
+    double latency_sum = 0.0;
+  };
+  Mark mark_;
+  double latency_sum_ = 0.0;  ///< plain sum feeding per-window means
   Cycle warmup_;
   int num_terminals_;
   RunningStat latency_;

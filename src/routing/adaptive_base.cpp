@@ -29,6 +29,10 @@ bool AdaptiveBase::commit_hop_allowed(const RoutingContext&, RouterId) const {
   return true;
 }
 
+bool AdaptiveBase::direct_commit_allowed(const RoutingContext&) const {
+  return true;
+}
+
 // Mirror of the rs-only gates guarding collect_global_candidates /
 // collect_local_candidates. While neither collection is reachable, decide()
 // reduces to "minimal hop iff usable" with no RNG draw, which the engine
@@ -135,11 +139,18 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
     return;
   }
 
-  // After the first minimal local hop: PAR-style revert to Valiant via a
-  // sampled gateway elsewhere in the group (paper Fig. 3 routes b/c) or
-  // this router's own ports.
+  // After the first local hop: PAR-style revert to Valiant via a sampled
+  // gateway elsewhere in the group (paper Fig. 3 routes b/c) or this
+  // router's own ports. For intra-group traffic that first hop can have
+  // been a *misroute* onto a high VC (OFAR-style, destination == source
+  // group), from which a direct global departure may be unable to start
+  // the mechanism's escape ladder — direct_commit_allowed() drops those
+  // candidates (the sampled draws below are consumed either way, so the
+  // RNG sequence only diverges where an unsafe candidate existed).
   Rng& rng = ctx.engine.rng();
-  const VcId global_vc = minimal_global_vc(ctx);  // invariant across samples
+  const bool direct_ok = direct_commit_allowed(ctx);
+  const VcId global_vc =
+      direct_ok ? minimal_global_vc(ctx) : 0;  // invariant across samples
   const VcId commit_vc = commit_local_vc(ctx);
   for (int s = 0; s < params_.global_candidates; ++s) {
     auto x = static_cast<GroupId>(
@@ -155,6 +166,7 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
     c.inter_group = x;
     const RouterId gw = topo_.gateway_router(g, x);
     if (gw == ctx.router) {
+      if (!direct_ok) continue;
       c.port = topo_.gateway_port(g, x);
       c.vc = global_vc;
     } else {

@@ -54,6 +54,13 @@ class AdaptiveBase : public RoutingAlgorithm {
   /// taken? RLM applies the parity-sign restriction here.
   virtual bool commit_hop_allowed(const RoutingContext& ctx,
                                   RouterId gateway) const;
+  /// May a Valiant commit depart straight onto one of THIS router's
+  /// global ports, given the VC the packet currently occupies? Only
+  /// consulted after the packet already took a local hop (at the source
+  /// router the packet always sits on the injection queue). OLM requires
+  /// the commit to start its ladder at gVC1, which is impossible once a
+  /// destination-group local misroute parked the packet on lVC2.
+  virtual bool direct_commit_allowed(const RoutingContext& ctx) const;
   /// Append the VCs on which a local misroute current -> k (followed by
   /// the forced k -> in-group target hop) is permitted. Empty = forbidden.
   virtual void local_misroute_vcs(const RoutingContext& ctx, RouterId k,

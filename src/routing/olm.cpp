@@ -62,6 +62,19 @@ VcId OlmRouting::commit_local_vc(const RoutingContext&) const {
   return 0;  // lVC1, per Fig. 3 routes b/c
 }
 
+bool OlmRouting::direct_commit_allowed(const RoutingContext& ctx) const {
+  // A Valiant detour's first global hop must take gVC1: the committed
+  // continuation g-l-g-l then climbs gVC1 < lVC2 < gVC2 < lVC3, and after
+  // landing the escape ladder is still feasible from every position. A
+  // packet that already sits on lVC2 (destination-group local misroute of
+  // intra-group traffic) would depart on gVC2 instead, leaving the
+  // remaining l-g-l of the detour nowhere to climb — the very escape
+  // violation on_hop()'s debug assert machine-checks. Committing through a
+  // remote gateway stays allowed: that hop re-enters on lVC1, from which
+  // the global hop takes gVC1.
+  return occupied_rank_of(ctx, topo_) < global_rank(0);
+}
+
 void OlmRouting::local_misroute_vcs(const RoutingContext& ctx, RouterId k,
                                     RouterId /*target*/,
                                     std::vector<VcId>& vcs) const {

@@ -50,6 +50,7 @@ class OlmRouting final : public AdaptiveBase {
   VcId minimal_local_vc(const RoutingContext& ctx) const override;
   VcId minimal_global_vc(const RoutingContext& ctx) const override;
   VcId commit_local_vc(const RoutingContext& ctx) const override;
+  bool direct_commit_allowed(const RoutingContext& ctx) const override;
   void local_misroute_vcs(const RoutingContext& ctx, RouterId k,
                           RouterId target,
                           std::vector<VcId>& vcs) const override;

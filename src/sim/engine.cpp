@@ -22,9 +22,18 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
     : topo_(topo),
       cfg_(cfg),
       routing_(routing),
-      pattern_(pattern),
+      pattern_(&pattern),
       injection_(injection),
       rng_(cfg.seed) {
+  // Negated >=/<= so NaN fails too. SimConfig::validate() repeats this
+  // (plus the duty-vs-load feasibility check) with pointed messages; this
+  // guards direct Engine construction.
+  if (!(injection_.onoff_on >= 0.0 && injection_.onoff_on <= 1.0) ||
+      !(injection_.onoff_off >= 0.0 && injection_.onoff_off <= 1.0) ||
+      (injection_.onoff_on == 0.0) != (injection_.onoff_off == 0.0)) {
+    throw std::invalid_argument(
+        "ON/OFF transition probabilities must both be in (0, 1] or both 0");
+  }
   flit_phits_ = cfg_.flit_phits > 0 ? cfg_.flit_phits : cfg_.packet_phits;
   if (cfg_.packet_phits % flit_phits_ != 0) {
     throw std::invalid_argument("packet_phits must be a multiple of flit_phits");
@@ -189,6 +198,22 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
         !(has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)])) {
       ts.burst_remaining = injection_.burst_packets;
       if (ts.burst_remaining > 0) mark_terminal_pending(t);
+    }
+  }
+
+  if (injection_.mode == InjectionProcess::Mode::kBernoulli &&
+      injection_.onoff_on > 0.0) {
+    onoff_ = true;
+    refresh_onoff_probability();
+    // Seed each chain from its stationary distribution (one draw per
+    // terminal, ascending, before cycle 0) so the process needs no extra
+    // warmup to reach its long-run duty cycle. Plain Bernoulli runs draw
+    // nothing here — their historical RNG stream is untouched.
+    const double duty =
+        injection_.onoff_on / (injection_.onoff_on + injection_.onoff_off);
+    onoff_state_.resize(static_cast<size_t>(topo_.num_terminals()));
+    for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
+      onoff_state_[static_cast<size_t>(t)] = rng_.bernoulli(duty) ? 1 : 0;
     }
   }
 
@@ -542,6 +567,36 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
 void Engine::inject_terminals() {
   const bool draws = injection_.mode == InjectionProcess::Mode::kBernoulli &&
                      gen_probability_ > 0.0;
+  if (draws && onoff_) {
+    // Markov ON/OFF sources: step each terminal's chain (one draw), then
+    // let ON terminals generate at the duty-compensated rate (a second
+    // draw). Same ascending-terminal order as the plain Bernoulli loop.
+    const int num_terms = topo_.num_terminals();
+    for (NodeId t = 0; t < num_terms; ++t) {
+      if (has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)]) {
+        continue;
+      }
+      std::uint8_t& on = onoff_state_[static_cast<size_t>(t)];
+      if (on != 0) {
+        if (rng_.bernoulli(injection_.onoff_off)) on = 0;
+      } else if (rng_.bernoulli(injection_.onoff_on)) {
+        on = 1;  // transitions apply immediately: an ON entry can generate
+      }
+      if (on != 0 && rng_.bernoulli(gen_probability_on_)) {
+        TerminalState& ts = terminals_[static_cast<size_t>(t)];
+        const bool accepted =
+            ts.pending_created.size() <
+            static_cast<std::size_t>(cfg_.source_queue_cap);
+        if (accepted) {
+          ts.pending_created.push_back(now_);
+          mark_terminal_pending(t);
+        }
+        if (on_generated_) on_generated_(now_, accepted);
+      }
+      if (terminal_pending(t)) try_inject(t);
+    }
+    return;
+  }
   if (draws) {
     const int num_terms = topo_.num_terminals();
     for (NodeId t = 0; t < num_terms; ++t) {
@@ -613,7 +668,7 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
     dst = ts.forced_dst.front();
     ts.forced_dst.pop_front();
   } else {
-    dst = pattern_.dest(t, rng_);
+    dst = pattern_->dest(t, rng_);
   }
   assert(dst != t && dst >= 0 && dst < topo_.num_terminals());
 

@@ -20,6 +20,7 @@
 // results are bit-identical to the exhaustive scans they replaced.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -73,6 +74,19 @@ struct InjectionProcess {
   double load = 0.0;
   /// Burst mode: packets per node, all generated at cycle 0.
   std::uint64_t burst_packets = 0;
+  /// Markov ON/OFF modulation of the Bernoulli process (both 0 =
+  /// disabled, the memoryless default). Each terminal carries a two-state
+  /// chain stepped once per cycle: OFF -> ON with probability onoff_on,
+  /// ON -> OFF with probability onoff_off. While ON it generates with the
+  /// Bernoulli probability divided by the stationary ON share
+  /// onoff_on / (onoff_on + onoff_off), so the long-run offered load
+  /// still matches `load` while arrivals clump into bursts with geometric
+  /// ON/OFF dwell times. That while-ON probability is clamped at 1, under
+  /// which the real offered load would undershoot `load` —
+  /// SimConfig::validate() rejects such duty/load combinations up front.
+  /// Layers on ANY traffic pattern (the pattern only picks destinations).
+  double onoff_on = 0.0;
+  double onoff_off = 0.0;
 };
 
 /// Delivery callback: packet (still valid), delivery cycle.
@@ -114,6 +128,21 @@ class Engine {
   const DragonflyTopology& topology() const { return topo_; }
   const EngineConfig& config() const { return cfg_; }
   Rng& rng() { return rng_; }
+
+  // --- mid-run switches (phased runs) -----------------------------------
+  /// Swap the destination pattern; takes effect at the next generation.
+  /// The caller keeps `p` alive for the rest of the run. Packets already
+  /// in flight keep their destinations — that mid-stream transition is
+  /// exactly what run_phased measures.
+  void set_pattern(TrafficPattern& p) { pattern_ = &p; }
+  const TrafficPattern& pattern() const { return *pattern_; }
+  /// Change the offered load of the Bernoulli source process (phits per
+  /// node-cycle); takes effect at the next cycle's generation draws.
+  void set_offered_load(double load) {
+    injection_.load = load;
+    gen_probability_ = load / static_cast<double>(cfg_.packet_phits);
+    refresh_onoff_probability();
+  }
 
   void set_delivery_hook(DeliveryHook hook) { on_delivered_ = std::move(hook); }
   void set_generation_hook(GenerationHook hook) {
@@ -329,6 +358,15 @@ class Engine {
     } while (w >= 0);
   }
 
+  /// ON/OFF mode: recompute the while-ON generation probability from the
+  /// current load and the chain's stationary ON share. No-op otherwise.
+  void refresh_onoff_probability() {
+    if (!onoff_) return;
+    const double duty =
+        injection_.onoff_on / (injection_.onoff_on + injection_.onoff_off);
+    gen_probability_on_ = std::min(1.0, gen_probability_ / duty);
+  }
+
   void process_arrivals();
   void allocate_active_routers();
   void allocate_router(RouterId r);
@@ -353,7 +391,7 @@ class Engine {
   const DragonflyTopology& topo_;
   EngineConfig cfg_;
   RoutingAlgorithm& routing_;
-  TrafficPattern& pattern_;
+  TrafficPattern* pattern_;  ///< swappable mid-run via set_pattern
   InjectionProcess injection_;
 
   int ports_;
@@ -417,6 +455,13 @@ class Engine {
   std::vector<std::uint64_t> pending_terminals_;
 
   std::vector<TerminalState> terminals_;
+  /// Markov ON/OFF injection (InjectionProcess::onoff_*): one chain state
+  /// per terminal, stepped before that terminal's generation draw. Empty
+  /// (and the flag false) for plain Bernoulli sources, whose draw
+  /// sequence must stay bit-identical to the historical process.
+  std::vector<std::uint8_t> onoff_state_;
+  bool onoff_ = false;
+  double gen_probability_on_ = 0.0;  ///< per-cycle generation prob while ON
   /// Degraded topologies only: terminals on dead routers neither draw
   /// generation randomness nor inject. Empty (and the flag false) on
   /// healthy networks, so the hot injection loop is untouched there.

@@ -1,0 +1,72 @@
+// Registry-based construction of traffic patterns from DF_TRAFFIC spec
+// strings (mirroring src/routing/factory.cpp for routing mechanisms).
+//
+// Grammar (case-insensitive keys):
+//
+//   spec      := single | "mix:" comp ("," comp)*
+//   comp      := single "=" weight            (weights normalized)
+//   single    := key args
+//
+//   un | uniform               uniform random
+//   advg[+N|-N]                adversarial-global, offset default +1
+//   advl[+N|-N]                adversarial-local, offset default +1
+//   shift[+N|-N]               group-shift permutation, offset default +1
+//                              (normalized mod g; ≡ 0 rejected: self-send)
+//   hotspot:F[@G] | hot:...    fraction F in (0,1] to group G (default 0)
+//   shuffle | transpose        bit permutations on the low floor(log2(N))
+//   bitcomp | bitrev           bits of the terminal index
+//   mixed[:F]                  legacy Fig. 6/9 mix: ADVG+h share F (0.5)
+//
+// Examples: "un", "advg+1", "hotspot:0.2@7", "mix:un=0.7,advg+1=0.3".
+//
+// Every entry parses its own arguments and throws std::invalid_argument
+// with a pointed message (the offending spec, what was expected, and on
+// an unknown key the full name list). validate_pattern_spec() runs the
+// same parsers without a topology, so configs can be rejected before
+// anything is built; topology-dependent range checks (hot group < g,
+// degenerate offsets) still happen at construction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+class TrafficPattern;
+
+/// One registry row. `build` parses `args` (everything after the key) and
+/// returns the pattern — or nullptr when `topo` is null (parse-only mode,
+/// used by validate_pattern_spec), still throwing on malformed args.
+struct TrafficPatternEntry {
+  const char* key;       ///< canonical lower-case name
+  const char* alias;     ///< optional second name ("" = none)
+  const char* help;      ///< spec syntax, e.g. "hotspot:<frac>[@<group>]"
+  std::unique_ptr<TrafficPattern> (*build)(const DragonflyTopology* topo,
+                                           const std::string& args,
+                                           const std::string& spec);
+};
+
+/// The pattern registry, in documentation order. New patterns register
+/// here and nowhere else — the spec parser, the error messages and the
+/// README table all derive from this list.
+const std::vector<TrafficPatternEntry>& traffic_pattern_registry();
+
+/// Comma-separated canonical keys (for error messages and --help output).
+std::string traffic_pattern_names();
+
+/// Resolve a spec string against a topology. Throws std::invalid_argument
+/// with a pointed message on any parse or range error.
+std::unique_ptr<TrafficPattern> make_pattern_spec(
+    const DragonflyTopology& topo, const std::string& spec);
+
+/// Syntax-check a spec without building anything (no topology needed).
+/// Accepts every string make_pattern_spec could accept on some topology;
+/// throws std::invalid_argument on anything else. Also accepts the
+/// historical four-argument names ("uniform", "mixed", ...) so
+/// SimConfig::validate can take either form.
+void validate_pattern_spec(const std::string& spec);
+
+}  // namespace dfsim

@@ -1,6 +1,11 @@
 #include "traffic/pattern.hpp"
 
+#include <cmath>
+#include <cstdio>
 #include <stdexcept>
+#include <utility>
+
+#include "traffic/factory.hpp"
 
 namespace dfsim {
 
@@ -111,17 +116,32 @@ NodeId ShiftPattern::dest(NodeId src, Rng& /*rng*/) {
 }
 
 HotspotPattern::HotspotPattern(const DragonflyTopology& topo,
-                               double hot_fraction)
-    : topo_(topo), hot_fraction_(hot_fraction), uniform_(topo) {}
+                               double hot_fraction, int hot_group)
+    : topo_(topo),
+      hot_fraction_(hot_fraction),
+      hot_group_(hot_group),
+      uniform_(topo) {
+  if (!(hot_fraction > 0.0) || hot_fraction > 1.0) {
+    throw std::invalid_argument(
+        "hotspot fraction must be in (0, 1], got " +
+        std::to_string(hot_fraction));
+  }
+  if (hot_group < 0 || hot_group >= topo.num_groups()) {
+    throw std::invalid_argument(
+        "hotspot group " + std::to_string(hot_group) +
+        " outside [0, g = " + std::to_string(topo.num_groups()) + ")");
+  }
+}
 
 NodeId HotspotPattern::dest(NodeId src, Rng& rng) {
   if (rng.bernoulli(hot_fraction_)) {
     const int per_group =
         topo_.routers_per_group() * topo_.terminals_per_router();
+    const NodeId base = static_cast<NodeId>(hot_group_) * per_group;
     NodeId d;
     do {
-      d = static_cast<NodeId>(
-          rng.uniform(static_cast<std::uint64_t>(per_group)));
+      d = base + static_cast<NodeId>(
+                     rng.uniform(static_cast<std::uint64_t>(per_group)));
     } while (d == src);
     return d;
   }
@@ -129,8 +149,147 @@ NodeId HotspotPattern::dest(NodeId src, Rng& rng) {
 }
 
 std::string HotspotPattern::name() const {
-  return "HOT(" + std::to_string(static_cast<int>(hot_fraction_ * 100)) +
-         "%)";
+  std::string n =
+      "HOT(" + std::to_string(static_cast<int>(hot_fraction_ * 100)) + "%";
+  if (hot_group_ != 0) n += "@" + std::to_string(hot_group_);
+  return n + ")";
+}
+
+BitPermutationPattern::BitPermutationPattern(const DragonflyTopology& topo,
+                                             Kind kind)
+    : kind_(kind) {
+  const int n = topo.num_terminals();
+  if (n < 2) {
+    throw std::invalid_argument(
+        "bit-permutation patterns need at least 2 terminals");
+  }
+  int bits = 0;
+  while ((2 << bits) <= n) ++bits;  // bits = floor(log2(n))
+  const NodeId block = static_cast<NodeId>(1) << bits;
+  const NodeId mask = block - 1;
+  const int half = bits / 2;
+
+  table_.resize(static_cast<std::size_t>(n));
+  for (NodeId s = 0; s < n; ++s) {
+    NodeId d = s;
+    if (s < block) {
+      switch (kind_) {
+        case Kind::kShuffle:
+          d = ((s << 1) | (s >> (bits - 1))) & mask;
+          break;
+        case Kind::kTranspose:
+          // Rotate right by floor(bits/2); for even bit counts this swaps
+          // the index halves (row/column transpose).
+          d = half == 0 ? s
+                        : (((s >> half) | (s << (bits - half))) & mask);
+          break;
+        case Kind::kComplement:
+          d = ~s & mask;
+          break;
+        case Kind::kReverse: {
+          d = 0;
+          for (int b = 0; b < bits; ++b) d |= ((s >> b) & 1) << (bits - 1 - b);
+          break;
+        }
+      }
+    }
+    table_[static_cast<std::size_t>(s)] = d;
+  }
+
+  // Derange the fixed points (the rule's own, e.g. 0 under shuffle, plus
+  // every index >= 2^bits) by cycling them; a lone fixed point instead
+  // swaps images with a neighbor. Both edits permute images only, so the
+  // table stays a bijection.
+  std::vector<NodeId> fixed;
+  for (NodeId s = 0; s < n; ++s) {
+    if (table_[static_cast<std::size_t>(s)] == s) fixed.push_back(s);
+  }
+  if (fixed.size() == 1) {
+    const NodeId f = fixed.front();
+    NodeId y = (f + 1) % n;
+    if (table_[static_cast<std::size_t>(y)] == f) y = (f + 2) % n;
+    std::swap(table_[static_cast<std::size_t>(f)],
+              table_[static_cast<std::size_t>(y)]);
+  } else {
+    for (std::size_t i = 0; i < fixed.size(); ++i) {
+      table_[static_cast<std::size_t>(fixed[i])] =
+          fixed[(i + 1) % fixed.size()];
+    }
+  }
+
+  // Machine-check the contract: a permutation with no fixed points.
+  std::vector<char> hit(static_cast<std::size_t>(n), 0);
+  for (NodeId s = 0; s < n; ++s) {
+    const NodeId d = table_[static_cast<std::size_t>(s)];
+    if (d < 0 || d >= n || d == s || hit[static_cast<std::size_t>(d)]) {
+      throw std::logic_error(name() +
+                             " table is not a self-free permutation");
+    }
+    hit[static_cast<std::size_t>(d)] = 1;
+  }
+}
+
+NodeId BitPermutationPattern::dest(NodeId src, Rng& /*rng*/) {
+  return table_[static_cast<std::size_t>(src)];
+}
+
+std::string BitPermutationPattern::name() const {
+  switch (kind_) {
+    case Kind::kShuffle:
+      return "SHUFFLE";
+    case Kind::kTranspose:
+      return "TRANSPOSE";
+    case Kind::kComplement:
+      return "BITCOMP";
+    case Kind::kReverse:
+      return "BITREV";
+  }
+  return "BITPERM";
+}
+
+WeightedMixPattern::WeightedMixPattern(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) {
+    throw std::invalid_argument("mix pattern needs at least one component");
+  }
+  double total = 0.0;
+  for (const Component& c : components_) {
+    if (!(c.weight > 0.0) || !std::isfinite(c.weight)) {
+      throw std::invalid_argument(
+          "mix component weight must be positive and finite, got " +
+          std::to_string(c.weight));
+    }
+    total += c.weight;
+  }
+  cumulative_.reserve(components_.size());
+  double acc = 0.0;
+  for (const Component& c : components_) {
+    acc += c.weight / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding shortfall
+}
+
+NodeId WeightedMixPattern::dest(NodeId src, Rng& rng) {
+  const double u = rng.uniform_real();
+  std::size_t i = 0;
+  while (i + 1 < cumulative_.size() && u >= cumulative_[i]) ++i;
+  return components_[i].pattern->dest(src, rng);
+}
+
+std::string WeightedMixPattern::name() const {
+  std::string n = "MIX(";
+  double total = 0.0;
+  for (const Component& c : components_) total += c.weight;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    // Semicolon separator: these names land in unquoted CSV cells
+    // (print_phased), where a comma would split the row.
+    if (i > 0) n += ";";
+    char frac[16];
+    std::snprintf(frac, sizeof(frac), "%.2f", components_[i].weight / total);
+    n += components_[i].pattern->name() + "=" + frac;
+  }
+  return n + ")";
 }
 
 std::unique_ptr<TrafficPattern> make_pattern(const DragonflyTopology& topo,
@@ -155,7 +314,9 @@ std::unique_ptr<TrafficPattern> make_pattern(const DragonflyTopology& topo,
   if (name == "mixed" || name == "MIX") {
     return std::make_unique<MixedAdversarialPattern>(topo, global_fraction);
   }
-  throw std::invalid_argument("unknown traffic pattern: " + name);
+  // Not one of the historical four-argument names: resolve it as a
+  // DF_TRAFFIC spec string ("un", "advg+1", "hotspot:0.2@7", "mix:...").
+  return make_pattern_spec(topo, name);
 }
 
 }  // namespace dfsim

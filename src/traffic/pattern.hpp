@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -111,21 +112,81 @@ class ShiftPattern final : public TrafficPattern {
 };
 
 /// Hotspot: a fraction of the traffic targets the terminals of one group
-/// (group 0); the rest is uniform. Models acceptance-side congestion.
+/// (`hot_group`, default 0); the rest is uniform. Models acceptance-side
+/// congestion. Throws std::invalid_argument for a fraction outside (0, 1]
+/// or a group outside [0, g).
 class HotspotPattern final : public TrafficPattern {
  public:
-  HotspotPattern(const DragonflyTopology& topo, double hot_fraction);
+  HotspotPattern(const DragonflyTopology& topo, double hot_fraction,
+                 int hot_group = 0);
   NodeId dest(NodeId src, Rng& rng) override;
   std::string name() const override;
 
  private:
   const DragonflyTopology& topo_;
   double hot_fraction_;
+  int hot_group_;
   UniformPattern uniform_;
 };
 
-/// Factory: "uniform" | "advg" (with offset) | "advl" | "mixed" |
-/// "shift" | "hotspot" (global_fraction = hot fraction).
+/// Classic bit-permutation workloads (Dally & Towles Ch. 3), defined on
+/// the b = floor(log2(N)) low bits of the terminal index:
+///
+///   shuffle    — rotate the b-bit index left by one (perfect shuffle)
+///   transpose  — rotate right by b/2 (for even b: swap index halves,
+///                the matrix-transpose pattern)
+///   bitcomp    — complement all b bits
+///   bitrev     — reverse the b bits
+///
+/// Terminal counts are rarely powers of two on a dragonfly, so indices
+/// >= 2^b start as fixed points, as do the rule's own fixed points (e.g.
+/// 0 under shuffle); the constructor then deranges all fixed points by
+/// cycling them, keeping the map a bijection while honoring the
+/// "dest != src" contract. The final table is machine-checked to be a
+/// self-free permutation (throws std::logic_error otherwise), and every
+/// destination is deterministic — no RNG is drawn.
+class BitPermutationPattern final : public TrafficPattern {
+ public:
+  enum class Kind { kShuffle, kTranspose, kComplement, kReverse };
+
+  BitPermutationPattern(const DragonflyTopology& topo, Kind kind);
+  NodeId dest(NodeId src, Rng& rng) override;
+  std::string name() const override;
+
+  /// The number of terminals the permutation acts on (table size).
+  int size() const { return static_cast<int>(table_.size()); }
+
+ private:
+  Kind kind_;
+  std::vector<NodeId> table_;
+};
+
+/// Per-pair rate mix: each generation picks one component pattern with
+/// probability proportional to its weight. Built by the spec factory for
+/// "mix:un=0.7,advg+1=0.3"-style specs (weights are normalized; they need
+/// not sum to 1). Throws std::invalid_argument when empty or when the
+/// weight sum is not positive and finite.
+class WeightedMixPattern final : public TrafficPattern {
+ public:
+  struct Component {
+    std::unique_ptr<TrafficPattern> pattern;
+    double weight = 0.0;
+  };
+
+  explicit WeightedMixPattern(std::vector<Component> components);
+  NodeId dest(NodeId src, Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  std::vector<Component> components_;
+  std::vector<double> cumulative_;  ///< normalized upper edges
+};
+
+/// Legacy by-name factory: "uniform" | "advg" (with offset) | "advl" |
+/// "mixed" | "shift" | "hotspot" (global_fraction = hot fraction), the
+/// historical four-argument construction paths, bit-for-bit. Any other
+/// name is resolved as a DF_TRAFFIC spec string via make_pattern_spec
+/// (traffic/factory.hpp), so SimConfig::pattern accepts both forms.
 std::unique_ptr<TrafficPattern> make_pattern(const DragonflyTopology& topo,
                                              const std::string& name,
                                              int offset,

@@ -1,0 +1,245 @@
+// Phased runs (run_phased): schedule validation, the windows-tile-the-run
+// accounting contract, worker-count bit-identity of phased sweeps, the
+// UN -> ADVG+1 transient regression the fig_transient bench plots, and
+// the Markov ON/OFF source process layered on a pattern.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/simulator.hpp"
+#include "api/sweep.hpp"
+
+namespace dfsim {
+namespace {
+
+SimConfig small_config(const std::string& routing) {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.routing = routing;
+  cfg.pattern = "un";
+  cfg.load = 0.3;
+  cfg.warmup_cycles = 500;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Phased, RejectsBadSchedules) {
+  const SimConfig cfg = small_config("minimal");
+  EXPECT_THROW(run_phased(cfg, {}), std::invalid_argument);
+  EXPECT_THROW(run_phased(cfg, {{0, 1, "", -1.0}}), std::invalid_argument);
+  EXPECT_THROW(run_phased(cfg, {{100, 0, "", -1.0}}), std::invalid_argument);
+  EXPECT_THROW(run_phased(cfg, {{100, 101, "", -1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(run_phased(cfg, {{100, 1, "bogus", -1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(run_phased(cfg, {{100, 1, "", 1.5}}), std::invalid_argument);
+  EXPECT_THROW(
+      run_phased(cfg,
+                 {{100, 1, "", std::numeric_limits<double>::quiet_NaN()}}),
+      std::invalid_argument);
+  // A phase may not switch to a load the ON/OFF duty cycle cannot
+  // sustain (mirrors the validate() check on the base load).
+  SimConfig bursty = cfg;
+  bursty.packet_phits = 4;
+  bursty.load = 0.3;
+  bursty.onoff_on = 0.02;
+  bursty.onoff_off = 0.18;  // duty 0.1 -> at most load 0.4
+  EXPECT_THROW(run_phased(bursty, {{100, 1, "", 0.8}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(run_phased(bursty, {{100, 1, "", 0.4}}));
+}
+
+TEST(Phased, WindowStatsSumToWholeRunStats) {
+  SimConfig cfg = small_config("olm");
+  const PhasedResult r = run_phased(
+      cfg, {{1500, 3, "", -1.0}, {1700, 4, "advg+1", -1.0}});
+  ASSERT_EQ(r.windows.size(), 7u);
+  ASSERT_FALSE(r.total.deadlock);
+  EXPECT_TRUE(r.drained);
+
+  // Windows tile [warmup, end of drain]: consecutive spans abut, phase
+  // lengths are honored (the last window absorbs remainders).
+  Cycle expect_start = cfg.warmup_cycles;
+  for (const PhaseWindow& w : r.windows) {
+    EXPECT_EQ(w.stats.start, expect_start);
+    expect_start = w.stats.end;
+  }
+  EXPECT_EQ(r.windows[2].stats.end, cfg.warmup_cycles + 1500);
+  EXPECT_EQ(r.windows[6].stats.end, cfg.warmup_cycles + 1500 + 1700);
+  EXPECT_EQ(r.drain.start, r.windows.back().stats.end);
+  EXPECT_EQ(r.windows[0].pattern, "UN");
+  EXPECT_EQ(r.windows[3].pattern, "ADVG+1");
+
+  // Every counter of the whole run is the exact sum of its windows'.
+  std::uint64_t delivered = r.drain.delivered;
+  std::uint64_t phits = r.drain.delivered_phits;
+  std::uint64_t generated = r.drain.generated;
+  std::uint64_t dropped = r.drain.dropped;
+  for (const PhaseWindow& w : r.windows) {
+    delivered += w.stats.delivered;
+    phits += w.stats.delivered_phits;
+    generated += w.stats.generated;
+    dropped += w.stats.dropped;
+  }
+  EXPECT_EQ(delivered, r.total.delivered);
+  EXPECT_EQ(r.drain.generated, 0u);  // injection stops before the drain
+  // The aggregate rates are the summed counters over the full span —
+  // computed with the same arithmetic the collector uses, so exactly.
+  const Cycle span = r.drain.end - cfg.warmup_cycles;
+  const auto nodes = static_cast<double>(72);  // h=2: 72 terminals
+  EXPECT_EQ(r.total.accepted_load,
+            static_cast<double>(phits) /
+                (static_cast<double>(span) * nodes));
+  EXPECT_EQ(r.total.offered_load,
+            static_cast<double>(generated) *
+                static_cast<double>(cfg.packet_phits) /
+                (static_cast<double>(span) * nodes));
+  if (generated > 0) {
+    EXPECT_EQ(r.total.source_drop_rate,
+              static_cast<double>(dropped) / static_cast<double>(generated));
+  }
+}
+
+TEST(Phased, SameSeedBitIdenticalAcrossWorkerCounts) {
+  std::vector<PhasedJob> jobs;
+  for (const char* routing : {"minimal", "valiant", "olm", "pb"}) {
+    PhasedJob job;
+    job.series = routing;
+    job.cfg = small_config(routing);
+    job.phases = {{800, 2, "", -1.0}, {800, 2, "advg+1", -1.0}};
+    jobs.push_back(std::move(job));
+  }
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  const auto a = parallel_phased_sweep(jobs, serial);
+  const auto b = parallel_phased_sweep(jobs, parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].series);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    ASSERT_EQ(a[i].result.windows.size(), b[i].result.windows.size());
+    for (std::size_t w = 0; w < a[i].result.windows.size(); ++w) {
+      const TrafficWindow& wa = a[i].result.windows[w].stats;
+      const TrafficWindow& wb = b[i].result.windows[w].stats;
+      EXPECT_EQ(wa.delivered, wb.delivered);
+      EXPECT_EQ(wa.accepted_load, wb.accepted_load);  // exact doubles
+      EXPECT_EQ(wa.avg_latency, wb.avg_latency);
+    }
+    EXPECT_EQ(a[i].result.total.avg_latency, b[i].result.total.avg_latency);
+    EXPECT_EQ(a[i].result.total.delivered, b[i].result.total.delivered);
+  }
+}
+
+// The transient the paper's "on-the-fly" argument predicts: after a
+// UN -> ADVG+1 switch the in-transit adaptive mechanism re-routes and
+// recovers its throughput within the measurement span, while minimal
+// routing collapses onto the single minimal global link (~1/(a*p)).
+TEST(Phased, AdaptiveRecoversFromPatternSwitchMinimalCollapses) {
+  const std::vector<Phase> phases = {{2000, 4, "", -1.0},
+                                     {3000, 6, "advg+1", -1.0}};
+  const auto mean_accepted = [](const std::vector<PhaseWindow>& ws, int from,
+                                int to) {
+    double sum = 0.0;
+    for (int i = from; i < to; ++i) {
+      sum += ws[static_cast<std::size_t>(i)].stats.accepted_load;
+    }
+    return sum / (to - from);
+  };
+
+  const PhasedResult olm = run_phased(small_config("olm"), phases);
+  ASSERT_FALSE(olm.total.deadlock);
+  const double olm_before = mean_accepted(olm.windows, 0, 4);
+  const double olm_after = mean_accepted(olm.windows, 8, 10);
+  EXPECT_GT(olm_before, 0.25);  // delivering the 0.3 offered load under UN
+  EXPECT_GT(olm_after, 0.8 * olm_before)
+      << "OLM did not recover after the switch";
+
+  const PhasedResult min = run_phased(small_config("minimal"), phases);
+  ASSERT_FALSE(min.total.deadlock);
+  const double min_before = mean_accepted(min.windows, 0, 4);
+  const double min_after = mean_accepted(min.windows, 8, 10);
+  EXPECT_GT(min_before, 0.25);
+  // h=2: a*p = 8, so minimal's ADVG ceiling is 0.125 phits/node/cycle.
+  EXPECT_LT(min_after, 0.6 * min_before)
+      << "minimal should collapse toward 1/(a*p)";
+  EXPECT_LT(min_after, 0.16);
+  EXPECT_GT(olm_after, 2.0 * min_after);
+}
+
+// --- Markov ON/OFF sources ---------------------------------------------
+
+TEST(OnOff, MatchesConfiguredMeanLoadAndReplaysBySeed) {
+  SimConfig cfg = small_config("minimal");
+  cfg.load = 0.15;
+  cfg.onoff_on = 0.05;   // stationary ON share 0.25 ...
+  cfg.onoff_off = 0.15;  // ... bursts of mean length 1/0.15 ≈ 6.7 cycles
+  cfg.measure_cycles = 4000;
+  const SteadyResult a = run_steady(cfg);
+  EXPECT_FALSE(a.deadlock);
+  // Long-run offered load is duty-compensated back to cfg.load.
+  EXPECT_NEAR(a.offered_load, 0.15, 0.02);
+  EXPECT_NEAR(a.accepted_load, 0.15, 0.02);
+  const SteadyResult b = run_steady(cfg);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.accepted_load, b.accepted_load);
+}
+
+TEST(OnOff, BurstinessRaisesQueueingLatencyAtEqualMeanLoad) {
+  SimConfig smooth = small_config("minimal");
+  smooth.load = 0.2;
+  smooth.measure_cycles = 4000;
+  SimConfig bursty = smooth;
+  bursty.onoff_on = 0.02;  // ON 1/6 of the time -> 6x rate while ON
+  bursty.onoff_off = 0.1;
+  const SteadyResult rs = run_steady(smooth);
+  const SteadyResult rb = run_steady(bursty);
+  ASSERT_FALSE(rs.deadlock);
+  ASSERT_FALSE(rb.deadlock);
+  EXPECT_NEAR(rb.offered_load, rs.offered_load, 0.03);
+  // Same mean load, clumped arrivals: source queueing must show up.
+  EXPECT_GT(rb.avg_latency, rs.avg_latency);
+}
+
+TEST(OnOff, ValidateRejectsHalfConfiguredChains) {
+  SimConfig cfg = small_config("minimal");
+  cfg.onoff_on = 0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.onoff_on = 0.0;
+  cfg.onoff_off = 0.1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.onoff_on = 1.5;
+  cfg.onoff_off = 0.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.onoff_on = 0.1;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(OnOff, ValidateRejectsNaNProbabilities) {
+  SimConfig cfg = small_config("minimal");
+  cfg.onoff_on = std::numeric_limits<double>::quiet_NaN();
+  cfg.onoff_off = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(OnOff, ValidateRejectsUnsustainableDutyLoadCombination) {
+  // Duty 0.1 with packet_phits 4 sustains at most load 0.4: ON terminals
+  // would need a generation probability above 1 to offer 0.6, and the
+  // clamp would silently mismeasure — validate must reject instead.
+  SimConfig cfg = small_config("minimal");
+  cfg.packet_phits = 4;
+  cfg.flit_phits = 0;
+  cfg.load = 0.6;
+  cfg.onoff_on = 0.02;
+  cfg.onoff_off = 0.18;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.load = 0.4;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -4,8 +4,28 @@
 
 #include <map>
 
+#include "traffic/factory.hpp"
+
 namespace dfsim {
 namespace {
+
+/// The permutation contract every deterministic pattern must satisfy:
+/// in-range, never self, each terminal receives exactly one flow, and
+/// repeated queries agree (no RNG dependence).
+void expect_self_free_permutation(const DragonflyTopology& topo,
+                                  TrafficPattern& p) {
+  Rng rng(99);
+  std::vector<int> hits(static_cast<size_t>(topo.num_terminals()), 0);
+  for (NodeId s = 0; s < topo.num_terminals(); ++s) {
+    const NodeId d = p.dest(s, rng);
+    ASSERT_GE(d, 0) << p.name();
+    ASSERT_LT(d, topo.num_terminals()) << p.name();
+    EXPECT_NE(d, s) << p.name() << " maps terminal " << s << " to itself";
+    EXPECT_EQ(p.dest(s, rng), d) << p.name();
+    ++hits[static_cast<size_t>(d)];
+  }
+  for (const int h : hits) EXPECT_EQ(h, 1) << p.name();
+}
 
 TEST(Uniform, NeverSelfAndCoversNetwork) {
   const DragonflyTopology topo(2);
@@ -119,6 +139,201 @@ TEST(Factory, BuildsAllNamesAndRejectsUnknown) {
   EXPECT_NE(make_pattern(topo, "mixed", 0, 0.4)->name().find("MIX"),
             std::string::npos);
   EXPECT_THROW(make_pattern(topo, "bogus", 0, 0.0), std::invalid_argument);
+}
+
+// --- bit permutations (spec patterns) ----------------------------------
+
+TEST(BitPermutation, BijectiveOnBalancedAndUnbalancedShapes) {
+  // Balanced h=2 (72 terminals) and h=3 (342); unbalanced p2a6h3g8 (96)
+  // and a deliberately awkward p3a5h2g7 (105, far from a power of two).
+  const DragonflyTopology shapes[] = {
+      DragonflyTopology(2), DragonflyTopology(3),
+      DragonflyTopology(2, 6, 3, 8), DragonflyTopology(3, 5, 2, 7)};
+  for (const DragonflyTopology& topo : shapes) {
+    SCOPED_TRACE(topo.num_terminals());
+    for (const auto kind : {BitPermutationPattern::Kind::kShuffle,
+                            BitPermutationPattern::Kind::kTranspose,
+                            BitPermutationPattern::Kind::kComplement,
+                            BitPermutationPattern::Kind::kReverse}) {
+      BitPermutationPattern p(topo, kind);
+      expect_self_free_permutation(topo, p);
+    }
+  }
+}
+
+TEST(BitPermutation, MatchesClassicRulesOnTheAlignedBlock) {
+  // 72 terminals -> 6-bit block of 64. Check textbook images away from
+  // the fixed-point repair: shuffle rotates left, transpose swaps halves
+  // (rotate right by 3), bitcomp complements, bitrev mirrors.
+  const DragonflyTopology topo(2);
+  Rng rng(1);
+  BitPermutationPattern shuffle(topo, BitPermutationPattern::Kind::kShuffle);
+  EXPECT_EQ(shuffle.dest(0b000110, rng), 0b001100);
+  EXPECT_EQ(shuffle.dest(0b100001, rng), 0b000011);
+  BitPermutationPattern transpose(topo,
+                                  BitPermutationPattern::Kind::kTranspose);
+  EXPECT_EQ(transpose.dest(0b000110, rng), 0b110000);
+  EXPECT_EQ(transpose.dest(0b101001, rng), 0b001101);
+  BitPermutationPattern comp(topo, BitPermutationPattern::Kind::kComplement);
+  EXPECT_EQ(comp.dest(0b000110, rng), 0b111001);
+  BitPermutationPattern rev(topo, BitPermutationPattern::Kind::kReverse);
+  EXPECT_EQ(rev.dest(0b000110, rng), 0b011000);
+  EXPECT_EQ(rev.dest(0b101100, rng), 0b001101);
+  // Palindromic indices (0b100001) are the rule's fixed points; they get
+  // deranged with the tail, covered by the bijectivity suite above.
+}
+
+TEST(Shift, SpecNormalizesOffsetAndStaysAPermutation) {
+  const DragonflyTopology topo(2);  // g = 9
+  auto p = make_pattern_spec(topo, "shift-1");  // -1 ≡ +8 (mod 9)
+  expect_self_free_permutation(topo, *p);
+  EXPECT_EQ(p->name(), "SHIFT+8");
+}
+
+// --- hotspot with a target group ---------------------------------------
+
+TEST(Hotspot, ConcentratesRateOnTheRequestedGroup) {
+  const DragonflyTopology topo(3);
+  auto p = make_pattern_spec(topo, "hotspot:0.2@7");
+  Rng rng(3);
+  const NodeId src = 0;  // not in group 7
+  int hot = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    const NodeId d = p->dest(src, rng);
+    EXPECT_NE(d, src);
+    if (topo.group_of_terminal(d) == 7) ++hot;
+  }
+  // Hot fraction plus the uniform component's spill into group 7.
+  const double expected = 0.2 + 0.8 / topo.num_groups();
+  EXPECT_NEAR(static_cast<double>(hot) / draws, expected, 0.02);
+}
+
+TEST(Hotspot, RejectsBadFractionAndGroup) {
+  const DragonflyTopology topo(2);  // g = 9
+  EXPECT_THROW(HotspotPattern(topo, 0.0), std::invalid_argument);
+  EXPECT_THROW(HotspotPattern(topo, 1.5), std::invalid_argument);
+  EXPECT_THROW(HotspotPattern(topo, 0.2, 9), std::invalid_argument);
+  EXPECT_THROW(HotspotPattern(topo, 0.2, -1), std::invalid_argument);
+}
+
+// --- weighted mixes ----------------------------------------------------
+
+TEST(WeightedMix, HonorsComponentWeights) {
+  const DragonflyTopology topo(3);  // g = 19
+  auto p = make_pattern_spec(topo, "mix:un=0.7,advg+1=0.3");
+  Rng rng(11);
+  const NodeId src = 0;
+  const int per_group =
+      topo.routers_per_group() * topo.terminals_per_router();
+  int in_next_group = 0;
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    if (topo.group_of_terminal(p->dest(src, rng)) == 1) ++in_next_group;
+  }
+  // ADVG+1 sends everything to group 1; UN spills ~per_group/(N-1) of its
+  // share there too.
+  const double expected =
+      0.3 + 0.7 * per_group / (topo.num_terminals() - 1);
+  EXPECT_NEAR(static_cast<double>(in_next_group) / draws, expected, 0.02);
+}
+
+TEST(WeightedMix, NormalizesWeights) {
+  const DragonflyTopology topo(2);
+  auto a = make_pattern_spec(topo, "mix:un=0.7,advg+1=0.3");
+  auto b = make_pattern_spec(topo, "mix:un=7,advg+1=3");
+  // Identical normalized weights -> identical draw sequences.
+  Rng ra(5);
+  Rng rb(5);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a->dest(3, ra), b->dest(3, rb));
+  }
+  EXPECT_EQ(a->name(), b->name());
+}
+
+// --- spec strings: registry resolution and pointed errors ---------------
+
+TEST(Spec, ResolvesEveryRegisteredKey) {
+  const DragonflyTopology topo(2);
+  EXPECT_EQ(make_pattern_spec(topo, "un")->name(), "UN");
+  EXPECT_EQ(make_pattern_spec(topo, "UNIFORM")->name(), "UN");
+  EXPECT_EQ(make_pattern_spec(topo, "advg+2")->name(), "ADVG+2");
+  EXPECT_EQ(make_pattern_spec(topo, "advl")->name(), "ADVL+1");
+  EXPECT_EQ(make_pattern_spec(topo, "shift+3")->name(), "SHIFT+3");
+  EXPECT_EQ(make_pattern_spec(topo, "hotspot:0.25")->name(), "HOT(25%)");
+  EXPECT_EQ(make_pattern_spec(topo, "hot:0.25@2")->name(), "HOT(25%@2)");
+  EXPECT_EQ(make_pattern_spec(topo, "shuffle")->name(), "SHUFFLE");
+  EXPECT_EQ(make_pattern_spec(topo, "transpose")->name(), "TRANSPOSE");
+  EXPECT_EQ(make_pattern_spec(topo, "bitcomp")->name(), "BITCOMP");
+  EXPECT_EQ(make_pattern_spec(topo, "bitrev")->name(), "BITREV");
+  EXPECT_EQ(make_pattern_spec(topo, "mixed:0.3")->name(), "MIX(30%G)");
+  EXPECT_NE(make_pattern_spec(topo, "mix:un=1,advl+1=1")->name().find("MIX"),
+            std::string::npos);
+}
+
+TEST(Spec, LegacyNamesStillRouteThroughMakePattern) {
+  const DragonflyTopology topo(2);
+  // Spec strings flow through the same entry point the API facade uses.
+  EXPECT_EQ(make_pattern(topo, "advg+2", /*offset=*/7, 0.0)->name(),
+            "ADVG+2");  // embedded offset wins over the legacy parameter
+  EXPECT_EQ(make_pattern(topo, "transpose", 0, 0.0)->name(), "TRANSPOSE");
+}
+
+void expect_spec_error(const std::string& spec,
+                       const std::string& expected_fragment) {
+  const DragonflyTopology topo(2);
+  try {
+    make_pattern_spec(topo, spec);
+    FAIL() << "spec \"" << spec << "\" was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // Pointed: names the offending spec and what was expected.
+    EXPECT_NE(msg.find(spec), std::string::npos) << msg;
+    EXPECT_NE(msg.find(expected_fragment), std::string::npos) << msg;
+  }
+}
+
+TEST(Spec, RejectsMalformedSpecsWithPointedMessages) {
+  expect_spec_error("bogus", "known");
+  expect_spec_error("", "known");
+  expect_spec_error("advg+", "advg+<N>");
+  expect_spec_error("advg+1x", "trailing");
+  expect_spec_error("advg*3", "advg+<N>");
+  expect_spec_error("hotspot", "hotspot:<fraction>");
+  expect_spec_error("hotspot:", "missing");
+  expect_spec_error("hotspot:1.5", "(0, 1]");
+  expect_spec_error("hotspot:abc", "not a number");
+  expect_spec_error("hotspot:0.2@x", "not a non-negative integer");
+  expect_spec_error("hotspot:0.2@99", "outside");
+  expect_spec_error("shift+9", "send to itself");  // 9 ≡ 0 (mod g = 9)
+  expect_spec_error("shuffle:3", "no arguments");
+  expect_spec_error("mix:", "mix:<spec>=<weight>");
+  expect_spec_error("mix:un", "<spec>=<weight>");
+  expect_spec_error("mix:un=0", "positive");
+  expect_spec_error("mix:un=0.5,mix:un=1=0.5", "cannot be mixes");
+  expect_spec_error("mixed:2", "[0, 1]");
+}
+
+TEST(Spec, ValidateIsTopologyFree) {
+  // Syntax screened without a topology...
+  EXPECT_NO_THROW(validate_pattern_spec("mix:un=0.7,advg+1=0.3"));
+  EXPECT_NO_THROW(validate_pattern_spec("hotspot:0.2@400"));  // range: later
+  EXPECT_THROW(validate_pattern_spec("hotspot:2"), std::invalid_argument);
+  EXPECT_THROW(validate_pattern_spec("nope"), std::invalid_argument);
+  // ...and the historical four-argument names pass untouched.
+  for (const char* legacy : {"uniform", "advg", "advl", "mixed", "shift",
+                             "hotspot", "UN", "MIX"}) {
+    EXPECT_NO_THROW(validate_pattern_spec(legacy)) << legacy;
+  }
+}
+
+TEST(Spec, RegistryNamesAreUniqueAndListed) {
+  const std::string names = traffic_pattern_names();
+  for (const TrafficPatternEntry& entry : traffic_pattern_registry()) {
+    EXPECT_NE(names.find(entry.key), std::string::npos) << entry.key;
+  }
+  // Unknown-name errors carry the full list (operator discoverability).
+  expect_spec_error("zzz", names);
 }
 
 }  // namespace
