@@ -12,23 +12,23 @@ int main(int argc, char** argv) {
   SimConfig cfg = bench_defaults();
   bench::banner("Ablation: global arrangement (absolute vs palmtree)", cfg);
 
-  std::vector<SweepJob> grid;
+  std::vector<ExperimentPoint> grid;
   for (const auto arr :
        {GlobalArrangement::kAbsolute, GlobalArrangement::kPalmtree}) {
     for (const char* pattern : {"advg", "uniform"}) {
       for (const char* routing : {"olm", "minimal"}) {
-        SweepJob job;
-        job.cfg = cfg;
-        job.cfg.arrangement = arr;
-        job.cfg.routing = routing;
-        job.cfg.pattern = pattern;
-        job.cfg.pattern_offset = 1;
-        job.cfg.load = pattern == std::string("advg") ? 0.5 : 0.8;
-        grid.push_back(std::move(job));
+        ExperimentPoint pt;
+        pt.cfg = cfg;
+        pt.cfg.arrangement = arr;
+        pt.cfg.routing = routing;
+        pt.cfg.pattern = pattern;
+        pt.cfg.pattern_offset = 1;
+        pt.cfg.load = pattern == std::string("advg") ? 0.5 : 0.8;
+        grid.push_back(std::move(pt));
       }
     }
   }
-  const auto points = parallel_sweep(grid, {});
+  const auto points = run_experiments(grid);
 
   CsvWriter csv(std::cout,
                 {"arrangement", "pattern", "routing", "accepted_load"});
@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     csv.row({pc.arrangement == GlobalArrangement::kAbsolute ? "absolute"
                                                             : "palmtree",
              pc.pattern, pc.routing,
-             CsvWriter::fmt(points[i].result.accepted_load)});
+             CsvWriter::fmt(points[i].steady.accepted_load)});
   }
   return 0;
 }

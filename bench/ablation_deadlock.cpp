@@ -27,21 +27,21 @@ int main(int argc, char** argv) {
   cfg.measure_cycles = 16000;
 
   const std::vector<std::string> lineup = {"rlm-unrestricted", "rlm", "olm"};
-  std::vector<SweepJob> grid;
+  std::vector<ExperimentPoint> grid;
   for (const std::string& routing : lineup) {
-    SweepJob job;
-    job.series = routing;
-    job.cfg = cfg;
-    job.cfg.routing = routing;
-    grid.push_back(std::move(job));
+    ExperimentPoint pt;
+    pt.series = routing;
+    pt.cfg = cfg;
+    pt.cfg.routing = routing;
+    grid.push_back(std::move(pt));
   }
-  const auto points = parallel_sweep(grid, {});
+  const auto points = run_experiments(grid);
 
   CsvWriter csv(std::cout,
                 {"routing", "deadlock_detected", "accepted_load"});
-  for (const SweepPoint& p : points) {
-    csv.row({p.series, p.result.deadlock ? "YES" : "no",
-             CsvWriter::fmt(p.result.accepted_load)});
+  for (const ExperimentResult& p : points) {
+    csv.row({p.series, p.steady.deadlock ? "YES" : "no",
+             CsvWriter::fmt(p.steady.accepted_load)});
   }
   std::cout << "# note: rlm-unrestricted uses RLM's VC ladder without the\n"
                "# parity-sign filter; cyclic intra-group dependencies can\n"

@@ -39,22 +39,22 @@ int main(int argc, char** argv) {
 
   std::cout << "\n## ADVL+1 throughput at offered load 1.0\n";
   {
-    std::vector<SweepJob> grid;
+    std::vector<ExperimentPoint> grid;
     for (const char* routing : {"rlm", "rlm-signonly"}) {
-      SweepJob job;
-      job.series = routing;
-      job.cfg = cfg;
-      job.cfg.routing = routing;
-      job.cfg.pattern = "advl";
-      job.cfg.pattern_offset = 1;
-      job.cfg.load = 1.0;
-      grid.push_back(std::move(job));
+      ExperimentPoint pt;
+      pt.series = routing;
+      pt.cfg = cfg;
+      pt.cfg.routing = routing;
+      pt.cfg.pattern = "advl";
+      pt.cfg.pattern_offset = 1;
+      pt.cfg.load = 1.0;
+      grid.push_back(std::move(pt));
     }
-    const auto points = parallel_sweep(grid, {});
+    const auto points = run_experiments(grid);
     CsvWriter csv(std::cout, {"policy", "accepted_load", "deadlock"});
-    for (const SweepPoint& p : points) {
-      csv.row({p.series, CsvWriter::fmt(p.result.accepted_load),
-               p.result.deadlock ? "yes" : "no"});
+    for (const ExperimentResult& p : points) {
+      csv.row({p.series, CsvWriter::fmt(p.steady.accepted_load),
+               p.steady.deadlock ? "yes" : "no"});
     }
   }
   return 0;

@@ -4,21 +4,16 @@
 // every figure bench across PRs.
 #pragma once
 
-#include <fcntl.h>
-#include <sys/file.h>
-#include <unistd.h>
-
 #include <chrono>
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "api/config.hpp"
 #include "api/simulator.hpp"
 #include "api/sweep.hpp"
+#include "common/bench_json.hpp"
 #include "common/env.hpp"
 #include "runtime/parallel_for.hpp"
 #include "topology/dragonfly_topology.hpp"
@@ -55,60 +50,7 @@ class BenchReport {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
-    // Explicitly-empty DF_BENCH_JSON disables the report (env_str would
-    // fold empty into the fallback).
-    const char* path_env = std::getenv("DF_BENCH_JSON");
-    const std::string path = path_env ? path_env : "BENCH_sweep.json";
-    if (path.empty()) return;
-
-    std::ostringstream record;
-    record << "  {\"bench\": \"" << name_ << "\", \"wall_s\": " << wall_s
-           << ", \"jobs\": " << runtime::default_jobs() << "}";
-
-    // Read-modify-write under an exclusive flock: several benches often
-    // run at once and would otherwise lose or interleave records.
-    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-    if (fd < 0) return;
-    ::flock(fd, LOCK_EX);
-
-    std::string existing;
-    char buf[4096];
-    ssize_t n;
-    while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
-      existing.append(buf, static_cast<std::size_t>(n));
-    }
-    // Keep the file a valid JSON array: strip the closing bracket of an
-    // existing array and append, or start a fresh one. Anything that is
-    // not our array — another tool's output, or a record truncated by a
-    // killed bench — is replaced rather than appended to, since
-    // appending would keep it unparsable forever.
-    while (!existing.empty() &&
-           (existing.back() == '\n' || existing.back() == ' ' ||
-            existing.back() == ']')) {
-      existing.pop_back();
-    }
-    if (!existing.empty() &&
-        (existing.front() != '[' || existing.back() != '}')) {
-      existing.clear();
-    }
-
-    std::string out;
-    if (existing.empty()) {
-      out = "[\n" + record.str() + "\n]\n";
-    } else {
-      out = existing + ",\n" + record.str() + "\n]\n";
-    }
-    ::lseek(fd, 0, SEEK_SET);
-    if (::ftruncate(fd, 0) == 0) {
-      std::size_t off = 0;
-      while (off < out.size()) {
-        const ssize_t w = ::write(fd, out.data() + off, out.size() - off);
-        if (w <= 0) break;
-        off += static_cast<std::size_t>(w);
-      }
-    }
-    ::flock(fd, LOCK_UN);
-    ::close(fd);
+    append_bench_record(name_, wall_s, runtime::default_jobs());
   }
 
   BenchReport(const BenchReport&) = delete;

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     pc.pattern_offset = panel.offset;
     std::cout << "\n## panel " << panel.id << "\n";
     const auto points =
-        load_sweep(pc, panel.lineup, default_loads(1.0, 6));
+        run_experiments(sweep_grid(pc, panel.lineup, default_loads(1.0, 6)));
     print_sweep(std::cout, points, Metric::kThroughput, "offered_load");
   }
   return 0;

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
     pc.pattern = panel.pattern;
     pc.pattern_offset = panel.offset;
     std::cout << "\n## panel " << panel.id << "\n";
-    const auto points = load_sweep(pc, panel.lineup, default_loads(1.0, 6));
+    const auto points =
+        run_experiments(sweep_grid(pc, panel.lineup, default_loads(1.0, 6)));
     print_sweep(std::cout, points, Metric::kThroughput, "offered_load");
   }
   return 0;

@@ -21,27 +21,27 @@ int main(int argc, char** argv) {
   const std::vector<std::string> lineup = {"par-6/2", "rlm", "pb"};
   const std::vector<double> fractions = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
 
-  std::vector<SweepJob> grid;
+  std::vector<ExperimentPoint> grid;
   for (const std::string& routing : lineup) {
     for (const double p : fractions) {
-      SweepJob job;
-      job.series = routing;
-      job.x = p * 100.0;
-      job.cfg = cfg;
-      job.cfg.routing = routing;
-      job.cfg.global_fraction = p;
-      grid.push_back(std::move(job));
+      ExperimentPoint pt;
+      pt.series = routing;
+      pt.x = p * 100.0;
+      pt.cfg = cfg;
+      pt.cfg.routing = routing;
+      pt.cfg.global_fraction = p;
+      grid.push_back(std::move(pt));
     }
   }
 
-  const auto points = parallel_sweep(grid, {});
+  const auto points = run_experiments(grid);
 
   std::cout << "\n## panel 9a_throughput\n";
   {
     CsvWriter csv(std::cout,
                   {"series", "global_traffic_pct", "accepted_load"});
-    for (const SweepPoint& p : points) {
-      csv.point(p.series, p.x, p.result.accepted_load);
+    for (const ExperimentResult& p : points) {
+      csv.point(p.series, p.x, p.steady.accepted_load);
     }
   }
 

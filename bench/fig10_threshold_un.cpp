@@ -17,27 +17,27 @@ int main(int argc, char** argv) {
   const std::vector<double> thresholds = {0.30, 0.40, 0.45, 0.50, 0.60};
   const std::vector<double> loads = default_loads(0.9, 6);
 
-  std::vector<SweepJob> grid;
+  std::vector<ExperimentPoint> grid;
   for (const double th : thresholds) {
     for (const double load : loads) {
-      SweepJob job;
-      job.series = "rlm_th=" + CsvWriter::fmt(th * 100) + "%";
-      job.x = load;
-      job.cfg = cfg;
-      job.cfg.misroute_threshold = th;
-      job.cfg.load = load;
-      grid.push_back(std::move(job));
+      ExperimentPoint pt;
+      pt.series = "rlm_th=" + CsvWriter::fmt(th * 100) + "%";
+      pt.x = load;
+      pt.cfg = cfg;
+      pt.cfg.misroute_threshold = th;
+      pt.cfg.load = load;
+      grid.push_back(std::move(pt));
     }
   }
-  const auto points = parallel_sweep(grid, {});
+  const auto points = run_experiments(grid);
 
   std::cout << "\n## panel 10a_latency and 10b_throughput\n";
   CsvWriter csv(std::cout, {"series", "offered_load", "avg_latency_cycles",
                             "accepted_load"});
-  for (const SweepPoint& p : points) {
+  for (const ExperimentResult& p : points) {
     csv.row({p.series, CsvWriter::fmt(p.x),
-             CsvWriter::fmt(p.result.avg_latency),
-             CsvWriter::fmt(p.result.accepted_load)});
+             CsvWriter::fmt(p.steady.avg_latency),
+             CsvWriter::fmt(p.steady.accepted_load)});
   }
   return 0;
 }

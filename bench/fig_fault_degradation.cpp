@@ -48,24 +48,24 @@ int main(int argc, char** argv) {
   };
 
   for (const Panel& panel : panels) {
-    std::vector<SweepJob> jobs;
+    std::vector<ExperimentPoint> grid;
     for (const std::string& routing : lineup) {
       for (const double f : fractions) {
-        SweepJob job;
-        job.series = routing;
-        job.x = f;
-        job.cfg = cfg;
-        job.cfg.routing = routing;
-        job.cfg.pattern = panel.pattern;
-        job.cfg.pattern_offset = panel.offset;
-        job.cfg.load = panel.load;
-        job.cfg.fault_fraction = f;
-        jobs.push_back(std::move(job));
+        ExperimentPoint pt;
+        pt.series = routing;
+        pt.x = f;
+        pt.cfg = cfg;
+        pt.cfg.routing = routing;
+        pt.cfg.pattern = panel.pattern;
+        pt.cfg.pattern_offset = panel.offset;
+        pt.cfg.load = panel.load;
+        pt.cfg.fault_fraction = f;
+        grid.push_back(std::move(pt));
       }
     }
     std::cout << "\n## panel " << panel.id << " @ offered load "
               << panel.load << "\n";
-    const auto points = parallel_sweep(jobs, {});
+    const auto points = run_experiments(grid);
     print_sweep(std::cout, points, Metric::kThroughput,
                 "failure_fraction");
   }

@@ -35,15 +35,15 @@ int main(int argc, char** argv) {
       {cfg.measure_cycles, windows, to, -1.0},  // post-switch response
   };
 
-  std::vector<PhasedJob> jobs;
+  std::vector<ExperimentPoint> grid;
   for (const char* routing : {"minimal", "valiant", "olm", "pb"}) {
-    PhasedJob job;
-    job.series = routing;
-    job.cfg = cfg;
-    job.cfg.routing = routing;
-    job.phases = phases;
-    jobs.push_back(std::move(job));
+    ExperimentPoint pt;
+    pt.series = routing;
+    pt.cfg = cfg;
+    pt.cfg.routing = routing;
+    pt.phases = phases;
+    grid.push_back(std::move(pt));
   }
-  print_phased(std::cout, parallel_phased_sweep(jobs));
+  print_phased(std::cout, run_experiments(grid));
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -295,6 +296,196 @@ RoutingParams SimConfig::routing_params() const {
   rp.piggyback.saturation_threshold = pb_threshold;
   rp.piggyback.broadcast_period = pb_period;
   return rp;
+}
+
+namespace {
+
+/// Shortest decimal form that reparses to the exact same double (%.17g is
+/// guaranteed to round-trip IEEE-754 binary64).
+std::string fmt_f64(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+long long parse_int_value(const std::string& key, const std::string& v) {
+  std::size_t used = 0;
+  long long out = 0;
+  try {
+    out = std::stoll(v, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != v.size() || v.empty()) {
+    throw std::invalid_argument("config key \"" + key +
+                                "\": expected an integer, got \"" + v + "\"");
+  }
+  return out;
+}
+
+double parse_double_value(const std::string& key, const std::string& v) {
+  std::size_t used = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != v.size() || v.empty()) {
+    throw std::invalid_argument("config key \"" + key +
+                                "\": expected a number, got \"" + v + "\"");
+  }
+  return out;
+}
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::string SimConfig::describe() const {
+  std::ostringstream os;
+  os << "h=" << h << '\n';
+  os << "p=" << p << '\n';
+  os << "a=" << a << '\n';
+  os << "g=" << g << '\n';
+  os << "topo=" << topo << '\n';
+  os << "arrangement="
+     << (arrangement == GlobalArrangement::kPalmtree ? "palmtree"
+                                                     : "absolute")
+     << '\n';
+  os << "fault_spec=" << fault_spec << '\n';
+  os << "fault_fraction=" << fmt_f64(fault_fraction) << '\n';
+  os << "fault_seed=" << fault_seed << '\n';
+  os << "flow=" << (flow == FlowControl::kWormhole ? "wormhole" : "vct")
+     << '\n';
+  os << "packet_phits=" << packet_phits << '\n';
+  os << "flit_phits=" << flit_phits << '\n';
+  os << "local_vcs=" << local_vcs << '\n';
+  os << "global_vcs=" << global_vcs << '\n';
+  os << "local_buf_phits=" << local_buf_phits << '\n';
+  os << "global_buf_phits=" << global_buf_phits << '\n';
+  os << "local_latency=" << local_latency << '\n';
+  os << "global_latency=" << global_latency << '\n';
+  os << "routing=" << routing << '\n';
+  os << "misroute_threshold=" << fmt_f64(misroute_threshold) << '\n';
+  os << "global_candidates=" << global_candidates << '\n';
+  os << "local_candidates=" << local_candidates << '\n';
+  os << "pb_threshold=" << fmt_f64(pb_threshold) << '\n';
+  os << "pb_period=" << pb_period << '\n';
+  os << "pattern=" << pattern << '\n';
+  os << "pattern_offset=" << pattern_offset << '\n';
+  os << "global_fraction=" << fmt_f64(global_fraction) << '\n';
+  os << "load=" << fmt_f64(load) << '\n';
+  os << "onoff_on=" << fmt_f64(onoff_on) << '\n';
+  os << "onoff_off=" << fmt_f64(onoff_off) << '\n';
+  os << "warmup_cycles=" << warmup_cycles << '\n';
+  os << "measure_cycles=" << measure_cycles << '\n';
+  os << "burst_packets=" << burst_packets << '\n';
+  os << "max_cycles=" << max_cycles << '\n';
+  os << "watchdog_cycles=" << watchdog_cycles << '\n';
+  os << "seed=" << seed << '\n';
+  return os.str();
+}
+
+void SimConfig::set(const std::string& key, const std::string& value) {
+  const auto as_int = [&] {
+    const long long v = parse_int_value(key, value);
+    if (v > INT32_MAX || v < INT32_MIN) {
+      throw std::invalid_argument("config key \"" + key +
+                                  "\": value out of 32-bit range");
+    }
+    return static_cast<int>(v);
+  };
+  const auto as_u64 = [&] {
+    return static_cast<std::uint64_t>(parse_int_value(key, value));
+  };
+  const auto as_f64 = [&] { return parse_double_value(key, value); };
+
+  if (key == "h") h = as_int();
+  else if (key == "p") p = as_int();
+  else if (key == "a") a = as_int();
+  else if (key == "g") g = as_int();
+  else if (key == "topo") topo = value;
+  else if (key == "arrangement") {
+    if (value == "absolute") arrangement = GlobalArrangement::kAbsolute;
+    else if (value == "palmtree") arrangement = GlobalArrangement::kPalmtree;
+    else {
+      throw std::invalid_argument(
+          "config key \"arrangement\": expected absolute or palmtree, "
+          "got \"" + value + "\"");
+    }
+  } else if (key == "fault_spec") fault_spec = value;
+  else if (key == "fault_fraction") fault_fraction = as_f64();
+  else if (key == "fault_seed") fault_seed = as_u64();
+  else if (key == "flow") {
+    if (value == "vct") flow = FlowControl::kVirtualCutThrough;
+    else if (value == "wormhole") flow = FlowControl::kWormhole;
+    else {
+      throw std::invalid_argument(
+          "config key \"flow\": expected vct or wormhole, got \"" + value +
+          "\"");
+    }
+  } else if (key == "packet_phits") packet_phits = as_int();
+  else if (key == "flit_phits") flit_phits = as_int();
+  else if (key == "local_vcs") local_vcs = as_int();
+  else if (key == "global_vcs") global_vcs = as_int();
+  else if (key == "local_buf_phits") local_buf_phits = as_int();
+  else if (key == "global_buf_phits") global_buf_phits = as_int();
+  else if (key == "local_latency") local_latency = as_int();
+  else if (key == "global_latency") global_latency = as_int();
+  else if (key == "routing") routing = value;
+  else if (key == "misroute_threshold") misroute_threshold = as_f64();
+  else if (key == "global_candidates") global_candidates = as_int();
+  else if (key == "local_candidates") local_candidates = as_int();
+  else if (key == "pb_threshold") pb_threshold = as_f64();
+  else if (key == "pb_period") pb_period = as_int();
+  else if (key == "pattern") pattern = value;
+  else if (key == "pattern_offset") pattern_offset = as_int();
+  else if (key == "global_fraction") global_fraction = as_f64();
+  else if (key == "load") load = as_f64();
+  else if (key == "onoff_on") onoff_on = as_f64();
+  else if (key == "onoff_off") onoff_off = as_f64();
+  else if (key == "warmup_cycles") warmup_cycles = static_cast<Cycle>(as_u64());
+  else if (key == "measure_cycles") {
+    measure_cycles = static_cast<Cycle>(as_u64());
+  } else if (key == "burst_packets") burst_packets = as_u64();
+  else if (key == "max_cycles") max_cycles = static_cast<Cycle>(as_u64());
+  else if (key == "watchdog_cycles") {
+    watchdog_cycles = static_cast<Cycle>(as_u64());
+  } else if (key == "seed") seed = as_u64();
+  else {
+    throw std::invalid_argument("config: unknown key \"" + key + "\"");
+  }
+}
+
+SimConfig SimConfig::parse(const std::string& text) {
+  SimConfig cfg;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string t = trimmed(line);
+    if (t.empty() || t[0] == '#') continue;
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument(
+          "config line " + std::to_string(lineno) +
+          ": expected key=value, got \"" + t + "\"");
+    }
+    try {
+      cfg.set(trimmed(t.substr(0, eq)), trimmed(t.substr(eq + 1)));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("config line " + std::to_string(lineno) +
+                                  ": " + e.what());
+    }
+  }
+  return cfg;
 }
 
 SimConfig bench_defaults() {

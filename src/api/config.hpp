@@ -115,6 +115,27 @@ struct SimConfig {
   /// Engine-level knobs derived from the above.
   EngineConfig engine_config(const RoutingAlgorithm& routing_algo) const;
   RoutingParams routing_params() const;
+
+  // --- textual round-trip (manifests, checkpoints, drift detection) -----
+  /// Canonical textual form: every knob as one `key=value` line in a
+  /// fixed order. Doubles are printed with round-trip precision, so
+  /// parse(describe()) reconstructs this config exactly. The manifest
+  /// ledger and run checkpoints store describe() and compare it on
+  /// resume, turning config drift into a pointed error instead of a
+  /// silently-wrong resumed run.
+  std::string describe() const;
+
+  /// Set one knob by its describe() key (e.g. set("routing", "olm")).
+  /// Throws std::invalid_argument naming the key on an unknown key or an
+  /// unparsable value. parse() and the manifest grid expansion are built
+  /// on this.
+  void set(const std::string& key, const std::string& value);
+
+  /// Inverse of describe(), and the manifest base-config reader: accepts
+  /// any subset of describe()'s `key=value` lines (missing keys keep
+  /// their defaults), blank lines, and `#` comments. Throws
+  /// std::invalid_argument naming the offending line on malformed input.
+  static SimConfig parse(const std::string& text);
 };
 
 /// Defaults for bench binaries: laptop scale unless DF_FULL=1, overridable

@@ -1,0 +1,392 @@
+#include "api/manifest.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "common/bench_json.hpp"
+#include "common/csv.hpp"
+#include "common/env.hpp"
+#include "runtime/parallel_for.hpp"
+#include "runtime/seed.hpp"
+
+namespace dfsim {
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                   s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_list(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream is(s);
+  while (std::getline(is, item, sep)) {
+    const std::string t = trimmed(item);
+    if (!t.empty()) out.push_back(t);
+  }
+  return out;
+}
+
+std::string fmt_f64(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Parse one `phase = cycles=N windows=M [pattern=P] [load=X]` value.
+Phase parse_phase_value(const std::string& value) {
+  Phase phase;
+  bool have_cycles = false;
+  std::istringstream is(value);
+  std::string token;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("phase token '" + token +
+                                  "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string val = token.substr(eq + 1);
+    try {
+      if (key == "cycles") {
+        phase.cycles = static_cast<Cycle>(std::stoull(val));
+        have_cycles = true;
+      } else if (key == "windows") {
+        phase.windows = std::stoi(val);
+      } else if (key == "pattern") {
+        phase.pattern = val;
+      } else if (key == "load") {
+        phase.load = std::stod(val);
+      } else {
+        throw std::invalid_argument("unknown phase key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad phase value '" + token + "'");
+    }
+  }
+  if (!have_cycles) {
+    throw std::invalid_argument("phase line is missing cycles=N");
+  }
+  return phase;
+}
+
+std::string point_file(const std::string& run_dir, std::size_t index,
+                       const char* ext) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "point_%04zu", index);
+  return run_dir + "/" + buf + ext;
+}
+
+void write_file_atomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    os << body;
+    if (!os) throw std::runtime_error("failed to write " + path);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot read " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// Name the first line where the stored manifest and the current one part
+// ways — the resume-time drift diagnostic.
+std::string first_line_difference(const std::string& stored,
+                                  const std::string& current) {
+  std::istringstream sa(stored);
+  std::istringstream sb(current);
+  std::string la;
+  std::string lb;
+  int line = 1;
+  while (true) {
+    const bool ha = static_cast<bool>(std::getline(sa, la));
+    const bool hb = static_cast<bool>(std::getline(sb, lb));
+    if (!ha && !hb) return "no difference";
+    if (la != lb || ha != hb) {
+      std::ostringstream os;
+      os << "line " << line << " is \"" << (ha ? la : "<missing>")
+         << "\" in the run directory but \"" << (hb ? lb : "<missing>")
+         << "\" in this manifest";
+      return os.str();
+    }
+    ++line;
+  }
+}
+
+// CSV rows of one completed point, header-less (the merge step writes
+// the header once). Steady points are one row; phased points get one row
+// per window plus the drain row, print_phased-style.
+std::string point_rows(const ExperimentResult& r) {
+  std::ostringstream os;
+  const std::string prefix =
+      r.series + "," + CsvWriter::fmt(r.x) + "," + std::to_string(r.seed);
+  if (!r.is_phased) {
+    os << prefix << "," << CsvWriter::fmt(r.steady.avg_latency) << ","
+       << CsvWriter::fmt(r.steady.accepted_load) << ","
+       << CsvWriter::fmt(r.steady.offered_load) << ","
+       << CsvWriter::fmt(r.steady.source_drop_rate) << "\n";
+    return os.str();
+  }
+  for (const PhaseWindow& w : r.phased.windows) {
+    os << prefix << ","
+       << CsvWriter::fmt(static_cast<double>(w.stats.end)) << ","
+       << CsvWriter::fmt(w.stats.accepted_load) << ","
+       << CsvWriter::fmt(w.stats.offered_load) << ","
+       << CsvWriter::fmt(w.stats.avg_latency) << "," << w.pattern << "\n";
+  }
+  os << prefix << ","
+     << CsvWriter::fmt(static_cast<double>(r.phased.drain.end)) << ","
+     << CsvWriter::fmt(r.phased.drain.accepted_load) << ","
+     << CsvWriter::fmt(r.phased.drain.offered_load) << ","
+     << CsvWriter::fmt(r.phased.drain.avg_latency) << ",drain\n";
+  return os.str();
+}
+
+}  // namespace
+
+Manifest Manifest::parse(const std::string& text) {
+  Manifest m;
+  std::istringstream is(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const std::string line = trimmed(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("manifest line " +
+                                  std::to_string(line_no) +
+                                  ": expected key = value, got '" + line +
+                                  "'");
+    }
+    const std::string key = trimmed(line.substr(0, eq));
+    const std::string value = trimmed(line.substr(eq + 1));
+    try {
+      if (key == "name") {
+        if (value.empty() ||
+            value.find_first_of("/\\ \t") != std::string::npos) {
+          throw std::invalid_argument(
+              "name must be non-empty without slashes or spaces");
+        }
+        m.name = value;
+      } else if (key == "phase") {
+        m.phases.push_back(parse_phase_value(value));
+      } else if (key.rfind("grid.", 0) == 0) {
+        const std::string axis_key = key.substr(5);
+        const std::vector<std::string> values = split_list(value, ',');
+        if (values.empty()) {
+          throw std::invalid_argument("axis '" + axis_key +
+                                      "' has no values");
+        }
+        for (const std::string& v : values) {
+          SimConfig probe;  // validates the key and value shape eagerly
+          probe.set(axis_key, v);
+        }
+        m.axes.emplace_back(axis_key, values);
+      } else {
+        m.base.set(key, value);
+      }
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("manifest line " +
+                                  std::to_string(line_no) + ": " +
+                                  e.what());
+    }
+  }
+  return m;
+}
+
+Manifest Manifest::load_file(const std::string& path) {
+  std::string text;
+  try {
+    text = read_file(path);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(std::string("manifest ") + path + ": " +
+                                e.what());
+  }
+  try {
+    return parse(text);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
+std::vector<ExperimentPoint> Manifest::expand() const {
+  std::size_t total = 1;
+  for (const auto& [key, values] : axes) total *= values.size();
+
+  std::vector<ExperimentPoint> points;
+  points.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    // Odometer decomposition: first axis slowest, last axis fastest —
+    // the same routings-major/loads-minor order sweep_grid produces for
+    // a (routing, load) grid.
+    std::vector<std::size_t> pick(axes.size(), 0);
+    std::size_t rem = i;
+    for (std::size_t a = axes.size(); a-- > 0;) {
+      pick[a] = rem % axes[a].second.size();
+      rem /= axes[a].second.size();
+    }
+    ExperimentPoint pt;
+    pt.cfg = base;
+    pt.phases = phases;
+    bool have_load = false;
+    std::string series;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const std::string& key = axes[a].first;
+      const std::string& value = axes[a].second[pick[a]];
+      pt.cfg.set(key, value);
+      if (key == "load") {
+        have_load = true;
+        continue;  // the load axis is the x coordinate, not the series
+      }
+      if (!series.empty()) series += "/";
+      // Bare routing names keep manifest series labels identical to the
+      // figure sweeps'; every other axis spells out key=value.
+      series += (key == "routing") ? value : key + "=" + value;
+    }
+    pt.series = series.empty() ? name : series;
+    pt.x = have_load ? pt.cfg.load : 0.0;
+    points.push_back(std::move(pt));
+  }
+  return points;
+}
+
+std::string Manifest::describe() const {
+  std::ostringstream os;
+  os << "manifest_version=1\n";
+  os << "name=" << name << "\n";
+  for (const auto& [key, values] : axes) {
+    os << "axis." << key << "=";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) os << ",";
+      os << values[i];
+    }
+    os << "\n";
+  }
+  for (const Phase& p : phases) {
+    os << "phase=cycles=" << p.cycles << " windows=" << p.windows
+       << " pattern=" << p.pattern << " load=" << fmt_f64(p.load) << "\n";
+  }
+  os << base.describe();
+  return os.str();
+}
+
+ManifestRunSummary run_manifest(const Manifest& m,
+                                const ManifestRunOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+
+  std::string run_dir = opts.run_dir;
+  if (run_dir.empty()) run_dir = env_str("DF_RUN_DIR", "");
+  if (run_dir.empty()) run_dir = m.name + ".run";
+  std::filesystem::create_directories(run_dir);
+
+  // The ledger is only meaningful against the exact same manifest: a
+  // drifted grid or base config silently remapping point indices would
+  // merge results from two different experiments.
+  const std::string desc = m.describe();
+  const std::string manifest_path = run_dir + "/MANIFEST.txt";
+  if (std::filesystem::exists(manifest_path)) {
+    const std::string stored = read_file(manifest_path);
+    if (stored != desc) {
+      throw std::runtime_error(
+          "manifest drift against run directory " + run_dir + ": " +
+          first_line_difference(stored, desc) +
+          "; use a fresh run directory or restore the original manifest");
+    }
+  } else {
+    write_file_atomic(manifest_path, desc);
+  }
+
+  const std::vector<ExperimentPoint> points = m.expand();
+
+  ManifestRunSummary summary;
+  summary.total_points = points.size();
+  summary.run_dir = run_dir;
+  summary.csv_path = run_dir + "/results.csv";
+
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (std::filesystem::exists(point_file(run_dir, i, ".csv"))) {
+      ++summary.skipped_points;
+      // A crash between landing the point file and dropping the
+      // checkpoint can orphan a .ckpt; clean it up here.
+      std::error_code ec;
+      std::filesystem::remove(point_file(run_dir, i, ".ckpt"), ec);
+    } else {
+      pending.push_back(i);
+    }
+  }
+  summary.ran_points = pending.size();
+
+  SweepOptions sopts;
+  sopts.jobs = opts.jobs;
+  sopts.checkpoint_every =
+      opts.checkpoint_every > 0
+          ? opts.checkpoint_every
+          : static_cast<Cycle>(env_int("DF_CHECKPOINT_EVERY", 20000));
+  sopts.checkpoint_path = [&run_dir](std::size_t index) {
+    return point_file(run_dir, index, ".ckpt");
+  };
+  sopts.resume = true;
+
+  std::mutex log_mu;
+  std::size_t done = 0;
+  runtime::parallel_for(pending.size(), opts.jobs, [&](std::size_t k) {
+    const std::size_t i = pending[k];
+    const ExperimentResult r = run_experiment_point(
+        points[i], runtime::derive_seed(points[i].cfg.seed, i), i, sopts);
+    write_file_atomic(point_file(run_dir, i, ".csv"), point_rows(r));
+    if (opts.log != nullptr) {
+      std::lock_guard<std::mutex> lock(log_mu);
+      ++done;
+      *opts.log << "[" << done << "/" << pending.size() << "] point " << i
+                << " (" << r.series << ") done\n";
+    }
+  });
+
+  // Merge in point order: header once, then every ledger file verbatim.
+  std::ostringstream merged;
+  merged << (m.phases.empty()
+                 ? "series,x,seed,avg_latency_cycles,accepted_load,"
+                   "offered_load_measured,source_drop_rate\n"
+                 : "series,x,seed,cycle_end,accepted_load,"
+                   "offered_load_measured,avg_latency_cycles,pattern\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    merged << read_file(point_file(run_dir, i, ".csv"));
+  }
+  write_file_atomic(summary.csv_path, merged.str());
+
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start)
+          .count();
+  append_bench_record("manifest:" + m.name, wall_s,
+                      runtime::resolve_jobs(opts.jobs));
+  return summary;
+}
+
+}  // namespace dfsim

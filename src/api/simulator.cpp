@@ -1,7 +1,10 @@
 #include "api/simulator.hpp"
 
+#include <limits>
+#include <sstream>
 #include <stdexcept>
 
+#include "common/serialize.hpp"
 #include "metrics/collector.hpp"
 #include "routing/factory.hpp"
 #include "sim/engine.hpp"
@@ -10,7 +13,11 @@
 
 namespace dfsim {
 
-namespace {
+// Named (not anonymous) namespace: SimulationRun::Impl holds a Harness by
+// value, and a class with external linkage must not embed an
+// internal-linkage type (-Wsubobject-linkage). The type still lives only
+// in this translation unit.
+namespace simrun_detail {
 
 struct Harness {
   explicit Harness(const SimConfig& cfg, InjectionProcess injection)
@@ -54,59 +61,16 @@ SteadyResult steady_result_from(const Harness& hx, const SimConfig& cfg) {
   return out;
 }
 
-}  // namespace
-
-SteadyResult run_steady(const SimConfig& cfg) {
-  cfg.validate();
+InjectionProcess bernoulli_injection(const SimConfig& cfg) {
   InjectionProcess inj;
   inj.mode = InjectionProcess::Mode::kBernoulli;
   inj.load = cfg.load;
   inj.onoff_on = cfg.onoff_on;
   inj.onoff_off = cfg.onoff_off;
-
-  Harness hx(cfg, inj);
-  const Cycle end = cfg.warmup_cycles + cfg.measure_cycles;
-  hx.engine.run_until(end);
-  return steady_result_from(hx, cfg);
+  return inj;
 }
 
-BurstResult run_burst(const SimConfig& cfg) {
-  cfg.validate();
-  InjectionProcess inj;
-  inj.mode = InjectionProcess::Mode::kBurst;
-  inj.burst_packets = cfg.burst_packets;
-
-  SimConfig adjusted = cfg;
-  adjusted.warmup_cycles = 0;  // every packet counts in a drain run
-  Harness hx(adjusted, inj);
-
-  // Degraded topologies: dead terminals never inject their burst, and a
-  // live source's packet to a dead destination is dropped at injection
-  // (counted) — both must come off the drain target or the loop would
-  // spin to max_cycles on every faulted burst run.
-  std::uint64_t live_terminals = 0;
-  for (NodeId t = 0; t < hx.topo.num_terminals(); ++t) {
-    if (hx.topo.terminal_alive(t)) ++live_terminals;
-  }
-  const auto expected = cfg.burst_packets * live_terminals;
-  while (hx.collector.delivered_packets_total() +
-                 hx.engine.dead_destination_drops() <
-             expected &&
-         hx.engine.now() < cfg.max_cycles && hx.engine.step()) {
-  }
-
-  BurstResult out;
-  out.consumption_cycles = hx.engine.now();
-  out.completed = hx.collector.delivered_packets_total() +
-                      hx.engine.dead_destination_drops() ==
-                  expected;
-  out.deadlock = hx.engine.deadlock_detected();
-  return out;
-}
-
-PhasedResult run_phased(const SimConfig& cfg,
-                        const std::vector<Phase>& phases) {
-  cfg.validate();
+void validate_phases(const SimConfig& cfg, const std::vector<Phase>& phases) {
   if (phases.empty()) {
     throw std::invalid_argument("run_phased: the phase schedule is empty");
   }
@@ -143,74 +107,557 @@ PhasedResult run_phased(const SimConfig& cfg,
       }
     }
   }
+}
 
-  InjectionProcess inj;
-  inj.mode = InjectionProcess::Mode::kBernoulli;
-  inj.load = cfg.load;
-  inj.onoff_on = cfg.onoff_on;
-  inj.onoff_off = cfg.onoff_off;
+constexpr char kRunMagic[8] = {'D', 'F', 'R', 'U', 'N', 'C', 'K', '\n'};
 
-  Harness hx(cfg, inj);
-  PhasedResult out;
+void write_traffic_window(std::ostream& os, const TrafficWindow& w) {
+  ser::write_u64(os, w.start);
+  ser::write_u64(os, w.end);
+  ser::write_u64(os, w.delivered);
+  ser::write_u64(os, w.delivered_phits);
+  ser::write_u64(os, w.generated);
+  ser::write_u64(os, w.dropped);
+  ser::write_f64(os, w.avg_latency);
+  ser::write_f64(os, w.accepted_load);
+  ser::write_f64(os, w.offered_load);
+  ser::write_f64(os, w.drop_rate);
+}
 
-  // Warmup under the config's own pattern/load, exactly as run_steady.
-  hx.engine.run_until(cfg.warmup_cycles);
+TrafficWindow read_traffic_window(std::istream& is) {
+  TrafficWindow w;
+  w.start = ser::read_u64(is, "window start");
+  w.end = ser::read_u64(is, "window end");
+  w.delivered = ser::read_u64(is, "window delivered");
+  w.delivered_phits = ser::read_u64(is, "window delivered phits");
+  w.generated = ser::read_u64(is, "window generated");
+  w.dropped = ser::read_u64(is, "window dropped");
+  w.avg_latency = ser::read_f64(is, "window avg latency");
+  w.accepted_load = ser::read_f64(is, "window accepted load");
+  w.offered_load = ser::read_f64(is, "window offered load");
+  w.drop_rate = ser::read_f64(is, "window drop rate");
+  return w;
+}
 
-  // Patterns built for phase switches must outlive the engine run.
-  std::vector<std::unique_ptr<TrafficPattern>> switched;
-  std::string active_pattern = hx.pattern->name();
-  double active_load = cfg.load;
+/// Name the first knob that differs between two describe() texts, for the
+/// config-drift error message.
+std::string first_config_difference(const std::string& saved,
+                                    const std::string& current) {
+  std::istringstream a(saved), b(current);
+  std::string la, lb;
+  while (true) {
+    const bool ga = static_cast<bool>(std::getline(a, la));
+    const bool gb = static_cast<bool>(std::getline(b, lb));
+    if (!ga && !gb) return "(identical texts?)";
+    if (!ga || !gb || la != lb) {
+      return "checkpoint has \"" + (ga ? la : std::string("<missing>")) +
+             "\" but this run was built with \"" +
+             (gb ? lb : std::string("<missing>")) + "\"";
+    }
+  }
+}
 
-  for (std::size_t i = 0;
-       i < phases.size() && !hx.engine.deadlock_detected(); ++i) {
-    const Phase& ph = phases[i];
+}  // namespace simrun_detail
+
+using namespace simrun_detail;
+
+// ---------------------------------------------------------------------------
+// SimulationRun: the staged state machine every run shape executes on.
+// ---------------------------------------------------------------------------
+
+struct SimulationRun::Impl {
+  enum class Kind : std::uint8_t { kSteady = 0, kBurst = 1, kPhased = 2 };
+  enum class Stage : std::uint8_t {
+    kWarmup = 0,
+    kPhaseRun = 1,
+    kDrain = 2,
+    kDone = 3,
+  };
+
+  Impl(const SimConfig& c, const InjectionProcess& inj)
+      : cfg(c), hx(c, inj) {}
+
+  SimConfig cfg;         // post-adjustment (burst runs zero the warmup)
+  std::string cfg_text;  // cfg.describe(), captured at construction
+  Kind kind = Kind::kSteady;
+  std::vector<Phase> phases;  // steady: one synthesized measure phase
+  Harness hx;
+  bool advanced = false;  // any advance() or restore() happened
+
+  // --- stage cursor (all serialized) ------------------------------------
+  Stage stage = Stage::kWarmup;
+  std::size_t phase_idx = 0;
+  int window_idx = 0;
+  bool phase_entered = false;  // pattern/load switch of phase_idx applied
+  Cycle phase_start = 0;
+  Cycle window_start = 0;
+  Cycle drain_start = 0;
+  bool draining = false;  // drain entered (injection already stopped)
+  std::string active_pattern_spec;  // "" = the config's own pattern
+  std::string active_pattern_name;
+  double active_load = 0.0;
+  std::uint64_t burst_expected = 0;
+
+  // Pattern built for the most recent phase switch; the engine only ever
+  // points at the latest one, and in-flight packets carry their own
+  // destinations, so earlier switches need not be kept alive.
+  std::unique_ptr<TrafficPattern> switched;
+
+  // --- accumulated results (serialized) ----------------------------------
+  std::vector<PhaseWindow> windows;
+  TrafficWindow drain_window;
+  bool drained = false;
+
+  bool deadlock() const { return hx.engine.deadlock_detected(); }
+  Cycle now() const { return hx.engine.now(); }
+
+  /// Run the engine toward `target`, spending at most `remaining` cycles
+  /// (decremented by what was actually spent).
+  void run_toward(Cycle target, Cycle& remaining) {
+    const Cycle before = now();
+    if (before >= target) return;
+    const Cycle span = target - before;
+    hx.engine.run_until(span <= remaining ? target : before + remaining);
+    remaining -= now() - before;
+  }
+
+  void close_window() {
+    PhaseWindow pw;
+    pw.phase = static_cast<int>(phase_idx);
+    pw.window = window_idx;
+    pw.pattern = active_pattern_name;
+    pw.load = active_load;
+    pw.stats = hx.collector.cut_window(window_start, now(), cfg.packet_phits);
+    windows.push_back(std::move(pw));
+  }
+
+  /// Cut the drain window and finish. On the deadlock paths drain_start
+  /// was just set to now(), so the cut is empty — exactly the historical
+  /// run_phased behavior (the drain cut happens unconditionally, keeping
+  /// the windows + drain tiling of the run intact).
+  void finish_phased() {
+    drain_window =
+        hx.collector.cut_window(drain_start, now(), cfg.packet_phits);
+    drained = hx.engine.packets_in_flight() == 0 && !deadlock();
+    stage = Stage::kDone;
+  }
+
+  void enter_phase() {
+    const Phase& ph = phases[phase_idx];
     if (!ph.pattern.empty()) {
-      switched.push_back(make_pattern(hx.topo, ph.pattern,
-                                      cfg.pattern_offset,
-                                      cfg.global_fraction));
-      hx.engine.set_pattern(*switched.back());
-      active_pattern = switched.back()->name();
+      switched = make_pattern(hx.topo, ph.pattern, cfg.pattern_offset,
+                              cfg.global_fraction);
+      hx.engine.set_pattern(*switched);
+      active_pattern_spec = ph.pattern;
+      active_pattern_name = switched->name();
     }
     if (ph.load >= 0.0) {
       hx.engine.set_offered_load(ph.load);
       active_load = ph.load;
     }
-    const Cycle phase_start = hx.engine.now();
-    const Cycle stride = ph.cycles / ph.windows;
-    for (int w = 0; w < ph.windows; ++w) {
-      const Cycle start = hx.engine.now();
-      // The last window absorbs the integer-division remainder.
-      const Cycle end = w + 1 == ph.windows ? phase_start + ph.cycles
-                                            : start + stride;
-      hx.engine.run_until(end);
-      PhaseWindow pw;
-      pw.phase = static_cast<int>(i);
-      pw.window = w;
-      pw.pattern = active_pattern;
-      pw.load = active_load;
-      pw.stats =
-          hx.collector.cut_window(start, hx.engine.now(), cfg.packet_phits);
-      out.windows.push_back(std::move(pw));
-      if (hx.engine.deadlock_detected()) break;
+    phase_start = now();
+    window_start = now();
+    window_idx = 0;
+    phase_entered = true;
+  }
+};
+
+SimulationRun::SimulationRun() = default;
+SimulationRun::SimulationRun(SimulationRun&&) noexcept = default;
+SimulationRun& SimulationRun::operator=(SimulationRun&&) noexcept = default;
+SimulationRun::~SimulationRun() = default;
+
+SimulationRun SimulationRun::steady(const SimConfig& cfg) {
+  cfg.validate();
+  SimulationRun run;
+  run.impl_ = std::make_unique<Impl>(cfg, bernoulli_injection(cfg));
+  Impl& im = *run.impl_;
+  im.kind = Impl::Kind::kSteady;
+  im.cfg_text = cfg.describe();
+  // The measurement span as a single one-window phase that keeps the
+  // config's own pattern and load: the historical run_until(warmup +
+  // measure) loop, expressed on the shared stage machine.
+  Phase measure;
+  measure.cycles = cfg.measure_cycles;
+  measure.windows = 1;
+  im.phases.push_back(measure);
+  im.active_pattern_name = im.hx.pattern->name();
+  im.active_load = cfg.load;
+  return run;
+}
+
+SimulationRun SimulationRun::burst(const SimConfig& cfg) {
+  cfg.validate();
+  InjectionProcess inj;
+  inj.mode = InjectionProcess::Mode::kBurst;
+  inj.burst_packets = cfg.burst_packets;
+
+  SimConfig adjusted = cfg;
+  adjusted.warmup_cycles = 0;  // every packet counts in a drain run
+
+  SimulationRun run;
+  run.impl_ = std::make_unique<Impl>(adjusted, inj);
+  Impl& im = *run.impl_;
+  im.kind = Impl::Kind::kBurst;
+  im.cfg_text = adjusted.describe();
+  im.active_pattern_name = im.hx.pattern->name();
+  im.active_load = 0.0;
+
+  // Degraded topologies: dead terminals never inject their burst, and a
+  // live source's packet to a dead destination is dropped at injection
+  // (counted) — both must come off the drain target or the run would
+  // spin to max_cycles on every faulted burst experiment.
+  std::uint64_t live_terminals = 0;
+  for (NodeId t = 0; t < im.hx.topo.num_terminals(); ++t) {
+    if (im.hx.topo.terminal_alive(t)) ++live_terminals;
+  }
+  im.burst_expected = cfg.burst_packets * live_terminals;
+  return run;
+}
+
+SimulationRun SimulationRun::phased(const SimConfig& cfg,
+                                    const std::vector<Phase>& phases) {
+  cfg.validate();
+  validate_phases(cfg, phases);
+  SimulationRun run;
+  run.impl_ = std::make_unique<Impl>(cfg, bernoulli_injection(cfg));
+  Impl& im = *run.impl_;
+  im.kind = Impl::Kind::kPhased;
+  im.cfg_text = cfg.describe();
+  im.phases = phases;
+  im.active_pattern_name = im.hx.pattern->name();
+  im.active_load = cfg.load;
+  return run;
+}
+
+bool SimulationRun::done() const {
+  return impl_->stage == Impl::Stage::kDone;
+}
+
+Cycle SimulationRun::now() const { return impl_->now(); }
+
+bool SimulationRun::advance(Cycle budget) {
+  Impl& im = *impl_;
+  im.advanced = true;
+  Cycle remaining = budget;
+  while (im.stage != Impl::Stage::kDone) {
+    switch (im.stage) {
+      case Impl::Stage::kWarmup: {
+        im.run_toward(im.cfg.warmup_cycles, remaining);
+        if (im.now() < im.cfg.warmup_cycles && !im.deadlock()) {
+          return true;  // budget exhausted mid-warmup
+        }
+        if (im.kind == Impl::Kind::kBurst) {
+          // Burst runs have no warmup or phases: straight to the drain.
+          im.stage = Impl::Stage::kDrain;
+        } else if (im.deadlock()) {
+          if (im.kind == Impl::Kind::kPhased) {
+            im.drain_start = im.now();
+            im.finish_phased();
+          } else {
+            im.stage = Impl::Stage::kDone;
+          }
+        } else {
+          im.stage = Impl::Stage::kPhaseRun;
+        }
+        break;
+      }
+
+      case Impl::Stage::kPhaseRun: {
+        if (!im.phase_entered) im.enter_phase();
+        const Phase& ph = im.phases[im.phase_idx];
+        const Cycle stride = ph.cycles / static_cast<Cycle>(ph.windows);
+        // The last window absorbs the integer-division remainder.
+        const Cycle window_end = im.window_idx + 1 == ph.windows
+                                     ? im.phase_start + ph.cycles
+                                     : im.window_start + stride;
+        im.run_toward(window_end, remaining);
+        if (im.now() < window_end && !im.deadlock()) {
+          return true;  // budget exhausted mid-window
+        }
+        im.close_window();
+        if (im.deadlock()) {
+          if (im.kind == Impl::Kind::kPhased) {
+            im.drain_start = im.now();
+            im.finish_phased();
+          } else {
+            im.stage = Impl::Stage::kDone;
+          }
+          break;
+        }
+        ++im.window_idx;
+        im.window_start = im.now();
+        if (im.window_idx == ph.windows) {
+          ++im.phase_idx;
+          im.phase_entered = false;
+          if (im.phase_idx == im.phases.size()) {
+            // Steady runs end with the measurement span; phased runs
+            // stop injection and let the in-flight traffic land.
+            im.stage = im.kind == Impl::Kind::kPhased ? Impl::Stage::kDrain
+                                                      : Impl::Stage::kDone;
+          }
+        }
+        break;
+      }
+
+      case Impl::Stage::kDrain: {
+        Engine& eng = im.hx.engine;
+        if (im.kind == Impl::Kind::kBurst) {
+          const auto delivered = [&] {
+            return im.hx.collector.delivered_packets_total() +
+                   eng.dead_destination_drops();
+          };
+          while (remaining > 0 && delivered() < im.burst_expected &&
+                 eng.now() < im.cfg.max_cycles) {
+            if (!eng.step()) break;
+            --remaining;
+          }
+          if (delivered() >= im.burst_expected ||
+              eng.now() >= im.cfg.max_cycles || im.deadlock()) {
+            im.stage = Impl::Stage::kDone;
+            break;
+          }
+          return true;  // budget exhausted mid-drain
+        }
+        if (!im.draining) {
+          im.drain_start = im.now();
+          im.draining = true;
+          eng.set_offered_load(0.0);
+        }
+        const Cycle deadline = im.drain_start + im.cfg.max_cycles;
+        while (remaining > 0 && eng.packets_in_flight() > 0 &&
+               eng.now() < deadline) {
+          if (!eng.step()) break;
+          --remaining;
+        }
+        if (eng.packets_in_flight() == 0 || eng.now() >= deadline ||
+            im.deadlock()) {
+          im.finish_phased();
+          break;
+        }
+        return true;  // budget exhausted mid-drain
+      }
+
+      case Impl::Stage::kDone:
+        break;
+    }
+  }
+  return false;
+}
+
+void SimulationRun::run_to_completion() {
+  // A per-slice budget comfortably above any single run's span; advance()
+  // re-enters the loop until the stage machine reports done.
+  while (advance(std::numeric_limits<Cycle>::max() / 4)) {
+  }
+}
+
+SteadyResult SimulationRun::steady_result() const {
+  const Impl& im = *impl_;
+  if (im.kind != Impl::Kind::kSteady) {
+    throw std::logic_error("steady_result() asked of a non-steady run");
+  }
+  return steady_result_from(im.hx, im.cfg);
+}
+
+BurstResult SimulationRun::burst_result() const {
+  const Impl& im = *impl_;
+  if (im.kind != Impl::Kind::kBurst) {
+    throw std::logic_error("burst_result() asked of a non-burst run");
+  }
+  BurstResult out;
+  out.consumption_cycles = im.now();
+  out.completed = im.hx.collector.delivered_packets_total() +
+                      im.hx.engine.dead_destination_drops() ==
+                  im.burst_expected;
+  out.deadlock = im.deadlock();
+  return out;
+}
+
+PhasedResult SimulationRun::phased_result() const {
+  const Impl& im = *impl_;
+  if (im.kind != Impl::Kind::kPhased) {
+    throw std::logic_error("phased_result() asked of a non-phased run");
+  }
+  PhasedResult out;
+  out.windows = im.windows;
+  out.drain = im.drain_window;
+  out.drained = im.drained;
+  out.total = steady_result_from(im.hx, im.cfg);
+  return out;
+}
+
+void SimulationRun::save_checkpoint(std::ostream& os) const {
+  const Impl& im = *impl_;
+  ser::write_bytes(os, kRunMagic, sizeof(kRunMagic));
+  ser::write_u32(os, kCheckpointVersion);
+  ser::write_string(os, im.cfg_text);
+  ser::write_u8(os, static_cast<std::uint8_t>(im.kind));
+  ser::write_u64(os, im.phases.size());
+  for (const Phase& ph : im.phases) {
+    ser::write_u64(os, ph.cycles);
+    ser::write_i32(os, ph.windows);
+    ser::write_string(os, ph.pattern);
+    ser::write_f64(os, ph.load);
+  }
+  ser::write_u8(os, static_cast<std::uint8_t>(im.stage));
+  ser::write_u64(os, im.phase_idx);
+  ser::write_i32(os, im.window_idx);
+  ser::write_u8(os, im.phase_entered ? 1 : 0);
+  ser::write_u64(os, im.phase_start);
+  ser::write_u64(os, im.window_start);
+  ser::write_u64(os, im.drain_start);
+  ser::write_u8(os, im.draining ? 1 : 0);
+  ser::write_string(os, im.active_pattern_spec);
+  ser::write_string(os, im.active_pattern_name);
+  ser::write_f64(os, im.active_load);
+  ser::write_u64(os, im.burst_expected);
+  ser::write_u64(os, im.windows.size());
+  for (const PhaseWindow& pw : im.windows) {
+    ser::write_i32(os, pw.phase);
+    ser::write_i32(os, pw.window);
+    ser::write_string(os, pw.pattern);
+    ser::write_f64(os, pw.load);
+    write_traffic_window(os, pw.stats);
+  }
+  write_traffic_window(os, im.drain_window);
+  ser::write_u8(os, im.drained ? 1 : 0);
+  im.hx.collector.save(os);
+  im.hx.engine.save_checkpoint(os);
+}
+
+void SimulationRun::restore(std::istream& is) {
+  Impl& im = *impl_;
+  if (im.advanced || im.now() != 0) {
+    throw std::logic_error(
+        "SimulationRun::restore requires a freshly-constructed run (same "
+        "config and schedule as the checkpointed one)");
+  }
+
+  char magic[8];
+  ser::read_bytes(is, magic, sizeof(magic), "run checkpoint magic");
+  if (std::memcmp(magic, kRunMagic, sizeof(kRunMagic)) != 0) {
+    throw std::runtime_error(
+        "not a dfsim run checkpoint (bad magic bytes)");
+  }
+  const std::uint32_t version = ser::read_u32(is, "run checkpoint version");
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error(
+        "run checkpoint format version " + std::to_string(version) +
+        " is not supported by this build (expected " +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  const std::string saved_cfg = ser::read_string(is, "run config text");
+  if (saved_cfg != im.cfg_text) {
+    throw std::runtime_error(
+        "checkpoint config drift: " +
+        first_config_difference(saved_cfg, im.cfg_text) +
+        " — resume with the exact configuration the run was started with");
+  }
+  const std::uint8_t kind = ser::read_u8(is, "run kind");
+  if (kind != static_cast<std::uint8_t>(im.kind)) {
+    throw std::runtime_error(
+        "checkpoint mismatch: the checkpointed run is a different "
+        "experiment shape (steady/burst/phased) than this one");
+  }
+  const std::uint64_t nphases = ser::read_u64(is, "run phase count");
+  if (nphases != im.phases.size()) {
+    throw std::runtime_error(
+        "checkpoint mismatch: phase schedule has " +
+        std::to_string(nphases) + " phases in the checkpoint but " +
+        std::to_string(im.phases.size()) + " in this run");
+  }
+  for (std::size_t i = 0; i < im.phases.size(); ++i) {
+    const Phase& ph = im.phases[i];
+    const Cycle cycles = ser::read_u64(is, "phase length");
+    const std::int32_t windows = ser::read_i32(is, "phase windows");
+    const std::string pattern = ser::read_string(is, "phase pattern");
+    const double load = ser::read_f64(is, "phase load");
+    if (cycles != ph.cycles || windows != ph.windows ||
+        pattern != ph.pattern ||
+        std::memcmp(&load, &ph.load, sizeof(double)) != 0) {
+      throw std::runtime_error(
+          "checkpoint mismatch: phase " + std::to_string(i) +
+          " of the schedule differs from the checkpointed one");
     }
   }
 
-  // Drain: stop injection and let in-flight traffic land, so the windows
-  // plus the drain account for every delivery of the run.
-  const Cycle drain_start = hx.engine.now();
-  if (!hx.engine.deadlock_detected()) {
-    hx.engine.set_offered_load(0.0);
-    const Cycle drain_deadline = drain_start + cfg.max_cycles;
-    while (hx.engine.packets_in_flight() > 0 &&
-           hx.engine.now() < drain_deadline && hx.engine.step()) {
-    }
+  const std::uint8_t stage = ser::read_u8(is, "run stage");
+  if (stage > static_cast<std::uint8_t>(Impl::Stage::kDone)) {
+    throw std::runtime_error("checkpoint corrupt: unknown run stage");
   }
-  out.drain = hx.collector.cut_window(drain_start, hx.engine.now(),
-                                      cfg.packet_phits);
-  out.drained = hx.engine.packets_in_flight() == 0 &&
-                !hx.engine.deadlock_detected();
-  out.total = steady_result_from(hx, cfg);
-  return out;
+  im.stage = static_cast<Impl::Stage>(stage);
+  im.phase_idx = ser::read_u64(is, "run phase index");
+  im.window_idx = ser::read_i32(is, "run window index");
+  im.phase_entered = ser::read_u8(is, "run phase-entered flag") != 0;
+  im.phase_start = ser::read_u64(is, "run phase start");
+  im.window_start = ser::read_u64(is, "run window start");
+  im.drain_start = ser::read_u64(is, "run drain start");
+  im.draining = ser::read_u8(is, "run draining flag") != 0;
+  im.active_pattern_spec = ser::read_string(is, "run active pattern spec");
+  im.active_pattern_name = ser::read_string(is, "run active pattern name");
+  im.active_load = ser::read_f64(is, "run active load");
+  im.burst_expected = ser::read_u64(is, "run burst target");
+  if (im.phase_idx > im.phases.size()) {
+    throw std::runtime_error("checkpoint corrupt: phase index out of range");
+  }
+
+  const std::uint64_t nwindows = ser::read_u64(is, "run window count");
+  if (nwindows > (1ULL << 32)) {
+    throw std::runtime_error(
+        "checkpoint corrupt: implausible accumulated-window count");
+  }
+  im.windows.clear();
+  im.windows.reserve(static_cast<std::size_t>(nwindows));
+  for (std::uint64_t i = 0; i < nwindows; ++i) {
+    PhaseWindow pw;
+    pw.phase = ser::read_i32(is, "accumulated window phase");
+    pw.window = ser::read_i32(is, "accumulated window index");
+    pw.pattern = ser::read_string(is, "accumulated window pattern");
+    pw.load = ser::read_f64(is, "accumulated window load");
+    pw.stats = read_traffic_window(is);
+    im.windows.push_back(std::move(pw));
+  }
+  im.drain_window = read_traffic_window(is);
+  im.drained = ser::read_u8(is, "run drained flag") != 0;
+
+  im.hx.collector.load(is);
+  im.hx.engine.restore(is);
+
+  // Reinstate the mid-run pattern switch: the engine's pattern pointer is
+  // process-local, so it is rebuilt from the phase's spec string rather
+  // than serialized. Patterns are stateless given the engine's (restored)
+  // RNG, so the rebuilt instance draws identically.
+  if (!im.active_pattern_spec.empty()) {
+    im.switched = make_pattern(im.hx.topo, im.active_pattern_spec,
+                               im.cfg.pattern_offset, im.cfg.global_fraction);
+    im.hx.engine.set_pattern(*im.switched);
+    im.active_pattern_name = im.switched->name();
+  }
+  im.advanced = true;
+}
+
+// ---------------------------------------------------------------------------
+// The historical one-call wrappers, now thin shims over SimulationRun.
+// ---------------------------------------------------------------------------
+
+SteadyResult run_steady(const SimConfig& cfg) {
+  SimulationRun run = SimulationRun::steady(cfg);
+  run.run_to_completion();
+  return run.steady_result();
+}
+
+BurstResult run_burst(const SimConfig& cfg) {
+  SimulationRun run = SimulationRun::burst(cfg);
+  run.run_to_completion();
+  return run.burst_result();
+}
+
+PhasedResult run_phased(const SimConfig& cfg,
+                        const std::vector<Phase>& phases) {
+  SimulationRun run = SimulationRun::phased(cfg, phases);
+  run.run_to_completion();
+  return run.phased_result();
 }
 
 }  // namespace dfsim

@@ -2,9 +2,17 @@
 // SimConfig and run the experiment shapes of the paper — steady-state
 // (latency/throughput curves), burst drain (consumption time), and phased
 // runs (transient response to mid-run traffic changes).
+//
+// All three shapes execute on ONE staged state machine (SimulationRun):
+// warmup -> phase windows -> drain, with run_steady/run_burst/run_phased
+// as thin wrappers. The run object can stop between cycles, serialize
+// itself (save_checkpoint), and resume in a fresh process bit-identically
+// — the substrate of the resumable-experiment manifest runner.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -92,5 +100,71 @@ struct PhasedResult {
 /// phase length or window count, or a bad pattern spec / load.
 PhasedResult run_phased(const SimConfig& cfg,
                         const std::vector<Phase>& phases);
+
+// --- resumable runs ------------------------------------------------------
+
+/// One experiment as a resumable object: the staged warmup/measure/drain
+/// state machine all run shapes share (run_steady/run_burst/run_phased are
+/// thin wrappers over it). Construct via the steady/burst/phased
+/// factories, drive with advance() (or run_to_completion()), read the
+/// shape's result when done. Between advance() calls the run can be
+/// serialized with save_checkpoint() and later restored — possibly in a
+/// different process — into a freshly-constructed run built from the SAME
+/// config and phase schedule; the resumed run then replays bit-identically
+/// (the engine's exact-mode determinism contract extends to whole runs).
+class SimulationRun {
+ public:
+  /// Bumped when the run-level checkpoint layout changes. The engine
+  /// section carries its own Engine::kCheckpointVersion underneath.
+  static constexpr std::uint32_t kCheckpointVersion = 1;
+
+  /// The experiment shapes. Each factory validates exactly as the
+  /// corresponding run_* wrapper always has (same exceptions, same
+  /// messages) and builds the full harness eagerly.
+  static SimulationRun steady(const SimConfig& cfg);
+  static SimulationRun burst(const SimConfig& cfg);
+  static SimulationRun phased(const SimConfig& cfg,
+                              const std::vector<Phase>& phases);
+
+  SimulationRun(SimulationRun&&) noexcept;
+  SimulationRun& operator=(SimulationRun&&) noexcept;
+  ~SimulationRun();
+
+  bool done() const;
+  Cycle now() const;
+
+  /// Advance up to `budget` cycles (stage transitions included), stopping
+  /// early when the run completes. Returns !done(). A generous budget
+  /// driven in a loop is exactly run_to_completion(); a small budget
+  /// yields between slices so callers can checkpoint periodically.
+  bool advance(Cycle budget);
+  void run_to_completion();
+
+  /// Serialize the whole run: a versioned header carrying
+  /// SimConfig::describe() and the phase schedule (both re-checked on
+  /// restore — config drift fails with a pointed message naming the first
+  /// differing knob), the stage cursor, the accumulated phase windows,
+  /// the collector, and the full engine state. Call only between
+  /// advance() slices.
+  void save_checkpoint(std::ostream& os) const;
+
+  /// Restore into a freshly-constructed (never advanced) run built from
+  /// the same config and schedule. Throws std::runtime_error on a
+  /// truncated/corrupt/mismatched checkpoint and std::logic_error if this
+  /// run has already advanced.
+  void restore(std::istream& is);
+
+  /// Shape-matched results; throw std::logic_error when asked of a
+  /// different shape. Valid once done() (partial reads are permitted for
+  /// progress reporting but reflect only what has been accumulated).
+  SteadyResult steady_result() const;
+  BurstResult burst_result() const;
+  PhasedResult phased_result() const;
+
+ private:
+  SimulationRun();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace dfsim

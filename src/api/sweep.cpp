@@ -1,57 +1,115 @@
 #include "api/sweep.hpp"
 
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <system_error>
+
 #include "common/csv.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/seed.hpp"
 
 namespace dfsim {
 
-std::vector<SweepPoint> parallel_sweep(const std::vector<SweepJob>& jobs,
-                                       const SweepOptions& opts) {
-  std::vector<SweepPoint> out(jobs.size());
-  runtime::parallel_for(jobs.size(), opts.jobs, [&](std::size_t i) {
-    const SweepJob& job = jobs[i];
-    SimConfig cfg = job.cfg;
-    if (opts.derive_seeds) {
-      cfg.seed = runtime::derive_seed(job.cfg.seed, i);
+ExperimentResult run_experiment_point(const ExperimentPoint& pt,
+                                      std::uint64_t seed, std::size_t index,
+                                      const SweepOptions& opts) {
+  SimConfig cfg = pt.cfg;
+  cfg.seed = seed;
+  SimulationRun run = pt.phases.empty()
+                          ? SimulationRun::steady(cfg)
+                          : SimulationRun::phased(cfg, pt.phases);
+  const std::string ckpt =
+      (opts.checkpoint_every > 0 && opts.checkpoint_path)
+          ? opts.checkpoint_path(index)
+          : std::string();
+  if (!ckpt.empty() && opts.resume && std::filesystem::exists(ckpt)) {
+    std::ifstream is(ckpt, std::ios::binary);
+    if (!is) {
+      throw std::runtime_error("cannot open checkpoint " + ckpt);
     }
-    SweepPoint& p = out[i];
-    p.series = job.series;
-    p.x = job.x;
-    p.seed = cfg.seed;
-    p.result = run_steady(cfg);
+    run.restore(is);
+  }
+  if (ckpt.empty()) {
+    run.run_to_completion();
+  } else {
+    // Write-to-temp + atomic rename: a checkpoint file either is a
+    // complete snapshot or does not exist, never a torn write.
+    while (run.advance(opts.checkpoint_every)) {
+      const std::string tmp = ckpt + ".tmp";
+      {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        run.save_checkpoint(os);
+        if (!os) {
+          throw std::runtime_error("failed to write checkpoint " + tmp);
+        }
+      }
+      std::filesystem::rename(tmp, ckpt);
+    }
+    std::error_code ec;
+    std::filesystem::remove(ckpt, ec);  // point finished; drop the snapshot
+  }
+
+  ExperimentResult r;
+  r.series = pt.series;
+  r.x = pt.x;
+  r.seed = seed;
+  r.is_phased = !pt.phases.empty();
+  if (r.is_phased) {
+    r.phased = run.phased_result();
+    r.steady = r.phased.total;
+  } else {
+    r.steady = run.steady_result();
+  }
+  return r;
+}
+
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentPoint>& points, const SweepOptions& opts) {
+  std::vector<ExperimentResult> out(points.size());
+  std::mutex progress_mu;
+  std::size_t completed = 0;
+  runtime::parallel_for(points.size(), opts.jobs, [&](std::size_t i) {
+    const std::uint64_t seed = opts.derive_seeds
+                                   ? runtime::derive_seed(points[i].cfg.seed, i)
+                                   : points[i].cfg.seed;
+    out[i] = run_experiment_point(points[i], seed, i, opts);
+    if (opts.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      opts.progress(++completed, points.size());
+    }
   });
   return out;
 }
 
-std::vector<SweepPoint> parallel_sweep(const SimConfig& base,
-                                       const std::vector<std::string>& routings,
-                                       const std::vector<double>& loads,
-                                       const SweepOptions& opts) {
-  std::vector<SweepJob> jobs;
-  jobs.reserve(routings.size() * loads.size());
+std::vector<ExperimentPoint> sweep_grid(
+    const SimConfig& base, const std::vector<std::string>& routings,
+    const std::vector<double>& loads) {
+  std::vector<ExperimentPoint> points;
+  points.reserve(routings.size() * loads.size());
   for (const std::string& routing : routings) {
     for (const double load : loads) {
-      SweepJob job;
-      job.series = routing;
-      job.x = load;
-      job.cfg = base;
-      job.cfg.routing = routing;
-      job.cfg.load = load;
-      jobs.push_back(std::move(job));
+      ExperimentPoint pt;
+      pt.series = routing;
+      pt.x = load;
+      pt.cfg = base;
+      pt.cfg.routing = routing;
+      pt.cfg.load = load;
+      points.push_back(std::move(pt));
     }
   }
-  return parallel_sweep(jobs, opts);
+  return points;
 }
 
-std::vector<SweepPoint> load_sweep(const SimConfig& base,
-                                   const std::vector<std::string>& routings,
-                                   const std::vector<double>& loads) {
-  return parallel_sweep(base, routings, loads, {});
-}
+namespace {
 
-void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
-                 Metric metric, const std::string& x_label) {
+// Shared CSV row emitters: the deprecated printers and the
+// ExperimentResult printers must produce byte-identical output.
+void sweep_rows(std::ostream& out, Metric metric, const std::string& x_label,
+                std::size_t n,
+                const std::function<void(std::size_t, std::string&, double&,
+                                         SteadyResult&)>& get) {
   const char* y_label =
       metric == Metric::kLatency ? "avg_latency_cycles" : "accepted_load";
   // The measured offered load and the source-queue drop rate ride along
@@ -60,50 +118,83 @@ void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
   // load plateau with healthy sources.
   CsvWriter csv(out, {"series", x_label, y_label, "offered_load_measured",
                       "source_drop_rate"});
-  for (const SweepPoint& p : points) {
-    const double y = metric == Metric::kLatency ? p.result.avg_latency
-                                                : p.result.accepted_load;
-    csv.row({p.series, CsvWriter::fmt(p.x), CsvWriter::fmt(y),
-             CsvWriter::fmt(p.result.offered_load),
-             CsvWriter::fmt(p.result.source_drop_rate)});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string series;
+    double x = 0.0;
+    SteadyResult r;
+    get(i, series, x, r);
+    const double y =
+        metric == Metric::kLatency ? r.avg_latency : r.accepted_load;
+    csv.row({series, CsvWriter::fmt(x), CsvWriter::fmt(y),
+             CsvWriter::fmt(r.offered_load),
+             CsvWriter::fmt(r.source_drop_rate)});
   }
 }
 
-std::vector<PhasedPoint> parallel_phased_sweep(
-    const std::vector<PhasedJob>& jobs, const SweepOptions& opts) {
-  std::vector<PhasedPoint> out(jobs.size());
-  runtime::parallel_for(jobs.size(), opts.jobs, [&](std::size_t i) {
-    const PhasedJob& job = jobs[i];
-    SimConfig cfg = job.cfg;
-    if (opts.derive_seeds) {
-      cfg.seed = runtime::derive_seed(job.cfg.seed, i);
-    }
-    PhasedPoint& p = out[i];
-    p.series = job.series;
-    p.seed = cfg.seed;
-    p.result = run_phased(cfg, job.phases);
-  });
-  return out;
-}
-
-void print_phased(std::ostream& out,
-                  const std::vector<PhasedPoint>& points) {
+void phased_rows(std::ostream& out, std::size_t n,
+                 const std::function<void(std::size_t, std::string&,
+                                          PhasedResult&)>& get) {
   CsvWriter csv(out, {"series", "cycle_end", "accepted_load",
                       "offered_load_measured", "avg_latency_cycles",
                       "pattern"});
-  for (const PhasedPoint& p : points) {
-    for (const PhaseWindow& w : p.result.windows) {
-      csv.row({p.series, CsvWriter::fmt(static_cast<double>(w.stats.end)),
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string series;
+    PhasedResult r;
+    get(i, series, r);
+    for (const PhaseWindow& w : r.windows) {
+      csv.row({series, CsvWriter::fmt(static_cast<double>(w.stats.end)),
                CsvWriter::fmt(w.stats.accepted_load),
                CsvWriter::fmt(w.stats.offered_load),
                CsvWriter::fmt(w.stats.avg_latency), w.pattern});
     }
-    csv.row({p.series,
-             CsvWriter::fmt(static_cast<double>(p.result.drain.end)),
-             CsvWriter::fmt(p.result.drain.accepted_load),
-             CsvWriter::fmt(p.result.drain.offered_load),
-             CsvWriter::fmt(p.result.drain.avg_latency), "drain"});
+    csv.row({series, CsvWriter::fmt(static_cast<double>(r.drain.end)),
+             CsvWriter::fmt(r.drain.accepted_load),
+             CsvWriter::fmt(r.drain.offered_load),
+             CsvWriter::fmt(r.drain.avg_latency), "drain"});
   }
+}
+
+}  // namespace
+
+void print_sweep(std::ostream& out,
+                 const std::vector<ExperimentResult>& results, Metric metric,
+                 const std::string& x_label) {
+  sweep_rows(out, metric, x_label, results.size(),
+             [&](std::size_t i, std::string& series, double& x,
+                 SteadyResult& r) {
+               series = results[i].series;
+               x = results[i].x;
+               r = results[i].steady;
+             });
+}
+
+void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
+                 Metric metric, const std::string& x_label) {
+  sweep_rows(out, metric, x_label, points.size(),
+             [&](std::size_t i, std::string& series, double& x,
+                 SteadyResult& r) {
+               series = points[i].series;
+               x = points[i].x;
+               r = points[i].result;
+             });
+}
+
+void print_phased(std::ostream& out,
+                  const std::vector<ExperimentResult>& results) {
+  phased_rows(out, results.size(),
+              [&](std::size_t i, std::string& series, PhasedResult& r) {
+                series = results[i].series;
+                r = results[i].phased;
+              });
+}
+
+void print_phased(std::ostream& out,
+                  const std::vector<PhasedPoint>& points) {
+  phased_rows(out, points.size(),
+              [&](std::size_t i, std::string& series, PhasedResult& r) {
+                series = points[i].series;
+                r = points[i].result;
+              });
 }
 
 std::vector<double> default_loads(double max_load, int points) {

@@ -1,13 +1,16 @@
-// Sweep helpers shared by the figure benches: run a load sweep (or an
-// arbitrary one-dimensional parameter sweep) over several routing
-// mechanisms and print paper-style CSV series.
+// Experiment grids shared by the figure benches and the manifest runner:
+// run a load sweep (or an arbitrary grid of steady/phased experiments)
+// over several routing mechanisms and print paper-style CSV series.
 //
-// All sweeps execute through the parallel runtime (src/runtime/): grid
-// points are independent simulations, so they are sharded across a thread
-// pool. Each point runs with a deterministic seed derived from the base
-// config's seed and the point's grid index, which makes the output
-// bit-identical for any worker count — `--jobs=1` and `--jobs=N` produce
-// the same CSV bytes in the same order.
+// All grids execute through ONE path — run_experiments — on top of the
+// parallel runtime (src/runtime/): grid points are independent
+// simulations, so they are sharded across a thread pool. Each point runs
+// with a deterministic seed derived from the base config's seed and the
+// point's grid index, which makes the output bit-identical for any worker
+// count — `--jobs=1` and `--jobs=N` produce the same CSV bytes in the
+// same order. The same path optionally checkpoints each in-flight run
+// periodically and resumes from an existing checkpoint, which is what the
+// manifest runner (api/manifest.hpp) builds on.
 #pragma once
 
 #include <cstdint>
@@ -20,19 +23,29 @@
 
 namespace dfsim {
 
-struct SweepPoint {
-  std::string series;
-  double x = 0.0;
-  std::uint64_t seed = 0;  ///< derived per-point seed the run used
-  SteadyResult result;
-};
+// --- the unified experiment surface --------------------------------------
 
-/// One prepared grid point for the generic sweep: the fully-configured
-/// SimConfig plus the CSV series/x it reports under.
-struct SweepJob {
+/// One grid point: the fully-configured run plus the CSV series/x it
+/// reports under. An empty phase schedule means a steady-state run
+/// (run_steady semantics); a non-empty one a phased run (run_phased).
+struct ExperimentPoint {
   std::string series;
   double x = 0.0;
   SimConfig cfg;
+  std::vector<Phase> phases;  ///< empty = steady-state experiment
+};
+
+/// What one point produced. `steady` is always filled: for steady points
+/// it is the run's SteadyResult, for phased points it aliases
+/// `phased.total` (the whole-run aggregate) so series-level summaries
+/// never need to branch on the shape.
+struct ExperimentResult {
+  std::string series;
+  double x = 0.0;
+  std::uint64_t seed = 0;  ///< derived per-point seed the run used
+  bool is_phased = false;
+  SteadyResult steady;
+  PhasedResult phased;  ///< windows/drain populated only when is_phased
 };
 
 struct SweepOptions {
@@ -42,38 +55,77 @@ struct SweepOptions {
   /// Derive a per-point seed from cfg.seed and the grid index (default).
   /// Off = every point runs with its config's seed untouched.
   bool derive_seeds = true;
+  /// Called once per completed point, serialized under a lock:
+  /// (points completed so far, total points). Null = silent.
+  std::function<void(std::size_t, std::size_t)> progress;
+  /// Periodic checkpointing: every `checkpoint_every` simulated cycles
+  /// the in-flight run is serialized to checkpoint_path(index) via
+  /// write-to-temp + atomic rename, and the file is removed when the
+  /// point completes. <= 0 or a null checkpoint_path = run straight
+  /// through with zero checkpoint overhead.
+  Cycle checkpoint_every = 0;
+  std::function<std::string(std::size_t)> checkpoint_path;
+  /// With checkpointing configured: if checkpoint_path(index) exists,
+  /// restore the run from it and continue instead of starting the point
+  /// from cycle 0 (bit-identical to the uninterrupted run).
+  bool resume = false;
 };
 
-/// Run `run_steady` for every (routing, load) pair of the grid, in
-/// parallel. Output order is routings-major, loads-minor — identical to
-/// the historical serial loop.
-std::vector<SweepPoint> parallel_sweep(const SimConfig& base,
-                                       const std::vector<std::string>& routings,
-                                       const std::vector<double>& loads,
-                                       const SweepOptions& opts = {});
+/// Run every grid point, in parallel, preserving point order in the
+/// returned vector. The single execution path behind parallel_sweep,
+/// parallel_phased_sweep, and the manifest runner.
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentPoint>& points, const SweepOptions& opts = {});
 
-/// Generic grid: run `run_steady` for every prepared job, in parallel,
-/// preserving the jobs' order in the returned vector.
-std::vector<SweepPoint> parallel_sweep(const std::vector<SweepJob>& jobs,
-                                       const SweepOptions& opts = {});
+/// Execute a single prepared point with an already-derived seed —
+/// the per-point body of run_experiments, exposed so the manifest runner
+/// shares it exactly. `index` feeds checkpoint_path.
+ExperimentResult run_experiment_point(const ExperimentPoint& pt,
+                                      std::uint64_t seed, std::size_t index,
+                                      const SweepOptions& opts);
 
-/// Back-compat alias for the (routing, load) sweep with default options.
-std::vector<SweepPoint> load_sweep(const SimConfig& base,
-                                   const std::vector<std::string>& routings,
-                                   const std::vector<double>& loads);
+/// Build the classic (routing, load) steady grid: routings-major,
+/// loads-minor — identical point order to the historical serial loop.
+std::vector<ExperimentPoint> sweep_grid(const SimConfig& base,
+                                        const std::vector<std::string>& routings,
+                                        const std::vector<double>& loads);
 
-/// Print one metric of a sweep as `series,x,y` rows.
+/// Print one metric of a steady sweep as `series,x,y` CSV rows.
 enum class Metric { kLatency, kThroughput };
-void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
-                 Metric metric, const std::string& x_label);
+void print_sweep(std::ostream& out,
+                 const std::vector<ExperimentResult>& results, Metric metric,
+                 const std::string& x_label);
+
+/// Print a phased sweep as CSV rows of per-window throughput over time:
+/// series,cycle_end,accepted_load,offered_load_measured,
+/// avg_latency_cycles,pattern (cycle_end is absolute, warmup included;
+/// the drain window rides along with pattern "drain").
+void print_phased(std::ostream& out,
+                  const std::vector<ExperimentResult>& results);
 
 /// Standard load grids used by the figure benches.
 std::vector<double> default_loads(double max_load, int points);
 
-// --- phased sweeps -------------------------------------------------------
+// --- deprecated pre-unification surface ----------------------------------
+// The SweepPoint/PhasedPoint split predates ExperimentPoint. Every entry
+// point below is an inline forwarder onto run_experiments, kept for one
+// PR so downstream call sites migrate on their own schedule.
 
-/// One prepared phased run (api/simulator.hpp run_phased) of a transient
-/// sweep: the configured base run plus its phase schedule.
+struct SweepPoint {
+  std::string series;
+  double x = 0.0;
+  std::uint64_t seed = 0;  ///< derived per-point seed the run used
+  SteadyResult result;
+};
+
+/// One prepared steady grid point of the pre-unification API.
+struct SweepJob {
+  std::string series;
+  double x = 0.0;
+  SimConfig cfg;
+};
+
+/// One prepared phased run of the pre-unification API.
 struct PhasedJob {
   std::string series;
   SimConfig cfg;
@@ -86,16 +138,70 @@ struct PhasedPoint {
   PhasedResult result;
 };
 
-/// Run run_phased for every job, in parallel, preserving job order. Seeds
-/// derive from each job's cfg.seed and its index (SweepOptions), so the
-/// output is bit-identical for any worker count.
-std::vector<PhasedPoint> parallel_phased_sweep(
-    const std::vector<PhasedJob>& jobs, const SweepOptions& opts = {});
+[[deprecated("use run_experiments over ExperimentPoints")]]
+inline std::vector<SweepPoint> parallel_sweep(const std::vector<SweepJob>& jobs,
+                                              const SweepOptions& opts = {}) {
+  std::vector<ExperimentPoint> points;
+  points.reserve(jobs.size());
+  for (const SweepJob& job : jobs) {
+    points.push_back({job.series, job.x, job.cfg, {}});
+  }
+  const std::vector<ExperimentResult> results = run_experiments(points, opts);
+  std::vector<SweepPoint> out(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out[i] = {results[i].series, results[i].x, results[i].seed,
+              results[i].steady};
+  }
+  return out;
+}
 
-/// Print a phased sweep as CSV rows of per-window throughput over time:
-/// series,cycle_end,accepted_load,offered_load_measured,
-/// avg_latency_cycles,pattern (cycle_end is absolute, warmup included;
-/// the drain window rides along with pattern "drain").
+[[deprecated("use run_experiments(sweep_grid(...))")]]
+inline std::vector<SweepPoint> parallel_sweep(
+    const SimConfig& base, const std::vector<std::string>& routings,
+    const std::vector<double>& loads, const SweepOptions& opts = {}) {
+  const std::vector<ExperimentResult> results =
+      run_experiments(sweep_grid(base, routings, loads), opts);
+  std::vector<SweepPoint> out(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out[i] = {results[i].series, results[i].x, results[i].seed,
+              results[i].steady};
+  }
+  return out;
+}
+
+[[deprecated("use run_experiments(sweep_grid(...))")]]
+inline std::vector<SweepPoint> load_sweep(
+    const SimConfig& base, const std::vector<std::string>& routings,
+    const std::vector<double>& loads) {
+  const std::vector<ExperimentResult> results =
+      run_experiments(sweep_grid(base, routings, loads), {});
+  std::vector<SweepPoint> out(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out[i] = {results[i].series, results[i].x, results[i].seed,
+              results[i].steady};
+  }
+  return out;
+}
+
+[[deprecated("use run_experiments over phased ExperimentPoints")]]
+inline std::vector<PhasedPoint> parallel_phased_sweep(
+    const std::vector<PhasedJob>& jobs, const SweepOptions& opts = {}) {
+  std::vector<ExperimentPoint> points;
+  points.reserve(jobs.size());
+  for (const PhasedJob& job : jobs) {
+    points.push_back({job.series, 0.0, job.cfg, job.phases});
+  }
+  const std::vector<ExperimentResult> results = run_experiments(points, opts);
+  std::vector<PhasedPoint> out(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out[i] = {results[i].series, results[i].seed, results[i].phased};
+  }
+  return out;
+}
+
+void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
+                 Metric metric, const std::string& x_label);
+
 void print_phased(std::ostream& out, const std::vector<PhasedPoint>& points);
 
 }  // namespace dfsim

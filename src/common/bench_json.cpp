@@ -1,0 +1,71 @@
+#include "common/bench_json.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <sstream>
+
+namespace dfsim {
+
+void append_bench_record(const std::string& bench, double wall_s, int jobs,
+                         const std::string& path_in) {
+  std::string path = path_in;
+  if (path.empty()) {
+    // Explicitly-empty DF_BENCH_JSON disables the report (env_str would
+    // fold empty into the fallback).
+    const char* path_env = std::getenv("DF_BENCH_JSON");
+    path = path_env ? path_env : "BENCH_sweep.json";
+  }
+  if (path.empty()) return;
+
+  std::ostringstream record;
+  record << "  {\"bench\": \"" << bench << "\", \"wall_s\": " << wall_s
+         << ", \"jobs\": " << jobs << "}";
+
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) return;
+  ::flock(fd, LOCK_EX);
+
+  std::string existing;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    existing.append(buf, static_cast<std::size_t>(n));
+  }
+  // Keep the file a valid JSON array: strip the closing bracket of an
+  // existing array and append, or start a fresh one. Anything that is
+  // not our array — another tool's output, or a record truncated by a
+  // killed bench — is replaced rather than appended to, since appending
+  // would keep it unparsable forever.
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' ' ||
+          existing.back() == ']')) {
+    existing.pop_back();
+  }
+  if (!existing.empty() &&
+      (existing.front() != '[' || existing.back() != '}')) {
+    existing.clear();
+  }
+
+  std::string out;
+  if (existing.empty()) {
+    out = "[\n" + record.str() + "\n]\n";
+  } else {
+    out = existing + ",\n" + record.str() + "\n]\n";
+  }
+  ::lseek(fd, 0, SEEK_SET);
+  if (::ftruncate(fd, 0) == 0) {
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t w = ::write(fd, out.data() + off, out.size() - off);
+      if (w <= 0) break;
+      off += static_cast<std::size_t>(w);
+    }
+  }
+  ::flock(fd, LOCK_UN);
+  ::close(fd);
+}
+
+}  // namespace dfsim

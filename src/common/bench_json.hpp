@@ -1,0 +1,20 @@
+// Appending wall-clock records to BENCH_sweep.json — the perf-trajectory
+// ledger every figure bench and the manifest runner report into. One JSON
+// array of {"bench", "wall_s", "jobs"} records, grown read-modify-write
+// under an exclusive flock so concurrent writers never interleave.
+#pragma once
+
+#include <string>
+
+namespace dfsim {
+
+/// Append one record to the JSON array at `path`. An empty `path` reads
+/// the DF_BENCH_JSON env var (default "BENCH_sweep.json"); an explicitly
+/// empty DF_BENCH_JSON disables the report. A file that is not our array
+/// (foreign output, or a record truncated by a killed process) is
+/// replaced rather than appended to. I/O failures are swallowed — the
+/// ledger is best-effort telemetry, never worth failing a run over.
+void append_bench_record(const std::string& bench, double wall_s, int jobs,
+                         const std::string& path = "");
+
+}  // namespace dfsim

@@ -94,6 +94,16 @@ class RingDeque {
     --count_;
   }
 
+  /// Checkpoint support: visit every element front to back without
+  /// consuming it (the physical head offset is not part of the saved
+  /// state — a restored deque holding the same sequence is equivalent).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      fn(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+  }
+
  private:
   void grow() {
     const std::size_t new_cap = buf_.empty() ? 8 : buf_.size() * 2;
@@ -172,6 +182,25 @@ class SlabEventRing {
   }
 
   std::size_t slab_chunks() const { return chunks_.size(); }
+
+  /// Checkpoint support: visit the slot's events in FIFO order WITHOUT
+  /// recycling them (unlike drain). The wheel is unchanged afterwards.
+  template <typename Fn>
+  void visit(std::size_t slot, Fn&& fn) const {
+    std::int32_t c = slots_[slot].head;
+    while (c >= 0) {
+      const Chunk& ch = chunks_[static_cast<std::size_t>(c)];
+      for (std::int32_t i = 0; i < ch.count; ++i) fn(ch.items[i]);
+      c = ch.next;
+    }
+  }
+
+  /// Checkpoint support: number of events queued in one slot.
+  std::size_t slot_size(std::size_t slot) const {
+    std::size_t n = 0;
+    visit(slot, [&](const T&) { ++n; });
+    return n;
+  }
 
  private:
   struct Chunk {

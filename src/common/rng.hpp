@@ -71,6 +71,17 @@ class Rng {
   /// Derive an independent stream (e.g. one per terminal) from this one.
   Rng split() { return Rng(next_u64()); }
 
+  // --- checkpoint support -----------------------------------------------
+  // The four xoshiro words ARE the stream cursor: saving and restoring
+  // them resumes the draw sequence exactly where it left off.
+  static constexpr int kStateWords = 4;
+  void save_state(std::uint64_t out[kStateWords]) const {
+    for (int i = 0; i < kStateWords; ++i) out[i] = state_[i];
+  }
+  void set_state(const std::uint64_t in[kStateWords]) {
+    for (int i = 0; i < kStateWords; ++i) state_[i] = in[i];
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

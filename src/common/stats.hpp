@@ -23,6 +23,18 @@ class RunningStat {
   double variance() const;
   double stddev() const;
 
+  // --- checkpoint support -----------------------------------------------
+  // The Welford accumulator is order-sensitive in floating point, so a
+  // resumed run must continue from the bit-exact (count, mean, m2) triple
+  // rather than re-deriving it.
+  double raw_mean() const { return mean_; }
+  double raw_m2() const { return m2_; }
+  void restore(std::uint64_t count, double mean, double m2) {
+    count_ = count;
+    mean_ = mean;
+    m2_ = m2;
+  }
+
  private:
   std::uint64_t count_ = 0;
   double mean_ = 0.0;
@@ -49,6 +61,11 @@ class Histogram {
 
   double bucket_width() const { return width_; }
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Checkpoint support: overwrite the counts with a saved snapshot. The
+  /// snapshot must come from a histogram of identical geometry.
+  void restore(const std::vector<std::uint64_t>& buckets,
+               std::uint64_t total);
 
  private:
   double width_;

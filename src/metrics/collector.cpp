@@ -1,6 +1,25 @@
 #include "metrics/collector.hpp"
 
+#include "common/serialize.hpp"
+
 namespace dfsim {
+
+namespace {
+
+void save_stat(std::ostream& os, const RunningStat& s) {
+  ser::write_u64(os, s.count());
+  ser::write_f64(os, s.raw_mean());
+  ser::write_f64(os, s.raw_m2());
+}
+
+void load_stat(std::istream& is, RunningStat& s, const char* what) {
+  const std::uint64_t count = ser::read_u64(is, what);
+  const double mean = ser::read_f64(is, what);
+  const double m2 = ser::read_f64(is, what);
+  s.restore(count, mean, m2);
+}
+
+}  // namespace
 
 Collector::Collector(Cycle warmup, int num_terminals)
     : warmup_(warmup),
@@ -48,6 +67,59 @@ double Collector::drop_rate() const {
   if (generated_measured_ == 0) return 0.0;
   return static_cast<double>(dropped_measured_) /
          static_cast<double>(generated_measured_);
+}
+
+void Collector::save(std::ostream& os) const {
+  // Geometry fields first so a mismatched restore names the field.
+  ser::write_u64(os, warmup_);
+  ser::write_u64(os, static_cast<std::uint64_t>(num_terminals_));
+  ser::write_u64(os, latency_hist_.buckets().size());
+
+  ser::write_f64(os, latency_sum_);
+  save_stat(os, latency_);
+  save_stat(os, hops_);
+  ser::write_u64_vec(os, latency_hist_.buckets());
+  ser::write_u64(os, latency_hist_.count());
+  ser::write_u64(os, delivered_packets_);
+  ser::write_u64(os, delivered_packets_total_);
+  ser::write_u64(os, delivered_phits_);
+  ser::write_u64(os, generated_);
+  ser::write_u64(os, dropped_);
+  ser::write_u64(os, generated_measured_);
+  ser::write_u64(os, dropped_measured_);
+  ser::write_u64(os, mark_.delivered);
+  ser::write_u64(os, mark_.delivered_phits);
+  ser::write_u64(os, mark_.generated);
+  ser::write_u64(os, mark_.dropped);
+  ser::write_f64(os, mark_.latency_sum);
+}
+
+void Collector::load(std::istream& is) {
+  ser::expect_u64(is, warmup_, "collector warmup cycles");
+  ser::expect_u64(is, static_cast<std::uint64_t>(num_terminals_),
+                  "collector terminal count");
+  ser::expect_u64(is, latency_hist_.buckets().size(),
+                  "collector histogram buckets");
+
+  latency_sum_ = ser::read_f64(is, "collector latency sum");
+  load_stat(is, latency_, "collector latency stat");
+  load_stat(is, hops_, "collector hops stat");
+  const auto buckets = ser::read_u64_vec(is, "collector histogram");
+  const std::uint64_t hist_total =
+      ser::read_u64(is, "collector histogram total");
+  latency_hist_.restore(buckets, hist_total);
+  delivered_packets_ = ser::read_u64(is, "collector delivered");
+  delivered_packets_total_ = ser::read_u64(is, "collector delivered total");
+  delivered_phits_ = ser::read_u64(is, "collector delivered phits");
+  generated_ = ser::read_u64(is, "collector generated");
+  dropped_ = ser::read_u64(is, "collector dropped");
+  generated_measured_ = ser::read_u64(is, "collector generated measured");
+  dropped_measured_ = ser::read_u64(is, "collector dropped measured");
+  mark_.delivered = ser::read_u64(is, "collector mark delivered");
+  mark_.delivered_phits = ser::read_u64(is, "collector mark phits");
+  mark_.generated = ser::read_u64(is, "collector mark generated");
+  mark_.dropped = ser::read_u64(is, "collector mark dropped");
+  mark_.latency_sum = ser::read_f64(is, "collector mark latency sum");
 }
 
 TrafficWindow Collector::cut_window(Cycle start, Cycle end,

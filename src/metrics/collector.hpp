@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -76,6 +77,14 @@ class Collector {
   /// Windows therefore tile the run — summing their integer counters over
   /// all cuts reproduces the whole-run totals exactly.
   TrafficWindow cut_window(Cycle start, Cycle end, int packet_phits);
+
+  // --- checkpoint support -----------------------------------------------
+  /// Serialize every counter, the window mark, and the (bit-exact)
+  /// floating-point accumulators. load() requires a collector constructed
+  /// with the same warmup/terminal-count/histogram geometry and throws
+  /// std::runtime_error on a truncated or mismatched stream.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   /// Counter snapshot cut_window diffs against.

@@ -1,5 +1,6 @@
 #include "routing/piggyback.hpp"
 
+#include "common/serialize.hpp"
 #include "routing/route_util.hpp"
 #include "sim/engine.hpp"
 
@@ -28,6 +29,22 @@ void PiggybackRouting::per_cycle(Engine& engine) {
           engine.port_max_occupancy(owner, port);
     }
   }
+}
+
+void PiggybackRouting::save_state(std::ostream& os) const {
+  ser::write_u64(os, published_.size());
+  for (const double v : published_) ser::write_f64(os, v);
+}
+
+void PiggybackRouting::restore_state(std::istream& is) {
+  const std::uint64_t n = ser::read_u64(is, "pb published table size");
+  if (n != published_.size()) {
+    throw std::runtime_error(
+        "checkpoint mismatch: pb published table has " + std::to_string(n) +
+        " entries in the checkpoint but " +
+        std::to_string(published_.size()) + " in this configuration");
+  }
+  for (double& v : published_) v = ser::read_f64(is, "pb published entry");
 }
 
 std::optional<RouteChoice> PiggybackRouting::decide(RoutingContext& ctx) {

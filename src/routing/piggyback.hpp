@@ -33,6 +33,11 @@ class PiggybackRouting final : public RoutingAlgorithm {
   std::optional<RouteChoice> decide(RoutingContext& ctx) override;
   std::optional<Hop> pure_minimal_hop(const RoutingContext& ctx) override;
   void per_cycle(Engine& engine) override;
+  /// The published tables are refreshed only every broadcast_period
+  /// cycles; between refreshes they are stale copies a resumed run cannot
+  /// rebuild from engine state, so they checkpoint as-is.
+  void save_state(std::ostream& os) const override;
+  void restore_state(std::istream& is) override;
 
   int min_local_vcs() const override { return 3; }
   int min_global_vcs() const override { return 2; }

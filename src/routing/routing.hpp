@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -77,6 +78,14 @@ class RoutingAlgorithm {
   /// their own (e.g. OLM asserts its escape invariant here).
   virtual void on_hop(const Engine& /*engine*/, Packet& /*packet*/,
                       const RouteChoice& /*choice*/, RouterId /*router*/) {}
+
+  /// Checkpoint hooks, called from Engine::save_checkpoint / restore.
+  /// Mechanisms with mutable cross-cycle state (Piggybacking's published
+  /// occupancy tables) serialize it here so a resumed run replays
+  /// bit-identically; the default covers the stateless majority. The two
+  /// must read/write the same byte count (the engine frames the section).
+  virtual void save_state(std::ostream& /*os*/) const {}
+  virtual void restore_state(std::istream& /*is*/) {}
 
   /// Resource demands; the engine config is validated against these.
   virtual int min_local_vcs() const = 0;

@@ -234,6 +234,33 @@ class Engine {
   }
   const Packet& packet(PacketId id) const { return pool_[id]; }
 
+  // --- checkpoint / restart ---------------------------------------------
+  /// Bumped whenever the checkpoint byte layout changes; restore rejects
+  /// any other version with a pointed message (no cross-version decoding).
+  static constexpr std::uint32_t kCheckpointVersion = 1;
+
+  /// Serialize the complete dynamic engine state behind a versioned,
+  /// shape-checked header: every input-VC FIFO (flit arena slices), all
+  /// credits and wormhole VC bindings, the timing-wheel events in flight,
+  /// the packet pool (slots AND free-list order), per-terminal injection
+  /// state including Markov ON/OFF chains, the RNG cursor, switch RR
+  /// pointers, and the routing mechanism's cross-cycle state
+  /// (RoutingAlgorithm::save_state). Derived retry-suppression caches
+  /// (sleep timers, waiter lists, pure-hop verdicts, minimal-port memos)
+  /// are NOT serialized: rebuilding them draws no randomness and changes
+  /// no decision, so a restored run replays bit-identically without them.
+  /// Call only between step() boundaries (never from a hook).
+  void save_checkpoint(std::ostream& os) const;
+
+  /// Inverse of save_checkpoint, into a FRESHLY-CONSTRUCTED engine built
+  /// from the same configuration and topology. Throws std::runtime_error
+  /// with a pointed message on a truncated, corrupt, version-mismatched
+  /// or wrong-shape checkpoint, and std::logic_error when this engine has
+  /// already stepped. After a successful restore, the cycle-by-cycle
+  /// behavior is bit-identical to the engine the checkpoint was saved
+  /// from (exact-mode determinism contract).
+  void restore(std::istream& is);
+
   // --- test hooks -------------------------------------------------------
   /// Inject a fully-formed packet directly at its source terminal's queue
   /// (unit tests drive single packets through the network this way).

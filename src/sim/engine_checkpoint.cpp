@@ -1,0 +1,448 @@
+// Engine checkpoint/restart: serialize the flat engine state so a run
+// killed at cycle C resumes bit-identically (exact-mode determinism).
+//
+// What is saved: the clock, the RNG cursor, every input-VC FIFO, credits
+// and wormhole bindings, switch round-robin pointers, the packet pool
+// (slot contents and free-list order — future alloc() ids must replay),
+// per-terminal source queues / burst budgets / ON/OFF chains, the three
+// timing wheels' in-flight events, delivery counters, and the routing
+// mechanism's cross-cycle state.
+//
+// What is deliberately NOT saved, because rebuilding it is decision- and
+// RNG-neutral: the retry-suppression caches (vc_sleep_until_, waiter
+// lists, head_hop_ verdicts) — a woken head redoes a usability check that
+// fails identically; pure verdicts are recomputed by pure_minimal_hop,
+// which is RNG-free by contract — the per-packet minimal-port memos, and
+// the lazily-cleared worklist bits (recomputed as their minimal sets,
+// which the scan loops treat identically).
+#include <istream>
+#include <ostream>
+
+#include "common/serialize.hpp"
+#include "sim/engine.hpp"
+
+namespace dfsim {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'F', 'E', 'N', 'G', 'C', 'K', '\n'};
+constexpr std::uint64_t kEndSentinel = 0xdf51aced0c0ffee1ULL;
+
+void write_flit(std::ostream& os, const Flit& f) {
+  ser::write_i32(os, f.packet);
+  ser::write_i32(os, f.index);
+  ser::write_i32(os, f.size_phits);
+  ser::write_u8(os, f.head ? 1 : 0);
+  ser::write_u8(os, f.tail ? 1 : 0);
+}
+
+Flit read_flit(std::istream& is) {
+  Flit f;
+  f.packet = ser::read_i32(is, "flit packet id");
+  f.index = static_cast<std::int16_t>(ser::read_i32(is, "flit index"));
+  f.size_phits =
+      static_cast<std::int16_t>(ser::read_i32(is, "flit size"));
+  f.head = ser::read_u8(is, "flit head flag") != 0;
+  f.tail = ser::read_u8(is, "flit tail flag") != 0;
+  return f;
+}
+
+void write_packet(std::ostream& os, const Packet& p) {
+  ser::write_i32(os, p.src);
+  ser::write_i32(os, p.dst);
+  ser::write_i32(os, p.size_phits);
+  ser::write_i32(os, p.num_flits);
+  ser::write_i32(os, p.flit_phits);
+  ser::write_u64(os, p.created);
+  ser::write_u64(os, p.injected);
+  const RouteState& rs = p.rs;
+  ser::write_i32(os, rs.dst_router);
+  ser::write_i32(os, rs.dst_group);
+  ser::write_i32(os, rs.src_group);
+  ser::write_i32(os, rs.inter_group);
+  ser::write_u8(os, rs.valiant ? 1 : 0);
+  ser::write_i32(os, rs.global_hops);
+  ser::write_i32(os, rs.local_hops_group);
+  ser::write_i32(os, rs.local_mis_group);
+  ser::write_i32(os, rs.local_hops_total);
+  ser::write_i32(os, rs.total_hops);
+  ser::write_i32(os, rs.prev_local_idx);
+  ser::write_i32(os, rs.last_local_vc);
+  // min_cache is a pure memo: recomputed on first use after restore.
+}
+
+Packet read_packet(std::istream& is) {
+  Packet p;
+  p.src = ser::read_i32(is, "packet src");
+  p.dst = ser::read_i32(is, "packet dst");
+  p.size_phits = ser::read_i32(is, "packet size");
+  p.num_flits =
+      static_cast<std::int16_t>(ser::read_i32(is, "packet flit count"));
+  p.flit_phits =
+      static_cast<std::int16_t>(ser::read_i32(is, "packet flit size"));
+  p.created = ser::read_u64(is, "packet created cycle");
+  p.injected = ser::read_u64(is, "packet injected cycle");
+  RouteState& rs = p.rs;
+  rs.dst_router = ser::read_i32(is, "route dst router");
+  rs.dst_group = ser::read_i32(is, "route dst group");
+  rs.src_group = ser::read_i32(is, "route src group");
+  rs.inter_group = ser::read_i32(is, "route inter group");
+  rs.valiant = ser::read_u8(is, "route valiant flag") != 0;
+  rs.global_hops =
+      static_cast<std::int8_t>(ser::read_i32(is, "route global hops"));
+  rs.local_hops_group =
+      static_cast<std::int8_t>(ser::read_i32(is, "route local hops"));
+  rs.local_mis_group =
+      static_cast<std::int8_t>(ser::read_i32(is, "route local misroutes"));
+  rs.local_hops_total =
+      static_cast<std::int8_t>(ser::read_i32(is, "route local hops total"));
+  rs.total_hops =
+      static_cast<std::int8_t>(ser::read_i32(is, "route total hops"));
+  rs.prev_local_idx =
+      static_cast<std::int8_t>(ser::read_i32(is, "route prev local idx"));
+  rs.last_local_vc =
+      static_cast<std::int8_t>(ser::read_i32(is, "route last local vc"));
+  return p;
+}
+
+}  // namespace
+
+void Engine::save_checkpoint(std::ostream& os) const {
+  // --- versioned, shape-checked header ----------------------------------
+  ser::write_bytes(os, kMagic, sizeof(kMagic));
+  ser::write_u32(os, kCheckpointVersion);
+  ser::write_u64(os, static_cast<std::uint64_t>(topo_.num_routers()));
+  ser::write_u64(os, static_cast<std::uint64_t>(topo_.num_terminals()));
+  ser::write_u64(os, static_cast<std::uint64_t>(ports_));
+  ser::write_u64(os, static_cast<std::uint64_t>(vc_stride_));
+  ser::write_u64(os, static_cast<std::uint64_t>(flit_phits_));
+  ser::write_u64(os, static_cast<std::uint64_t>(flits_per_packet_));
+  ser::write_u64(os, ring_size_);
+  ser::write_u8(os, static_cast<std::uint8_t>(cfg_.flow));
+  ser::write_u8(os, onoff_ ? 1 : 0);
+  ser::write_string(os, routing_.name());
+
+  // --- clock, RNG, counters ---------------------------------------------
+  ser::write_u64(os, now_);
+  ser::write_u64(os, last_progress_);
+  ser::write_u8(os, deadlock_ ? 1 : 0);
+  std::uint64_t rng_state[Rng::kStateWords];
+  rng_.save_state(rng_state);
+  for (const auto w : rng_state) ser::write_u64(os, w);
+  ser::write_f64(os, injection_.load);
+  ser::write_u64(os, delivered_packets_);
+  ser::write_u64(os, delivered_phits_);
+  for (const auto s : phits_sent_) ser::write_u64(os, s);
+  ser::write_u64(os, dead_dst_drops_);
+
+  // --- packet pool (slot layout + free-list order) ----------------------
+  ser::write_u64(os, pool_.capacity());
+  ser::write_u64(os, pool_.free_list().size());
+  for (const PacketId id : pool_.free_list()) ser::write_i32(os, id);
+  std::vector<std::uint8_t> live(pool_.capacity(), 1);
+  for (const PacketId id : pool_.free_list()) {
+    live[static_cast<std::size_t>(id)] = 0;
+  }
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i]) write_packet(os, pool_[static_cast<PacketId>(i)]);
+  }
+
+  // --- router state: input/output VCs, per-port scan state --------------
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    for (PortId p = 0; p < ports_; ++p) {
+      for (VcId v = 0; v < vc_count(p); ++v) {
+        const InputVc& ivc = in_vcs_[vc_index(r, p, v)];
+        ser::write_u32(os, static_cast<std::uint32_t>(ivc.fifo.size()));
+        // FixedRing exposes only the front; visit by draining a copy.
+        FixedRing<Flit> walk = ivc.fifo;
+        while (!walk.empty()) {
+          write_flit(os, walk.front());
+          walk.pop_front();
+        }
+        ser::write_i32(os, ivc.occupancy_phits);
+        ser::write_i32(os, ivc.bound_out_port);
+        ser::write_i32(os, ivc.bound_out_vc);
+        ser::write_u64(os, ivc.head_since);
+        const OutputVc& ovc = out_vcs_[vc_index(r, p, v)];
+        ser::write_i32(os, ovc.credits_phits);
+        ser::write_i32(os, ovc.bound_packet);
+      }
+      ser::write_u64(os, out_busy_until_[port_index(r, p)]);
+      ser::write_u32(os, in_scan_[port_index(r, p)]);
+      ser::write_u32(os, out_rr_[port_index(r, p)]);
+    }
+  }
+
+  // --- terminal injection state -----------------------------------------
+  for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
+    const TerminalState& ts = terminals_[static_cast<std::size_t>(t)];
+    ser::write_u64(os, ts.pending_created.size());
+    ts.pending_created.for_each(
+        [&](const Cycle c) { ser::write_u64(os, c); });
+    ser::write_u64(os, ts.forced_dst.size());
+    ts.forced_dst.for_each([&](const NodeId d) { ser::write_i32(os, d); });
+    ser::write_u64(os, ts.burst_remaining);
+    ser::write_u64(os, ts.link_busy_until);
+    ser::write_i32(os, ts.inflight_phits);
+  }
+  if (onoff_) {
+    for (const std::uint8_t s : onoff_state_) ser::write_u8(os, s);
+  }
+
+  // --- timing wheels -----------------------------------------------------
+  for (std::size_t slot = 0; slot < ring_size_; ++slot) {
+    ser::write_u32(os,
+                   static_cast<std::uint32_t>(flit_ring_.slot_size(slot)));
+    flit_ring_.visit(slot, [&](const FlitEvent& ev) {
+      ser::write_i32(os, ev.router);
+      ser::write_i32(os, ev.port);
+      ser::write_i32(os, ev.vc);
+      write_flit(os, ev.flit);
+    });
+    ser::write_u32(
+        os, static_cast<std::uint32_t>(credit_ring_.slot_size(slot)));
+    credit_ring_.visit(slot, [&](const CreditEvent& ev) {
+      ser::write_i32(os, ev.router);
+      ser::write_i32(os, ev.port);
+      ser::write_i32(os, ev.vc);
+      ser::write_i32(os, ev.phits);
+    });
+    ser::write_u32(
+        os, static_cast<std::uint32_t>(delivery_ring_.slot_size(slot)));
+    delivery_ring_.visit(slot,
+                         [&](const PacketId id) { ser::write_i32(os, id); });
+  }
+
+  // --- routing mechanism state ------------------------------------------
+  routing_.save_state(os);
+  ser::write_u64(os, kEndSentinel);
+}
+
+void Engine::restore(std::istream& is) {
+  if (now_ != 0 || pool_.in_use() != 0) {
+    throw std::logic_error(
+        "Engine::restore requires a freshly-constructed engine (same "
+        "config as the checkpointed run)");
+  }
+
+  // --- header ------------------------------------------------------------
+  char magic[8];
+  ser::read_bytes(is, magic, sizeof(magic), "checkpoint magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(
+        "not a dfsim engine checkpoint (bad magic bytes)");
+  }
+  const std::uint32_t version = ser::read_u32(is, "checkpoint version");
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error(
+        "checkpoint format version " + std::to_string(version) +
+        " is not supported by this build (expected " +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  ser::expect_u64(is, static_cast<std::uint64_t>(topo_.num_routers()),
+                  "router count");
+  ser::expect_u64(is, static_cast<std::uint64_t>(topo_.num_terminals()),
+                  "terminal count");
+  ser::expect_u64(is, static_cast<std::uint64_t>(ports_),
+                  "ports per router");
+  ser::expect_u64(is, static_cast<std::uint64_t>(vc_stride_), "VC stride");
+  ser::expect_u64(is, static_cast<std::uint64_t>(flit_phits_),
+                  "flit phits");
+  ser::expect_u64(is, static_cast<std::uint64_t>(flits_per_packet_),
+                  "flits per packet");
+  ser::expect_u64(is, ring_size_, "timing-wheel size");
+  const std::uint8_t flow = ser::read_u8(is, "flow control");
+  if (flow != static_cast<std::uint8_t>(cfg_.flow)) {
+    throw std::runtime_error(
+        "checkpoint mismatch: flow-control discipline differs from this "
+        "configuration");
+  }
+  const std::uint8_t onoff = ser::read_u8(is, "onoff flag");
+  if ((onoff != 0) != onoff_) {
+    throw std::runtime_error(
+        "checkpoint mismatch: Markov ON/OFF injection differs from this "
+        "configuration");
+  }
+  const std::string routing_name = ser::read_string(is, "routing name");
+  if (routing_name != routing_.name()) {
+    throw std::runtime_error(
+        "checkpoint mismatch: routing mechanism is \"" + routing_name +
+        "\" in the checkpoint but \"" + routing_.name() +
+        "\" in this configuration");
+  }
+
+  // --- clock, RNG, counters ---------------------------------------------
+  now_ = ser::read_u64(is, "cycle clock");
+  last_progress_ = ser::read_u64(is, "last progress cycle");
+  deadlock_ = ser::read_u8(is, "deadlock flag") != 0;
+  std::uint64_t rng_state[Rng::kStateWords];
+  for (auto& w : rng_state) w = ser::read_u64(is, "rng state");
+  rng_.set_state(rng_state);
+  // Re-derives gen_probability_ (and the ON/OFF duty compensation) with
+  // the same arithmetic the original run used — bit-identical draws.
+  set_offered_load(ser::read_f64(is, "offered load"));
+  delivered_packets_ = ser::read_u64(is, "delivered packets");
+  delivered_phits_ = ser::read_u64(is, "delivered phits");
+  for (auto& s : phits_sent_) s = ser::read_u64(is, "phits sent");
+  dead_dst_drops_ = ser::read_u64(is, "dead destination drops");
+
+  // --- packet pool -------------------------------------------------------
+  const std::uint64_t slot_count = ser::read_u64(is, "pool slot count");
+  const std::uint64_t free_count = ser::read_u64(is, "pool free count");
+  if (free_count > slot_count) {
+    throw std::runtime_error(
+        "checkpoint corrupt: packet-pool free list larger than the pool");
+  }
+  std::vector<PacketId> free_list(static_cast<std::size_t>(free_count));
+  for (auto& id : free_list) {
+    id = ser::read_i32(is, "pool free id");
+    if (id < 0 || static_cast<std::uint64_t>(id) >= slot_count) {
+      throw std::runtime_error(
+          "checkpoint corrupt: packet-pool free id out of range");
+    }
+  }
+  std::vector<std::uint8_t> live(static_cast<std::size_t>(slot_count), 1);
+  for (const PacketId id : free_list) {
+    if (live[static_cast<std::size_t>(id)] == 0) {
+      throw std::runtime_error(
+          "checkpoint corrupt: packet-pool free id listed twice");
+    }
+    live[static_cast<std::size_t>(id)] = 0;
+  }
+  pool_.restore(static_cast<std::size_t>(slot_count), std::move(free_list));
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    if (live[i]) pool_[static_cast<PacketId>(i)] = read_packet(is);
+  }
+
+  // --- router state ------------------------------------------------------
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    for (PortId p = 0; p < ports_; ++p) {
+      for (VcId v = 0; v < vc_count(p); ++v) {
+        const std::size_t vidx = vc_index(r, p, v);
+        InputVc& ivc = in_vcs_[vidx];
+        const std::uint32_t nflits = ser::read_u32(is, "input VC depth");
+        if (static_cast<std::int32_t>(nflits) > ivc.fifo.capacity()) {
+          throw std::runtime_error(
+              "checkpoint corrupt: input VC holds more flits than its "
+              "buffer capacity");
+        }
+        for (std::uint32_t k = 0; k < nflits; ++k) {
+          ivc.fifo.push_back(read_flit(is));
+        }
+        ivc.occupancy_phits = ser::read_i32(is, "input VC occupancy");
+        ivc.bound_out_port =
+            static_cast<std::int16_t>(ser::read_i32(is, "VC bound port"));
+        ivc.bound_out_vc =
+            static_cast<std::int16_t>(ser::read_i32(is, "VC bound vc"));
+        ivc.head_since = ser::read_u64(is, "VC head since");
+        OutputVc& ovc = out_vcs_[vidx];
+        ovc.credits_phits = ser::read_i32(is, "output VC credits");
+        ovc.bound_packet = ser::read_i32(is, "output VC bound packet");
+      }
+      out_busy_until_[port_index(r, p)] =
+          ser::read_u64(is, "port busy-until");
+      in_scan_[port_index(r, p)] = ser::read_u32(is, "port scan word");
+      out_rr_[port_index(r, p)] =
+          static_cast<std::uint16_t>(ser::read_u32(is, "port RR pointer"));
+    }
+  }
+
+  // --- terminals ---------------------------------------------------------
+  for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
+    TerminalState& ts = terminals_[static_cast<std::size_t>(t)];
+    ts.pending_created = {};
+    ts.forced_dst = {};
+    const std::uint64_t npending = ser::read_u64(is, "source queue depth");
+    for (std::uint64_t k = 0; k < npending; ++k) {
+      ts.pending_created.push_back(ser::read_u64(is, "source queue entry"));
+    }
+    const std::uint64_t nforced = ser::read_u64(is, "forced dst depth");
+    for (std::uint64_t k = 0; k < nforced; ++k) {
+      ts.forced_dst.push_back(ser::read_i32(is, "forced dst entry"));
+    }
+    ts.burst_remaining = ser::read_u64(is, "burst budget");
+    ts.link_busy_until = ser::read_u64(is, "terminal link busy");
+    ts.inflight_phits = ser::read_i32(is, "terminal inflight phits");
+  }
+  if (onoff_) {
+    for (auto& s : onoff_state_) s = ser::read_u8(is, "onoff chain state");
+  }
+
+  // --- timing wheels -----------------------------------------------------
+  flit_ring_.reset(ring_size_);
+  credit_ring_.reset(ring_size_);
+  delivery_ring_.reset(ring_size_);
+  for (std::size_t slot = 0; slot < ring_size_; ++slot) {
+    const std::uint32_t nf = ser::read_u32(is, "flit event count");
+    for (std::uint32_t k = 0; k < nf; ++k) {
+      FlitEvent ev;
+      ev.router = ser::read_i32(is, "flit event router");
+      ev.port = ser::read_i32(is, "flit event port");
+      ev.vc = ser::read_i32(is, "flit event vc");
+      ev.flit = read_flit(is);
+      flit_ring_.push(slot, ev);
+    }
+    const std::uint32_t nc = ser::read_u32(is, "credit event count");
+    for (std::uint32_t k = 0; k < nc; ++k) {
+      CreditEvent ev;
+      ev.router = ser::read_i32(is, "credit event router");
+      ev.port = ser::read_i32(is, "credit event port");
+      ev.vc = ser::read_i32(is, "credit event vc");
+      ev.phits = ser::read_i32(is, "credit event phits");
+      credit_ring_.push(slot, ev);
+    }
+    const std::uint32_t nd = ser::read_u32(is, "delivery event count");
+    for (std::uint32_t k = 0; k < nd; ++k) {
+      delivery_ring_.push(slot, ser::read_i32(is, "delivery event id"));
+    }
+  }
+
+  // --- routing mechanism state + end sentinel ----------------------------
+  routing_.restore_state(is);
+  if (ser::read_u64(is, "end sentinel") != kEndSentinel) {
+    throw std::runtime_error(
+        "checkpoint corrupt: end sentinel mismatch (the stream is "
+        "misaligned or was written by an incompatible routing mechanism)");
+  }
+
+  // --- rebuild the derived state -----------------------------------------
+  // Retry-suppression caches restart cold: waking a provably-blocked head
+  // redoes a usability check that fails identically and draws nothing, so
+  // this is bit-identical to carrying the caches over.
+  std::fill(vc_sleep_until_.begin(), vc_sleep_until_.end(), 0);
+  std::fill(head_hop_.begin(), head_hop_.end(), kHeadUnknown);
+  std::fill(ovc_waiter_head_.begin(), ovc_waiter_head_.end(), -1);
+  std::fill(vc_waiter_next_.begin(), vc_waiter_next_.end(), kNotWaiting);
+
+  // Worklists: recompute the minimal consistent sets. A stale (lazily
+  // cleared) bit's only effect was a skip-and-clear scan, so dropping it
+  // changes no decision.
+  std::fill(occupied_ports_.begin(), occupied_ports_.end(), 0);
+  std::fill(nonempty_vcs_.begin(), nonempty_vcs_.end(), 0);
+  std::fill(active_routers_.begin(), active_routers_.end(), 0);
+  for (RouterId r = 0; r < topo_.num_routers(); ++r) {
+    for (PortId p = 0; p < ports_; ++p) {
+      if ((in_scan_[port_index(r, p)] >> 16) != 0) {
+        occupied_ports_[static_cast<std::size_t>(r)] |= 1ULL << p;
+      }
+      for (VcId v = 0; v < vc_count(p); ++v) {
+        if (!in_vcs_[vc_index(r, p, v)].fifo.empty()) {
+          ++nonempty_vcs_[static_cast<std::size_t>(r)];
+        }
+      }
+    }
+    if (nonempty_vcs_[static_cast<std::size_t>(r)] > 0) {
+      mark_router_active(r);
+    }
+  }
+  std::fill(pending_terminals_.begin(), pending_terminals_.end(), 0);
+  for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
+    const TerminalState& ts = terminals_[static_cast<std::size_t>(t)];
+    if (!ts.pending_created.empty() || !ts.forced_dst.empty() ||
+        ts.burst_remaining > 0) {
+      mark_terminal_pending(t);
+    }
+  }
+}
+
+}  // namespace dfsim

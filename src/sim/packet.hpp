@@ -106,6 +106,17 @@ class PacketPool {
   std::size_t in_use() const { return slots_.size() - free_.size(); }
   std::size_t capacity() const { return slots_.size(); }
 
+  // --- checkpoint support -----------------------------------------------
+  // The slot layout and the free-list ORDER are both part of the saved
+  // state: alloc() pops from the free list's back, so the id sequence of
+  // future allocations — and with it every wormhole VC binding — replays
+  // exactly only if the list is restored verbatim.
+  const std::vector<PacketId>& free_list() const { return free_; }
+  void restore(std::size_t slot_count, std::vector<PacketId> free) {
+    slots_.assign(slot_count, Packet{});
+    free_ = std::move(free);
+  }
+
  private:
   std::vector<Packet> slots_;
   std::vector<PacketId> free_;

@@ -146,7 +146,8 @@ TEST(Sweep, ProducesOnePointPerComboInOrder) {
   cfg.h = 2;
   cfg.warmup_cycles = 500;
   cfg.measure_cycles = 1000;
-  const auto pts = load_sweep(cfg, {"minimal", "valiant"}, {0.1, 0.2});
+  const auto pts =
+      run_experiments(sweep_grid(cfg, {"minimal", "valiant"}, {0.1, 0.2}));
   ASSERT_EQ(pts.size(), 4u);
   EXPECT_EQ(pts[0].series, "minimal");
   EXPECT_DOUBLE_EQ(pts[0].x, 0.1);

@@ -1,0 +1,68 @@
+// Golden regression for the run_burst collapse into the staged
+// SimulationRun engine: these consumption-cycle values were captured
+// from the standalone pre-refactor burst loop and must never move. Any
+// drift means the unified warmup/measure/drain machine changed burst
+// semantics (injection at cycle 0, drain predicate, deadlock handling).
+#include <gtest/gtest.h>
+
+#include "api/config.hpp"
+#include "api/simulator.hpp"
+
+namespace dfsim {
+namespace {
+
+SimConfig burst_base() {
+  SimConfig cfg;
+  cfg.h = 2;
+  cfg.burst_packets = 40;
+  cfg.max_cycles = 400000;
+  cfg.seed = 7;
+  return cfg;
+}
+
+void expect_burst(const SimConfig& cfg, Cycle golden_consumption) {
+  const BurstResult r = run_burst(cfg);
+  EXPECT_EQ(r.consumption_cycles, golden_consumption);
+  EXPECT_TRUE(r.completed);
+  EXPECT_FALSE(r.deadlock);
+
+  // And the explicit run-object spelling must agree with the wrapper.
+  SimulationRun run = SimulationRun::burst(cfg);
+  run.run_to_completion();
+  EXPECT_EQ(run.burst_result().consumption_cycles, r.consumption_cycles);
+  EXPECT_EQ(run.burst_result().completed, r.completed);
+}
+
+TEST(BurstGolden, VctOlmUniform) { expect_burst(burst_base(), 775); }
+
+TEST(BurstGolden, WormholeUgalUniform) {
+  SimConfig cfg = burst_base();
+  cfg.routing = "ugal";
+  cfg.flow = FlowControl::kWormhole;
+  cfg.packet_phits = 80;
+  cfg.flit_phits = 10;
+  cfg.burst_packets = 10;
+  expect_burst(cfg, 2936);
+}
+
+TEST(BurstGolden, FaultedGroup) {
+  SimConfig cfg = burst_base();
+  cfg.fault_spec = "r:4,r:5,r:6,r:7";
+  expect_burst(cfg, 714);
+}
+
+TEST(BurstGolden, PiggybackRouting) {
+  SimConfig cfg = burst_base();
+  cfg.routing = "pb";
+  expect_burst(cfg, 728);
+}
+
+TEST(BurstGolden, AdversarialMinimal) {
+  SimConfig cfg = burst_base();
+  cfg.routing = "min";
+  cfg.pattern = "advg+1";
+  expect_burst(cfg, 2695);
+}
+
+}  // namespace
+}  // namespace dfsim

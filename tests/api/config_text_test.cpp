@@ -1,0 +1,97 @@
+// SimConfig::describe() / parse() — the textual round-trip the manifest
+// ledger and run checkpoints lean on for config-drift detection. The
+// contract: parse(describe()) reconstructs the config exactly (doubles
+// included, via round-trip precision), and malformed input fails with a
+// message naming the offending key or line.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "api/config.hpp"
+
+namespace dfsim {
+namespace {
+
+SimConfig exotic_config() {
+  SimConfig cfg;
+  cfg.topo = "p2a6h3g8";
+  cfg.arrangement = GlobalArrangement::kPalmtree;
+  cfg.fault_spec = "r:4,r:5";
+  cfg.fault_seed = 77;
+  cfg.flow = FlowControl::kWormhole;
+  cfg.packet_phits = 80;
+  cfg.flit_phits = 10;
+  cfg.routing = "ugal";
+  cfg.misroute_threshold = 1.0 / 3.0;  // not representable in decimal —
+  cfg.load = 0.1 + 0.2;                // round-trip precision must hold
+  cfg.pattern = "mix:un=0.7,advg+1=0.3";
+  cfg.onoff_on = 0.05;
+  cfg.onoff_off = 0.2;
+  cfg.warmup_cycles = 12345;
+  cfg.seed = 987654321;
+  return cfg;
+}
+
+TEST(ConfigText, DescribeParseRoundTripsExactly) {
+  const SimConfig cfg = exotic_config();
+  const std::string text = cfg.describe();
+  const SimConfig back = SimConfig::parse(text);
+  // describe() is the canonical form: a true round-trip reproduces it
+  // byte for byte (which also proves every double survived exactly).
+  EXPECT_EQ(back.describe(), text);
+  EXPECT_EQ(back.load, cfg.load);
+  EXPECT_EQ(back.misroute_threshold, cfg.misroute_threshold);
+  EXPECT_EQ(back.flow, cfg.flow);
+  EXPECT_EQ(back.arrangement, cfg.arrangement);
+  EXPECT_EQ(back.topo, cfg.topo);
+  EXPECT_EQ(back.fault_spec, cfg.fault_spec);
+}
+
+TEST(ConfigText, DefaultConfigRoundTrips) {
+  const SimConfig cfg;
+  EXPECT_EQ(SimConfig::parse(cfg.describe()).describe(), cfg.describe());
+}
+
+TEST(ConfigText, ParseAcceptsSubsetCommentsAndBlanks) {
+  const SimConfig cfg = SimConfig::parse(
+      "# just two knobs, defaults for the rest\n"
+      "\n"
+      "routing = pb\n"
+      "load=0.25\n");
+  EXPECT_EQ(cfg.routing, "pb");
+  EXPECT_EQ(cfg.load, 0.25);
+  EXPECT_EQ(cfg.h, SimConfig{}.h);  // untouched default
+}
+
+TEST(ConfigText, UnknownKeyNamesTheKey) {
+  try {
+    SimConfig cfg;
+    cfg.set("no_such_knob", "1");
+    FAIL() << "set accepted an unknown key";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no_such_knob"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigText, BadValueNamesTheKey) {
+  SimConfig cfg;
+  EXPECT_THROW(cfg.set("load", "fast"), std::invalid_argument);
+  EXPECT_THROW(cfg.set("warmup_cycles", "12x"), std::invalid_argument);
+  EXPECT_THROW(cfg.set("flow", "quantum"), std::invalid_argument);
+}
+
+TEST(ConfigText, ParseNamesTheOffendingLine) {
+  try {
+    SimConfig::parse("routing = olm\nwat\n");
+    FAIL() << "parse accepted a line without =";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace dfsim

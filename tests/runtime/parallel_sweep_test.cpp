@@ -5,6 +5,11 @@
 // derivation) must be deterministic and complete.
 #include <gtest/gtest.h>
 
+// This suite deliberately exercises the deprecated pre-unification
+// forwarders (parallel_sweep & friends) to prove they still match the
+// run_experiments path bit-for-bit while downstream call sites migrate.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 #include <atomic>
 #include <cstddef>
 #include <set>

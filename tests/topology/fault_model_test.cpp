@@ -277,8 +277,8 @@ TEST(FaultModel, FaultedCensusAndCdgDropDeadChannels) {
 std::string sweep_csv(const SimConfig& base, int jobs) {
   SweepOptions opts;
   opts.jobs = jobs;
-  const auto points =
-      parallel_sweep(base, {"minimal", "olm"}, {0.2, 0.4}, opts);
+  const auto points = run_experiments(
+      sweep_grid(base, {"minimal", "olm"}, {0.2, 0.4}), opts);
   std::ostringstream os;
   print_sweep(os, points, Metric::kThroughput, "offered_load");
   return os.str();

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke: start a manifest run, SIGKILL it mid-flight,
+# resume it, and require the merged results.csv to be byte-identical to
+# an uninterrupted reference run. Exercises the whole checkpoint stack
+# end to end: periodic engine snapshots, the atomic point ledger, and
+# resume-on-restart.
+#
+#   tools/kill_resume_smoke.sh <path-to-df_run> [workdir] [kill-delay-s]
+#
+# Exits non-zero if the killed run cannot be resumed bit-identically.
+set -euo pipefail
+
+DF_RUN=${1:?usage: kill_resume_smoke.sh <path-to-df_run> [workdir] [kill-delay-s]}
+WORK=${2:-$(mktemp -d)}
+KILL_DELAY=${3:-1.5}
+
+mkdir -p "$WORK"
+MANIFEST="$WORK/smoke_manifest.txt"
+cat > "$MANIFEST" <<'EOF'
+# kill-and-resume smoke: two phased runs long enough to be killed
+# mid-flight at laptop scale, with a mid-run pattern switch so the
+# restored-switched-pattern path is exercised too.
+name = kill_resume_smoke
+h = 2
+warmup_cycles = 2000
+seed = 9
+
+grid.routing = olm, minimal
+phase = cycles=400000 windows=4
+phase = cycles=400000 windows=4 pattern=advg+1
+EOF
+
+REF_DIR="$WORK/ref.run"
+KILL_DIR="$WORK/kill.run"
+rm -rf "$REF_DIR" "$KILL_DIR"
+
+echo "== reference run (uninterrupted)"
+"$DF_RUN" "$MANIFEST" --run-dir="$REF_DIR" --jobs=1 --checkpoint-every=50000 \
+    > /dev/null 2>&1
+
+echo "== killed run (SIGKILL after ${KILL_DELAY}s)"
+for attempt in 1 2 3; do
+  rm -rf "$KILL_DIR"
+  "$DF_RUN" "$MANIFEST" --run-dir="$KILL_DIR" --jobs=1 \
+      --checkpoint-every=50000 > /dev/null 2>&1 &
+  pid=$!
+  sleep "$KILL_DELAY"
+  if kill -9 "$pid" 2>/dev/null; then
+    wait "$pid" 2>/dev/null || true
+    if [ ! -f "$KILL_DIR/results.csv" ]; then
+      break  # killed mid-flight, as intended
+    fi
+  fi
+  wait "$pid" 2>/dev/null || true
+  echo "   attempt $attempt finished before the kill landed; retrying"
+  KILL_DELAY=$(awk -v d="$KILL_DELAY" 'BEGIN { print d / 2 }')
+done
+
+if [ -f "$KILL_DIR/results.csv" ]; then
+  echo "FAIL: could not kill the run mid-flight (machine too fast?)" >&2
+  exit 1
+fi
+
+echo "   interrupted state:"
+ls "$KILL_DIR" | sed 's/^/     /'
+
+echo "== resuming the killed run"
+"$DF_RUN" "$MANIFEST" --run-dir="$KILL_DIR" --jobs=1 --checkpoint-every=50000
+
+echo "== comparing merged CSVs"
+if ! cmp "$REF_DIR/results.csv" "$KILL_DIR/results.csv"; then
+  echo "FAIL: resumed results.csv differs from the uninterrupted run" >&2
+  exit 1
+fi
+echo "PASS: kill-and-resume run is byte-identical to the reference"
