@@ -5,6 +5,8 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -34,23 +36,38 @@ inline void parse_args(int argc, char** argv) {
   }
 }
 
-/// RAII wall-clock reporter. Construct first thing in main(); on
-/// destruction it appends one record to the JSON array in
+/// RAII wall-clock + memory reporter. Construct first thing in main();
+/// on destruction it appends one record to the JSON array in
 /// BENCH_sweep.json (path overridable via DF_BENCH_JSON, empty disables):
-///   {"bench": "fig04_latency_vct", "wall_s": 12.34, "jobs": 8}
+///   {"bench": "fig04_latency_vct", "wall_s": 12.34, "jobs": 8,
+///    "peak_rss_mb": 210.5, "bytes_per_terminal": 13372}
+/// Runs under DF_ENGINE=sharded report as "<name>+sharded" — a separate
+/// perf-gate identity, so the two engines' trajectories never mask each
+/// other in the fastest-of-N-records reduction.
 class BenchReport {
  public:
   BenchReport(std::string name, int argc = 0, char** argv = nullptr)
       : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
     if (argv != nullptr) parse_args(argc, argv);
+    const char* engine = std::getenv("DF_ENGINE");
+    if (engine != nullptr && std::string(engine) == "sharded") {
+      name_ += "+sharded";
+    }
   }
+
+  /// Terminal count of the (largest) shape the bench ran; enables the
+  /// bytes_per_terminal field of the record.
+  void set_terminals(std::int64_t terminals) { terminals_ = terminals; }
 
   ~BenchReport() {
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start_)
             .count();
-    append_bench_record(name_, wall_s, runtime::default_jobs());
+    const double rss_mb =
+        static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+    append_bench_record(name_, wall_s, runtime::default_jobs(), "", rss_mb,
+                        terminals_);
   }
 
   BenchReport(const BenchReport&) = delete;
@@ -59,6 +76,7 @@ class BenchReport {
  private:
   std::string name_;
   std::chrono::steady_clock::time_point start_;
+  std::int64_t terminals_ = 0;
 };
 
 inline void banner(const std::string& what, const SimConfig& cfg) {

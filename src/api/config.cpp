@@ -168,15 +168,26 @@ void SimConfig::validate() const {
     os << "a = " << tp.a << " exceeds the engine's group-size limit of 127";
     fail(os.str());
   }
-  // The engine packs per-port state into 64-bit words (sim/engine.cpp);
-  // checking here turns an eventual bad_alloc or engine throw into a
+  // The engine packs the head-hop cache as port*16+vc in an int16
+  // (sim/engine.cpp); checking here turns an eventual engine throw into a
   // pointed message. a <= 127 already bounds the first term.
   const long long degree = static_cast<long long>(tp.a) - 1 + tp.h + tp.p;
-  if (degree > 63) {
+  if (degree > 2047) {
     std::ostringstream os;
     os << "router degree a - 1 + h + p = " << degree
-       << " exceeds the engine's 63-port limit";
+       << " exceeds the engine's 2047-port limit";
     fail(os.str());
+  }
+  if (engine != "exact" && engine != "sharded") {
+    std::ostringstream os;
+    os << "engine must be \"exact\" or \"sharded\", got \"" << engine
+       << "\"";
+    fail(os.str());
+  }
+  if (engine == "sharded" && flow == FlowControl::kWormhole) {
+    fail(
+        "the sharded engine supports VCT only: wormhole VC ownership "
+        "spans shard boundaries (use engine=exact for wormhole runs)");
   }
   if (!(load > 0.0) || load > 1.0) {
     std::ostringstream os;
@@ -284,6 +295,8 @@ EngineConfig SimConfig::engine_config(
   ec.local_latency = local_latency;
   ec.global_latency = global_latency;
   ec.watchdog_cycles = watchdog_cycles;
+  ec.sharded = engine == "sharded";
+  ec.shard_jobs = 0;  // resolved at runtime (DF_JOBS / --jobs), not config
   ec.seed = seed;
   return ec;
 }
@@ -383,6 +396,7 @@ std::string SimConfig::describe() const {
   os << "load=" << fmt_f64(load) << '\n';
   os << "onoff_on=" << fmt_f64(onoff_on) << '\n';
   os << "onoff_off=" << fmt_f64(onoff_off) << '\n';
+  os << "engine=" << engine << '\n';
   os << "warmup_cycles=" << warmup_cycles << '\n';
   os << "measure_cycles=" << measure_cycles << '\n';
   os << "burst_packets=" << burst_packets << '\n';
@@ -450,6 +464,7 @@ void SimConfig::set(const std::string& key, const std::string& value) {
   else if (key == "load") load = as_f64();
   else if (key == "onoff_on") onoff_on = as_f64();
   else if (key == "onoff_off") onoff_off = as_f64();
+  else if (key == "engine") engine = value;
   else if (key == "warmup_cycles") warmup_cycles = static_cast<Cycle>(as_u64());
   else if (key == "measure_cycles") {
     measure_cycles = static_cast<Cycle>(as_u64());
@@ -521,6 +536,8 @@ SimConfig bench_defaults() {
   // (fig04-11) override the pattern per panel; DF_TRAFFIC drives the
   // single-pattern binaries (quickstart, fig_transient base phase, ...).
   cfg.pattern = env_str("DF_TRAFFIC", cfg.pattern);
+  // Engine mode (README "Engine internals"): exact (default) or sharded.
+  cfg.engine = env_str("DF_ENGINE", cfg.engine);
   cfg.onoff_on = env_double("DF_ONOFF_ON", cfg.onoff_on);
   cfg.onoff_off = env_double("DF_ONOFF_OFF", cfg.onoff_off);
   // Degraded-network knobs (README "Faults"); all default to healthy.

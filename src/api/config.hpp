@@ -89,6 +89,15 @@ struct SimConfig {
   double onoff_on = 0.0;
   double onoff_off = 0.0;
 
+  // --- engine -------------------------------------------------------------
+  // "exact" (default): the serial stepper whose single-RNG ascending draw
+  // order is the historical bit-identity contract. "sharded": the
+  // group-sharded parallel stepper — deterministic for any worker count
+  // via counter-based RNG streams, but a different stream than exact.
+  // Worker count is NOT part of the config (DF_JOBS / --jobs at runtime),
+  // so describe() and checkpoints stay worker-independent.
+  std::string engine = "exact";
+
   // --- measurement ---------------------------------------------------------
   Cycle warmup_cycles = 5000;
   Cycle measure_cycles = 15000;

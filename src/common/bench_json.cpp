@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <cstdlib>
@@ -9,8 +10,16 @@
 
 namespace dfsim {
 
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru;
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
 void append_bench_record(const std::string& bench, double wall_s, int jobs,
-                         const std::string& path_in) {
+                         const std::string& path_in, double peak_rss_mb,
+                         std::int64_t terminals) {
   std::string path = path_in;
   if (path.empty()) {
     // Explicitly-empty DF_BENCH_JSON disables the report (env_str would
@@ -22,7 +31,16 @@ void append_bench_record(const std::string& bench, double wall_s, int jobs,
 
   std::ostringstream record;
   record << "  {\"bench\": \"" << bench << "\", \"wall_s\": " << wall_s
-         << ", \"jobs\": " << jobs << "}";
+         << ", \"jobs\": " << jobs;
+  if (peak_rss_mb > 0.0) {
+    record << ", \"peak_rss_mb\": " << peak_rss_mb;
+    if (terminals > 0) {
+      record << ", \"bytes_per_terminal\": "
+             << static_cast<std::int64_t>(peak_rss_mb * 1024.0 * 1024.0 /
+                                          static_cast<double>(terminals));
+    }
+  }
+  record << "}";
 
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd < 0) return;

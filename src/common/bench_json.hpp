@@ -1,12 +1,19 @@
 // Appending wall-clock records to BENCH_sweep.json — the perf-trajectory
 // ledger every figure bench and the manifest runner report into. One JSON
-// array of {"bench", "wall_s", "jobs"} records, grown read-modify-write
-// under an exclusive flock so concurrent writers never interleave.
+// array of {"bench", "wall_s", "jobs"} records (plus "peak_rss_mb" and
+// "bytes_per_terminal" memory telemetry when available), grown
+// read-modify-write under an exclusive flock so concurrent writers never
+// interleave.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace dfsim {
+
+/// Peak resident set size of this process so far, in bytes (Linux
+/// ru_maxrss; 0 if the platform query fails).
+std::uint64_t peak_rss_bytes();
 
 /// Append one record to the JSON array at `path`. An empty `path` reads
 /// the DF_BENCH_JSON env var (default "BENCH_sweep.json"); an explicitly
@@ -14,7 +21,12 @@ namespace dfsim {
 /// (foreign output, or a record truncated by a killed process) is
 /// replaced rather than appended to. I/O failures are swallowed — the
 /// ledger is best-effort telemetry, never worth failing a run over.
+///
+/// `peak_rss_mb` <= 0 omits the memory fields; `terminals` > 0 adds
+/// "bytes_per_terminal" (peak RSS over the largest shape the bench ran).
 void append_bench_record(const std::string& bench, double wall_s, int jobs,
-                         const std::string& path = "");
+                         const std::string& path = "",
+                         double peak_rss_mb = 0.0,
+                         std::int64_t terminals = 0);
 
 }  // namespace dfsim

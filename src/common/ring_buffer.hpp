@@ -76,6 +76,8 @@ class RingDeque {
  public:
   bool empty() const { return count_ == 0; }
   std::size_t size() const { return count_; }
+  /// Heap bytes held by this deque (memory-audit support).
+  std::size_t footprint_bytes() const { return buf_.capacity() * sizeof(T); }
 
   const T& front() const {
     assert(count_ > 0);
@@ -182,6 +184,12 @@ class SlabEventRing {
   }
 
   std::size_t slab_chunks() const { return chunks_.size(); }
+
+  /// Resident bytes of the slab and slot table (memory-audit support).
+  std::size_t footprint_bytes() const {
+    return chunks_.capacity() * sizeof(Chunk) +
+           slots_.capacity() * sizeof(Slot);
+  }
 
   /// Checkpoint support: visit the slot's events in FIFO order WITHOUT
   /// recycling them (unlike drain). The wheel is unchanged afterwards.

@@ -69,7 +69,13 @@ class Rng {
   bool bernoulli(double p) { return uniform_real() < p; }
 
   /// Derive an independent stream (e.g. one per terminal) from this one.
-  Rng split() { return Rng(next_u64()); }
+  /// The child key is routed through a splitmix64 finalizer step so that
+  /// near-equal parent draws (low-entropy counters, adjacent seeds) can't
+  /// hand the child ctor correlated state.
+  Rng split() {
+    std::uint64_t sm = next_u64();
+    return Rng(splitmix64(sm));
+  }
 
   // --- checkpoint support -----------------------------------------------
   // The four xoshiro words ARE the stream cursor: saving and restoring
@@ -88,5 +94,29 @@ class Rng {
   }
   std::uint64_t state_[4]{};
 };
+
+/// Mix one key word into a hash chain (golden-ratio increment through the
+/// splitmix64 finalizer — the same derivation `runtime::derive_seed`
+/// uses). Chaining mix64 over several words builds a well-separated key
+/// from structured inputs like (seed, cycle, entity).
+inline std::uint64_t mix64(std::uint64_t state, std::uint64_t word) {
+  std::uint64_t s = state + 0x9e3779b97f4a7c15ULL * (word + 1);
+  return splitmix64(s);
+}
+
+/// Counter-based stream construction: a fresh Rng keyed purely by
+/// (seed, cycle, domain, entity). Any party that knows the key gets the
+/// identical stream — no shared cursor, so draw results are independent
+/// of which worker evaluates which entity. This is the sharded engine's
+/// determinism contract (see engine_sharded.cpp): `domain` separates
+/// draw sites (allocation vs injection), `entity` is the VC index or
+/// terminal id.
+inline Rng keyed_stream(std::uint64_t seed, std::uint64_t cycle,
+                        std::uint64_t domain, std::uint64_t entity) {
+  std::uint64_t k = mix64(seed, cycle);
+  k = mix64(k, domain);
+  k = mix64(k, entity);
+  return Rng(k);
+}
 
 }  // namespace dfsim

@@ -83,27 +83,30 @@ std::optional<RouteChoice> AdaptiveBase::decide(RoutingContext& ctx) {
     return std::nullopt;
   }
 
-  candidates_.clear();
-  collect_global_candidates(ctx);
-  collect_local_candidates(ctx);
-  if (candidates_.empty()) return std::nullopt;
+  static thread_local std::vector<RouteChoice> candidates;
+  static thread_local std::vector<RouteChoice> eligible;
+  candidates.clear();
+  collect_global_candidates(ctx, candidates);
+  collect_local_candidates(ctx, candidates);
+  if (candidates.empty()) return std::nullopt;
 
   const double min_occ =
       eng.output_occupancy(ctx.router, min.port, min.vc);
-  eligible_.clear();
-  for (const RouteChoice& c : candidates_) {
+  eligible.clear();
+  for (const RouteChoice& c : candidates) {
     if (!eng.output_usable(ctx.router, c.port, c.vc, flit)) continue;
     if (!trigger_.allows(eng.output_occupancy(ctx.router, c.port, c.vc),
                          min_occ)) {
       continue;
     }
-    eligible_.push_back(c);
+    eligible.push_back(c);
   }
-  if (eligible_.empty()) return std::nullopt;
-  return eligible_[eng.rng().uniform(eligible_.size())];
+  if (eligible.empty()) return std::nullopt;
+  return eligible[ctx.rng.uniform(eligible.size())];
 }
 
-void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
+void AdaptiveBase::collect_global_candidates(RoutingContext& ctx,
+                                             std::vector<RouteChoice>& out) {
   const RouteState& rs = ctx.packet.rs;
   // Global misrouting happens in the source group only, before any global
   // hop, at the source router or right after the first minimal local hop.
@@ -134,7 +137,7 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
       if (c.inter_group == rs.dst_group) continue;
       c.port = port;
       c.vc = global_vc;
-      candidates_.push_back(c);
+      out.push_back(c);
     }
     return;
   }
@@ -147,7 +150,7 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
   // the mechanism's escape ladder — direct_commit_allowed() drops those
   // candidates (the sampled draws below are consumed either way, so the
   // RNG sequence only diverges where an unsafe candidate existed).
-  Rng& rng = ctx.engine.rng();
+  Rng& rng = ctx.rng;
   const bool direct_ok = direct_commit_allowed(ctx);
   const VcId global_vc =
       direct_ok ? minimal_global_vc(ctx) : 0;  // invariant across samples
@@ -181,11 +184,12 @@ void AdaptiveBase::collect_global_candidates(RoutingContext& ctx) {
                                    topo_.local_index(gw));
       c.vc = commit_vc;
     }
-    candidates_.push_back(c);
+    out.push_back(c);
   }
 }
 
-void AdaptiveBase::collect_local_candidates(RoutingContext& ctx) {
+void AdaptiveBase::collect_local_candidates(RoutingContext& ctx,
+                                            std::vector<RouteChoice>& out) {
   const RouteState& rs = ctx.packet.rs;
   if (ctx.router == rs.dst_router) return;
 
@@ -211,7 +215,7 @@ void AdaptiveBase::collect_local_candidates(RoutingContext& ctx) {
   const int group_size = topo_.routers_per_group();
   if (group_size < 3) return;
 
-  Rng& rng = ctx.engine.rng();
+  Rng& rng = ctx.rng;
   const int my_local = topo_.local_index(ctx.router);
   const int target_local = topo_.local_index(target);
   for (int s = 0; s < params_.local_candidates; ++s) {
@@ -226,15 +230,16 @@ void AdaptiveBase::collect_local_candidates(RoutingContext& ctx) {
       continue;
     }
 
-    vc_scratch_.clear();
+    static thread_local std::vector<VcId> vc_scratch;
+    vc_scratch.clear();
     local_misroute_vcs(ctx, topo_.router_id(g, k),
-                       topo_.router_id(g, target_local), vc_scratch_);
-    for (const VcId vc : vc_scratch_) {
+                       topo_.router_id(g, target_local), vc_scratch);
+    for (const VcId vc : vc_scratch) {
       RouteChoice c;
       c.local_misroute = true;
       c.port = topo_.local_port_to(my_local, k);
       c.vc = vc;
-      candidates_.push_back(c);
+      out.push_back(c);
     }
   }
 }

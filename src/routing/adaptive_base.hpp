@@ -74,12 +74,13 @@ class AdaptiveBase : public RoutingAlgorithm {
   MisroutingTrigger trigger_;
 
  private:
-  void collect_global_candidates(RoutingContext& ctx);
-  void collect_local_candidates(RoutingContext& ctx);
-
-  std::vector<RouteChoice> candidates_;
-  std::vector<RouteChoice> eligible_;
-  std::vector<VcId> vc_scratch_;
+  // Candidate collection appends into caller-provided scratch; decide()
+  // keeps the scratch in thread_local storage so concurrent decisions
+  // from the sharded engine's workers never share a buffer.
+  void collect_global_candidates(RoutingContext& ctx,
+                                 std::vector<RouteChoice>& out);
+  void collect_local_candidates(RoutingContext& ctx,
+                                std::vector<RouteChoice>& out);
 };
 
 }  // namespace dfsim

@@ -71,7 +71,7 @@ std::optional<RouteChoice> PiggybackRouting::decide(RoutingContext& ctx) {
     if (min_occ > params_.saturation_threshold &&
         valiant_groups_available(topo_, g, rs.dst_group)) {
       const GroupId x =
-          draw_valiant_group(eng.rng(), topo_, g, rs.dst_group);
+          draw_valiant_group(ctx.rng, topo_, g, rs.dst_group);
       if (!saturated(g, topo_.global_link_to(g, x))) {
         RouteChoice c;
         c.commit_valiant = true;

@@ -80,23 +80,23 @@ inline MinPortCache minimal_port(const DragonflyTopology& topo, RouterId r,
   MinPortCache mc;
   mc.router = r;
   if (r == rs.dst_router) {
-    mc.port = topo.terminal_port(pkt.dst);
+    mc.port = static_cast<std::int16_t>(topo.terminal_port(pkt.dst));
     mc.cls = static_cast<std::int8_t>(PortClass::kTerminal);
   } else {
     const GroupId g = topo.group_of_router(r);
     const GroupId tg = steering_group(rs, g);
     if (g == tg) {
-      mc.port = topo.local_port_to(topo.local_index(r),
-                                   topo.local_index(rs.dst_router));
+      mc.port = static_cast<std::int16_t>(topo.local_port_to(
+          topo.local_index(r), topo.local_index(rs.dst_router)));
       mc.cls = static_cast<std::int8_t>(PortClass::kLocal);
     } else {
       const RouterId gw = topo.gateway_router(g, tg);
       if (r == gw) {
-        mc.port = topo.gateway_port(g, tg);
+        mc.port = static_cast<std::int16_t>(topo.gateway_port(g, tg));
         mc.cls = static_cast<std::int8_t>(PortClass::kGlobal);
       } else {
-        mc.port = topo.local_port_to(topo.local_index(r),
-                                     topo.local_index(gw));
+        mc.port = static_cast<std::int16_t>(topo.local_port_to(
+            topo.local_index(r), topo.local_index(gw)));
         mc.cls = static_cast<std::int8_t>(PortClass::kLocal);
       }
     }

@@ -45,6 +45,11 @@ struct RoutingContext {
   /// The head flit under decision (the front of (in_port, in_vc)); saves
   /// mechanisms the buffer lookup on the hottest path in the simulator.
   const Flit& flit;
+  /// The stream every decide() draw must come from. Exact mode passes the
+  /// engine's global stream (draw order = ascending VC index, the seed
+  /// contract); sharded mode passes a counter-based stream keyed by
+  /// (seed, cycle, vc index) so results are worker-count independent.
+  Rng& rng;
 };
 
 class RoutingAlgorithm {

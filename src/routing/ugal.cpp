@@ -21,7 +21,7 @@ std::optional<RouteChoice> UgalRouting::decide(RoutingContext& ctx) {
     const double q_min =
         static_cast<double>(eng.port_queue_phits(ctx.router, min.port));
 
-    const GroupId x = draw_valiant_group(eng.rng(), topo_, g, rs.dst_group);
+    const GroupId x = draw_valiant_group(ctx.rng, topo_, g, rs.dst_group);
 
     RouteChoice val;
     val.commit_valiant = true;

@@ -18,7 +18,7 @@ std::optional<RouteChoice> ValiantRouting::decide(RoutingContext& ctx) {
       valiant_groups_available(topo_, topo_.group_of_router(ctx.router),
                                rs.dst_group)) {
     const GroupId g = topo_.group_of_router(ctx.router);
-    const GroupId x = draw_valiant_group(eng.rng(), topo_, g, rs.dst_group);
+    const GroupId x = draw_valiant_group(ctx.rng, topo_, g, rs.dst_group);
 
     RouteChoice c;
     c.commit_valiant = true;

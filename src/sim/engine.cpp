@@ -3,7 +3,11 @@
 #include <bit>
 #include <cassert>
 #include <stdexcept>
+#include <type_traits>
 
+// Complete ThreadPool type: the constructor's exception cleanup destroys
+// the shard_pool_ member.
+#include "runtime/thread_pool.hpp"
 #include "traffic/pattern.hpp"
 
 namespace dfsim {
@@ -47,6 +51,11 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
     throw std::invalid_argument(routing_.name() +
                                 " requires VCT flow control (paper Sec. III)");
   }
+  if (cfg_.sharded && cfg_.flow == FlowControl::kWormhole) {
+    throw std::invalid_argument(
+        "the sharded engine supports VCT only: wormhole VC ownership "
+        "spans shard boundaries (use engine=exact for wormhole runs)");
+  }
   if (cfg_.local_vcs < routing_.min_local_vcs() ||
       cfg_.global_vcs < routing_.min_global_vcs()) {
     throw std::invalid_argument(routing_.name() + " needs at least " +
@@ -74,9 +83,12 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
   first_terminal_port_ = topo_.first_terminal_port();
   terminals_per_router_ = topo_.terminals_per_router();
 
-  if (ports_ > 63) {
+  // The head-hop cache packs port*16+vc into an int16: 2047*16+15 is
+  // exactly INT16_MAX. (The old one-word occupied-port bitmask capped
+  // degree at 63, which an h=8+ shape blows straight through.)
+  if (ports_ > 2047) {
     throw std::invalid_argument(
-        "router degree above 63 ports unsupported (a - 1 + h + p <= 63)");
+        "router degree above 2047 ports unsupported (16-bit hop encoding)");
   }
   if (vc_stride_ > 16) {
     throw std::invalid_argument(
@@ -124,6 +136,13 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
   const auto num_routers = static_cast<std::size_t>(topo_.num_routers());
   const auto num_ports = num_routers * static_cast<std::size_t>(ports_);
   const auto num_vcs = num_ports * static_cast<std::size_t>(vc_stride_);
+  // The waiter lists store VC indices in 32-bit slots; a shape whose VC
+  // count overflows them would corrupt retry suppression silently.
+  if (num_vcs >= static_cast<std::size_t>(INT32_MAX)) {
+    throw std::invalid_argument(
+        "topology too large: total VC count overflows 32-bit VC indices");
+  }
+  occ_words_ = (ports_ + 63) / 64;
 
   in_vcs_.resize(num_vcs);
   out_vcs_.resize(num_vcs);
@@ -134,7 +153,8 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
   out_busy_until_.assign(num_ports, 0);
   in_scan_.assign(num_ports, 0);
   out_rr_.assign(num_ports, 0);
-  occupied_ports_.assign(num_routers, 0);
+  occupied_ports_.assign(num_routers * static_cast<std::size_t>(occ_words_),
+                         0);
   nonempty_vcs_.assign(num_routers, 0);
   active_routers_.assign((num_routers + 63) / 64, 0);
 
@@ -190,12 +210,12 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
       }
     }
   }
-  for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
-    TerminalState& ts = terminals_[static_cast<size_t>(t)];
-    ts.router = topo_.router_of_terminal(t);
-    ts.port = topo_.terminal_port(t);
-    if (injection_.mode == InjectionProcess::Mode::kBurst &&
-        !(has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)])) {
+  if (injection_.mode == InjectionProcess::Mode::kBurst) {
+    for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
+      if (has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)]) {
+        continue;
+      }
+      TerminalState& ts = terminals_[static_cast<size_t>(t)];
       ts.burst_remaining = injection_.burst_packets;
       if (ts.burst_remaining > 0) mark_terminal_pending(t);
     }
@@ -223,9 +243,16 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
   credit_ring_.reset(ring_size_);
   delivery_ring_.reset(ring_size_);
 
-  pool_.reserve(static_cast<std::size_t>(topo_.num_terminals()) * 4);
+  // Pre-size for steady-state churn, but cap the reservation: at h=8+
+  // shapes 4 packets/terminal would pre-commit hundreds of MB before a
+  // single packet exists. Beyond the cap the pool grows on demand.
+  pool_.reserve(std::min<std::size_t>(
+      static_cast<std::size_t>(topo_.num_terminals()) * 4, std::size_t{1}
+                                                               << 20));
 
-  out_first_nom_.assign(static_cast<size_t>(ports_), -1);
+  scratch_.out_first_nom.assign(static_cast<size_t>(ports_), -1);
+
+  if (cfg_.sharded) init_shards();
 }
 
 void Engine::schedule_flit(Cycle at, FlitEvent ev) {
@@ -262,9 +289,7 @@ void Engine::process_arrivals() {
       ivc.head_since = now_;
       head_hop_[vidx] = kHeadUnknown;  // this flit becomes the head
       std::uint32_t& scan = in_scan_[port_index(ev.router, ev.port)];
-      if ((scan >> 16) == 0) {
-        occupied_ports_[static_cast<size_t>(ev.router)] |= 1ULL << ev.port;
-      }
+      if ((scan >> 16) == 0) set_occupied(ev.router, ev.port);
       scan |= 1u << (16 + ev.vc);
       mark_router_active(ev.router);
     }
@@ -303,7 +328,9 @@ void Engine::allocate_active_routers() {
       const int b = std::countr_zero(bits);
       bits &= bits - 1;
       const auto r = static_cast<RouterId>(w * 64 + static_cast<size_t>(b));
-      if (nonempty_vcs_[static_cast<size_t>(r)] > 0) allocate_router(r);
+      if (nonempty_vcs_[static_cast<size_t>(r)] > 0) {
+        allocate_router(r, scratch_, nullptr);
+      }
       if (nonempty_vcs_[static_cast<size_t>(r)] == 0) {
         keep &= ~(1ULL << b);  // drained: drop from the worklist
       }
@@ -312,123 +339,148 @@ void Engine::allocate_active_routers() {
   }
 }
 
-void Engine::allocate_router(RouterId r) {
+void Engine::allocate_router(RouterId r, AllocScratch& scratch,
+                             Shard* shard) {
   const std::size_t rbase = port_index(r, 0);
 
-  noms_.clear();
-  touched_outs_.clear();
+  scratch.noms.clear();
+  scratch.touched_outs.clear();
 
-  std::uint64_t pending = occupied_ports_[static_cast<size_t>(r)];
-  while (pending != 0) {
-    const PortId p = static_cast<PortId>(std::countr_zero(pending));
-    pending &= pending - 1;
-    const int nvc = vc_count(p);
-    const std::uint32_t scan = in_scan_[rbase + static_cast<size_t>(p)];
-    const std::uint32_t mask = scan >> 16;
-    // RR pointers are stored pre-reduced (always < the port's VC count /
-    // port count), so the wraparound is a compare instead of a division.
-    const int start = static_cast<int>(scan & 0xffffu);
-    for (int k = 0; k < nvc; ++k) {
-      int vi = start + k;
-      if (vi >= nvc) vi -= nvc;
-      if (((mask >> vi) & 1u) == 0) continue;  // empty VC: skip the load
-      const VcId v = static_cast<VcId>(vi);
-      const std::size_t vidx = vc_index(r, p, v);
-      if (vc_sleep_until_[vidx] > now_) continue;  // provably still blocked
-      InputVc& ivc = in_vcs_[vidx];
-      if (now_ - ivc.head_since > cfg_.watchdog_cycles) deadlock_ = true;
-
-      Nomination nom{p, v, kInvalid, 0, false, {}};
-      std::int16_t hh = head_hop_[vidx];
-      if (hh >= 0) {
-        // Cached pure-minimal verdict for this head: decide() would return
-        // exactly this hop iff usable. Neither the packet pool nor the
-        // flit arena needs to be touched to retry it.
-        const PortId op = hh >> 4;
-        const VcId ov = hh & 0xf;
-        if (!head_usable(r, op, ov)) {
-          suppress_retry(vidx, ivc, r, op, ov);
-          continue;
-        }
-        nom.out_port = op;
-        nom.out_vc = ov;
-        nom.fresh = true;
-        nom.choice = RouteChoice{op, ov};
-      } else if (ivc.bound_out_port != kInvalid) {
-        // Wormhole continuation: body flits follow the head's decision.
-        const Flit& flit = ivc.fifo.front();
-        if (!output_usable(r, ivc.bound_out_port, ivc.bound_out_vc, flit)) {
-          suppress_retry(vidx, ivc, r, ivc.bound_out_port,
-                         ivc.bound_out_vc);
-          continue;
-        }
-        nom.out_port = ivc.bound_out_port;
-        nom.out_vc = ivc.bound_out_vc;
-      } else {
-        const Flit& flit = ivc.fifo.front();
-        assert(flit.head);
-        Packet& pkt = pool_[flit.packet];
-        RoutingContext ctx{*this, r, p, v, pkt, flit};
-        if (hh == kHeadUnknown) {
-          // First decision for this (head, router): ask the mechanism
-          // whether its decision here is provably pure-minimal and
-          // RNG-free, and cache the verdict for the retry cycles.
-          const auto hop = routing_.pure_minimal_hop(ctx);
-          if (hop) {
-            hh = static_cast<std::int16_t>((hop->port << 4) | hop->vc);
-            head_hop_[vidx] = hh;
-            if (!output_usable(r, hop->port, hop->vc, flit)) {
-              suppress_retry(vidx, ivc, r, hop->port, hop->vc);
-              continue;
-            }
-            nom.out_port = hop->port;
-            nom.out_vc = hop->vc;
-            nom.fresh = true;
-            nom.choice = RouteChoice{hop->port, hop->vc};
-            goto nominated;
+  for (int ow = 0; ow < occ_words_; ++ow) {
+    std::uint64_t pending =
+        occupied_ports_[static_cast<std::size_t>(r) *
+                            static_cast<std::size_t>(occ_words_) +
+                        static_cast<std::size_t>(ow)];
+    while (pending != 0) {
+      const PortId p =
+          static_cast<PortId>(ow * 64 + std::countr_zero(pending));
+      pending &= pending - 1;
+      const int nvc = vc_count(p);
+      const std::uint32_t scan = in_scan_[rbase + static_cast<size_t>(p)];
+      const std::uint32_t mask = scan >> 16;
+      // RR pointers are stored pre-reduced (always < the port's VC count /
+      // port count), so the wraparound is a compare instead of a division.
+      const int start = static_cast<int>(scan & 0xffffu);
+      for (int k = 0; k < nvc; ++k) {
+        int vi = start + k;
+        if (vi >= nvc) vi -= nvc;
+        if (((mask >> vi) & 1u) == 0) continue;  // empty VC: skip the load
+        const VcId v = static_cast<VcId>(vi);
+        const std::size_t vidx = vc_index(r, p, v);
+        if (vc_sleep_until_[vidx] > now_) continue;  // provably blocked
+        InputVc& ivc = in_vcs_[vidx];
+        if (now_ - ivc.head_since > cfg_.watchdog_cycles) {
+          if (shard != nullptr) {
+            shard->deadlock = true;
+          } else {
+            deadlock_ = true;
           }
-          head_hop_[vidx] = kHeadImpure;
         }
-        {
-          const auto choice = routing_.decide(ctx);
-          if (!choice) continue;
-          assert(output_usable(r, choice->port, choice->vc, flit));
-          nom.out_port = choice->port;
-          nom.out_vc = choice->vc;
-          nom.fresh = true;
-          nom.choice = *choice;
-        }
-      }
-    nominated:
 
-      // Output arbitration: keep the requester closest to the RR pointer.
-      const auto op = static_cast<size_t>(nom.out_port);
-      const std::int16_t cur = out_first_nom_[op];
-      if (cur < 0) {
-        out_first_nom_[op] = static_cast<std::int16_t>(noms_.size());
-        noms_.push_back(nom);
-        touched_outs_.push_back(nom.out_port);
-      } else {
-        const int base = out_rr_[rbase + op];
-        int d_new = nom.in_port - base;
-        if (d_new < 0) d_new += ports_;
-        int d_cur = noms_[static_cast<size_t>(cur)].in_port - base;
-        if (d_cur < 0) d_cur += ports_;
-        if (d_new < d_cur) {
-          noms_[static_cast<size_t>(cur)] = nom;
+        Nomination nom{p, v, kInvalid, 0, false, {}};
+        std::int16_t hh = head_hop_[vidx];
+        if (hh >= 0) {
+          // Cached pure-minimal verdict for this head: decide() would
+          // return exactly this hop iff usable. Neither the packet pool
+          // nor the flit arena needs to be touched to retry it.
+          const PortId op = hh >> 4;
+          const VcId ov = hh & 0xf;
+          if (!head_usable(r, op, ov)) {
+            suppress_retry(vidx, ivc, r, op, ov);
+            continue;
+          }
+          nom.out_port = op;
+          nom.out_vc = ov;
+          nom.fresh = true;
+          nom.choice = RouteChoice{op, ov};
+        } else if (ivc.bound_out_port != kInvalid) {
+          // Wormhole continuation: body flits follow the head's decision.
+          const Flit& flit = ivc.fifo.front();
+          if (!output_usable(r, ivc.bound_out_port, ivc.bound_out_vc,
+                             flit)) {
+            suppress_retry(vidx, ivc, r, ivc.bound_out_port,
+                           ivc.bound_out_vc);
+            continue;
+          }
+          nom.out_port = ivc.bound_out_port;
+          nom.out_vc = ivc.bound_out_vc;
+        } else {
+          const Flit& flit = ivc.fifo.front();
+          assert(flit.head);
+          Packet& pkt = pool_[flit.packet];
+          // Sharded mode draws from a counter-based stream keyed by
+          // (seed, cycle, VC index): any worker evaluating this decision
+          // constructs the identical stream. Exact mode keeps the single
+          // shared cursor, whose ascending draw order is the contract.
+          if (shard != nullptr) {
+            scratch.rng = keyed_stream(cfg_.seed, now_, kStreamRoute,
+                                       static_cast<std::uint64_t>(vidx));
+          }
+          RoutingContext ctx{*this,      r,    p, v, pkt, flit,
+                             shard != nullptr ? scratch.rng : rng_};
+          if (hh == kHeadUnknown) {
+            // First decision for this (head, router): ask the mechanism
+            // whether its decision here is provably pure-minimal and
+            // RNG-free, and cache the verdict for the retry cycles.
+            const auto hop = routing_.pure_minimal_hop(ctx);
+            if (hop) {
+              hh = static_cast<std::int16_t>((hop->port << 4) | hop->vc);
+              head_hop_[vidx] = hh;
+              if (!output_usable(r, hop->port, hop->vc, flit)) {
+                suppress_retry(vidx, ivc, r, hop->port, hop->vc);
+                continue;
+              }
+              nom.out_port = hop->port;
+              nom.out_vc = hop->vc;
+              nom.fresh = true;
+              nom.choice = RouteChoice{hop->port, hop->vc};
+              goto nominated;
+            }
+            head_hop_[vidx] = kHeadImpure;
+          }
+          {
+            const auto choice = routing_.decide(ctx);
+            if (!choice) continue;
+            assert(output_usable(r, choice->port, choice->vc, flit));
+            nom.out_port = choice->port;
+            nom.out_vc = choice->vc;
+            nom.fresh = true;
+            nom.choice = *choice;
+          }
         }
+      nominated:
+
+        // Output arbitration: keep the requester closest to the RR
+        // pointer.
+        const auto op = static_cast<size_t>(nom.out_port);
+        const std::int16_t cur = scratch.out_first_nom[op];
+        if (cur < 0) {
+          scratch.out_first_nom[op] =
+              static_cast<std::int16_t>(scratch.noms.size());
+          scratch.noms.push_back(nom);
+          scratch.touched_outs.push_back(nom.out_port);
+        } else {
+          const int base = out_rr_[rbase + op];
+          int d_new = nom.in_port - base;
+          if (d_new < 0) d_new += ports_;
+          int d_cur = scratch.noms[static_cast<size_t>(cur)].in_port - base;
+          if (d_cur < 0) d_cur += ports_;
+          if (d_new < d_cur) {
+            scratch.noms[static_cast<size_t>(cur)] = nom;
+          }
+        }
+        break;  // this input port nominated; move to the next port
       }
-      break;  // this input port nominated; move to the next port
     }
   }
 
-  for (const PortId op : touched_outs_) {
-    const std::int16_t idx = out_first_nom_[static_cast<size_t>(op)];
+  for (const PortId op : scratch.touched_outs) {
+    const std::int16_t idx = scratch.out_first_nom[static_cast<size_t>(op)];
     assert(idx >= 0);
-    out_first_nom_[static_cast<size_t>(op)] = -1;
-    const Nomination& nom = noms_[static_cast<size_t>(idx)];
+    scratch.out_first_nom[static_cast<size_t>(op)] = -1;
+    const Nomination& nom = scratch.noms[static_cast<size_t>(idx)];
     send_flit(r, nom.in_port, nom.in_vc, nom.out_port, nom.out_vc,
-              nom.fresh ? &nom.choice : nullptr);
+              nom.fresh ? &nom.choice : nullptr, shard);
     const int next_in = nom.in_port + 1;
     out_rr_[rbase + static_cast<size_t>(op)] =
         static_cast<std::uint16_t>(next_in == ports_ ? 0 : next_in);
@@ -476,7 +528,7 @@ void Engine::apply_route_state(Packet& pkt, RouterId r,
 
 void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
                        PortId out_port, VcId out_vc_id,
-                       const RouteChoice* fresh_choice) {
+                       const RouteChoice* fresh_choice, Shard* shard) {
   const std::size_t in_vidx = vc_index(r, in_port, in_vc_id);
   InputVc& ivc = in_vcs_[in_vidx];
   const Flit flit = ivc.fifo.front();
@@ -487,27 +539,40 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
     --nonempty_vcs_[static_cast<size_t>(r)];
     std::uint32_t& scan = in_scan_[port_index(r, in_port)];
     scan &= ~(1u << (16 + in_vc_id));
-    if ((scan >> 16) == 0) {
-      occupied_ports_[static_cast<size_t>(r)] &= ~(1ULL << in_port);
-    }
+    if ((scan >> 16) == 0) clear_occupied(r, in_port);
   } else {
     ivc.head_since = now_;
   }
 
   // Return the freed space upstream. Injection-buffer space is visible to
-  // the co-located source immediately (no wire to cross).
+  // the co-located source immediately (no wire to cross). In sharded mode
+  // the upstream router may live in another shard, so credits are staged
+  // and scheduled at the serial flush.
   const PortClass in_cls = pclass(in_port);
   if (in_cls != PortClass::kTerminal) {
     const auto up = endpoints_[port_index(r, in_port)];
-    schedule_credit(now_ + link_latency(in_cls),
-                    {up.router, up.port, in_vc_id, flit.size_phits});
+    const CreditEvent cev{up.router, up.port, in_vc_id, flit.size_phits};
+    const Cycle at = now_ + link_latency(in_cls);
+    if (shard != nullptr) {
+      shard->staged_credits.push_back({at, cev});
+    } else {
+      schedule_credit(at, cev);
+    }
   }
 
   if (fresh_choice != nullptr) {
     Packet& pkt = pool_[flit.packet];
     apply_route_state(pkt, r, *fresh_choice);
     routing_.on_hop(*this, pkt, *fresh_choice, r);
-    if (on_hop_) on_hop_(pkt, *fresh_choice, r);
+    if (on_hop_) {
+      // External hop hooks may touch arbitrary user state; replay them in
+      // deterministic ascending-shard order at the flush.
+      if (shard != nullptr) {
+        shard->hops.push_back({flit.packet, *fresh_choice, r});
+      } else {
+        on_hop_(pkt, *fresh_choice, r);
+      }
+    }
   }
 
   // No flit may ever depart on a dead (or unwired) port: the routing
@@ -518,7 +583,8 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
   const PortClass out_cls = pclass(out_port);
   out_busy_until_[port_index(r, out_port)] =
       now_ + static_cast<Cycle>(flit.size_phits);
-  phits_sent_[static_cast<int>(out_cls)] +=
+  (shard != nullptr ? shard->phits_sent
+                    : phits_sent_)[static_cast<int>(out_cls)] +=
       static_cast<std::uint64_t>(flit.size_phits);
 
   // Input-VC binding for multi-flit packets (wormhole).
@@ -533,10 +599,18 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
 
   if (out_cls == PortClass::kTerminal) {
     if (flit.tail) {
-      schedule_delivery(now_ + static_cast<Cycle>(flit.size_phits),
-                        flit.packet);
+      const Cycle at = now_ + static_cast<Cycle>(flit.size_phits);
+      if (shard != nullptr) {
+        shard->staged_deliveries.push_back({at, flit.packet});
+      } else {
+        schedule_delivery(at, flit.packet);
+      }
     }
-    last_progress_ = now_;
+    if (shard != nullptr) {
+      shard->progressed = true;
+    } else {
+      last_progress_ = now_;
+    }
     return;
   }
 
@@ -553,10 +627,16 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
   }
 
   const auto down = endpoints_[port_index(r, out_port)];
-  schedule_flit(
-      now_ + static_cast<Cycle>(flit.size_phits + link_latency(out_cls)),
-      {down.router, down.port, out_vc_id, flit});
-  last_progress_ = now_;
+  const Cycle at =
+      now_ + static_cast<Cycle>(flit.size_phits + link_latency(out_cls));
+  const FlitEvent fev{down.router, down.port, out_vc_id, flit};
+  if (shard != nullptr) {
+    shard->staged_flits.push_back({at, fev});
+    shard->progressed = true;
+  } else {
+    schedule_flit(at, fev);
+    last_progress_ = now_;
+  }
 }
 
 // Terminals draw generation randomness in strict ascending order — that
@@ -642,7 +722,11 @@ void Engine::try_inject(NodeId t) {
   }
   if (ts.link_busy_until > now_) return;
 
-  const InputVc& ivc = in_vcs_[vc_index(ts.router, ts.port, 0)];
+  // The source's router and port are pure arithmetic on the terminal id;
+  // recomputing them here beats an 8-byte-per-terminal cache at scale.
+  const RouterId r = topo_.router_of_terminal(t);
+  const PortId port = topo_.terminal_port(t);
+  const InputVc& ivc = in_vcs_[vc_index(r, port, 0)];
   if (ivc.occupancy_phits + ts.inflight_phits + cfg_.packet_phits >
       injection_buf_phits_) {
     return;
@@ -664,9 +748,9 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
   }
 
   NodeId dst;
-  if (!ts.forced_dst.empty()) {
-    dst = ts.forced_dst.front();
-    ts.forced_dst.pop_front();
+  if (has_forced_dst_ && !forced_dst_[static_cast<size_t>(t)].empty()) {
+    dst = forced_dst_[static_cast<size_t>(t)].front();
+    forced_dst_[static_cast<size_t>(t)].pop_front();
   } else {
     dst = pattern_->dest(t, rng_);
   }
@@ -693,6 +777,8 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
   pkt.rs.dst_group = topo_.group_of_terminal(dst);
   pkt.rs.src_group = topo_.group_of_terminal(t);
 
+  const RouterId r = topo_.router_of_terminal(t);
+  const PortId port = topo_.terminal_port(t);
   for (int k = 0; k < flits_per_packet_; ++k) {
     Flit flit;
     flit.packet = id;
@@ -701,7 +787,7 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
     flit.head = (k == 0);
     flit.tail = (k == flits_per_packet_ - 1);
     schedule_flit(now_ + static_cast<Cycle>((k + 1) * flit_phits_),
-                  {ts.router, ts.port, 0, flit});
+                  {r, port, 0, flit});
   }
   ts.inflight_phits += cfg_.packet_phits;
   ts.link_busy_until = now_ + static_cast<Cycle>(cfg_.packet_phits);
@@ -711,12 +797,17 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
 void Engine::inject_for_test(NodeId src, NodeId dst, Cycle created) {
   TerminalState& ts = terminals_[static_cast<size_t>(src)];
   ts.pending_created.push_back(created);
-  ts.forced_dst.push_back(dst);
+  if (!has_forced_dst_) {
+    forced_dst_.resize(static_cast<size_t>(topo_.num_terminals()));
+    has_forced_dst_ = true;
+  }
+  forced_dst_[static_cast<size_t>(src)].push_back(dst);
   mark_terminal_pending(src);
 }
 
 bool Engine::step() {
   if (deadlock_) return false;
+  if (sharded_) return step_sharded();
   process_arrivals();
   routing_.per_cycle(*this);
   allocate_active_routers();
@@ -731,6 +822,32 @@ bool Engine::step() {
 void Engine::run_until(Cycle end) {
   while (now_ < end && step()) {
   }
+}
+
+std::size_t Engine::footprint_bytes() const {
+  const auto vec = [](const auto& v) {
+    return v.capacity() *
+           sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  std::size_t total = sizeof(Engine);
+  total += vec(port_class_) + vec(vc_count_);
+  total += vec(in_vcs_) + vec(out_vcs_) + vec(flit_arena_);
+  total += vec(vc_sleep_until_) + vec(head_hop_);
+  total += vec(ovc_waiter_head_) + vec(vc_waiter_next_);
+  total += vec(endpoints_) + vec(out_busy_until_) + vec(in_scan_) +
+           vec(out_rr_);
+  total += vec(occupied_ports_) + vec(nonempty_vcs_);
+  total += vec(active_routers_) + vec(pending_terminals_);
+  total += vec(terminals_) + vec(onoff_state_) + vec(terminal_dead_);
+  for (const TerminalState& ts : terminals_) {
+    total += ts.pending_created.footprint_bytes();
+  }
+  total += vec(forced_dst_);
+  for (const auto& q : forced_dst_) total += q.footprint_bytes();
+  total += pool_.capacity() * sizeof(Packet);
+  total += flit_ring_.footprint_bytes() + credit_ring_.footprint_bytes() +
+           delivery_ring_.footprint_bytes();
+  return total;
 }
 
 }  // namespace dfsim

@@ -36,6 +36,10 @@
 
 namespace dfsim {
 
+namespace runtime {
+class ThreadPool;
+}
+
 class TrafficPattern;
 
 struct EngineConfig {
@@ -61,6 +65,17 @@ struct EngineConfig {
   /// leaving accepted-load measurements untouched (the network, not the
   /// source queue, is the bottleneck whenever the cap binds).
   int source_queue_cap = 256;
+
+  /// Opt-in group-sharded parallel stepper (DF_ENGINE=sharded): routers
+  /// are partitioned by group across a thread pool with per-cycle
+  /// barriers, and every RNG draw comes from a counter-based stream keyed
+  /// by (seed, cycle, entity) — results are bit-identical for ANY worker
+  /// count, but NOT bit-compatible with the default exact mode (whose
+  /// single-stream ascending draw order is its own contract). VCT only.
+  bool sharded = false;
+  /// Worker threads for the sharded stepper; 0 resolves via
+  /// runtime::resolve_jobs (--jobs / DF_JOBS / hardware concurrency).
+  int shard_jobs = 0;
 
   std::uint64_t seed = 1;
 };
@@ -103,6 +118,7 @@ class Engine {
   Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
          RoutingAlgorithm& routing, TrafficPattern& pattern,
          const InjectionProcess& injection);
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -124,6 +140,12 @@ class Engine {
   std::uint64_t phits_sent(PortClass cls) const {
     return phits_sent_[static_cast<int>(cls)];
   }
+  /// True when the group-sharded parallel stepper is active.
+  bool sharded() const { return sharded_; }
+  /// Resident bytes of the engine's own state arrays (arenas, VC state,
+  /// worklists, terminals, timing wheels, packet pool). Used by the scale
+  /// benches to report bytes-per-terminal; excludes malloc overhead.
+  std::size_t footprint_bytes() const;
 
   const DragonflyTopology& topology() const { return topo_; }
   const EngineConfig& config() const { return cfg_; }
@@ -237,7 +259,9 @@ class Engine {
   // --- checkpoint / restart ---------------------------------------------
   /// Bumped whenever the checkpoint byte layout changes; restore rejects
   /// any other version with a pointed message (no cross-version decoding).
-  static constexpr std::uint32_t kCheckpointVersion = 1;
+  /// v2: engine-mode byte in the header (exact vs sharded — the two draw
+  /// different RNG streams, so cross-mode restores must fail loudly).
+  static constexpr std::uint32_t kCheckpointVersion = 2;
 
   /// Serialize the complete dynamic engine state behind a versioned,
   /// shape-checked header: every input-VC FIFO (flit arena slices), all
@@ -267,14 +291,17 @@ class Engine {
   void inject_for_test(NodeId src, NodeId dst, Cycle created);
 
  private:
+  /// Per-terminal injection state — the engine's biggest per-entity array
+  /// at h=8+ shapes, so it holds only what every terminal needs: the
+  /// router/port mapping is pure arithmetic (recomputed from the
+  /// topology), and the test-only scripted destinations live in a lazy
+  /// engine-level side table (forced_dst_) that stays empty outside unit
+  /// tests. The RingDeque itself allocates nothing until first use.
   struct TerminalState {
     RingDeque<Cycle> pending_created;  // capped backlog of creation times
-    RingDeque<NodeId> forced_dst;      // scripted destinations (tests)
     std::uint64_t burst_remaining = 0;
     Cycle link_busy_until = 0;
     std::int32_t inflight_phits = 0;  // reserved in the injection buffer
-    RouterId router = kInvalid;       // cached topo_.router_of_terminal
-    PortId port = kInvalid;           // cached topo_.terminal_port
   };
 
   struct FlitEvent {
@@ -297,6 +324,18 @@ class Engine {
   std::size_t vc_index(RouterId r, PortId port, VcId vc) const {
     return port_index(r, port) * static_cast<std::size_t>(vc_stride_) +
            static_cast<std::size_t>(vc);
+  }
+  // Occupied-port bitmask, occ_words_ 64-bit words per router (the
+  // one-word-per-router layout capped router degree at 63).
+  std::size_t occ_index(RouterId r, PortId port) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(occ_words_) +
+           (static_cast<std::size_t>(port) >> 6);
+  }
+  void set_occupied(RouterId r, PortId port) {
+    occupied_ports_[occ_index(r, port)] |= 1ULL << (port & 63);
+  }
+  void clear_occupied(RouterId r, PortId port) {
+    occupied_ports_[occ_index(r, port)] &= ~(1ULL << (port & 63));
   }
   PortClass pclass(PortId port) const {
     return static_cast<PortClass>(port_class_[static_cast<size_t>(port)]);
@@ -394,16 +433,46 @@ class Engine {
     gen_probability_on_ = std::min(1.0, gen_probability_ / duty);
   }
 
+  // Scratch shared by one allocation scan: nominations, the per-output
+  // first-nominee slots, and (sharded mode) the current decision's keyed
+  // RNG stream. One instance per shard — concurrent allocate_router calls
+  // must never share it.
+  struct Nomination {
+    PortId in_port;
+    VcId in_vc;
+    PortId out_port;
+    VcId out_vc;
+    bool fresh;          // head flit with a fresh routing decision
+    RouteChoice choice;  // valid when fresh
+  };
+  struct AllocScratch {
+    std::vector<Nomination> noms;
+    std::vector<std::int16_t> out_first_nom;  // per out port -> index|-1
+    std::vector<PortId> touched_outs;
+    Rng rng;  // per-decision keyed stream (sharded mode only)
+  };
+  struct Shard;  // defined below
+
   void process_arrivals();
   void allocate_active_routers();
-  void allocate_router(RouterId r);
+  void allocate_router(RouterId r, AllocScratch& scratch, Shard* shard);
   void send_flit(RouterId r, PortId in_port, VcId in_vc_id, PortId out_port,
-                 VcId out_vc_id, const RouteChoice* fresh_choice);
+                 VcId out_vc_id, const RouteChoice* fresh_choice,
+                 Shard* shard);
   void apply_route_state(Packet& pkt, RouterId r, const RouteChoice& choice);
   void inject_terminals();
   void try_inject(NodeId terminal);
   void materialize(NodeId terminal, TerminalState& ts);
   void deliver(PacketId id);
+
+  // --- sharded stepper (engine_sharded.cpp) -----------------------------
+  void init_shards();
+  bool step_sharded();
+  void run_shards(void (Engine::*phase)(Shard&));
+  void arrive_shard(Shard& s);
+  void allocate_and_inject_shard(Shard& s);
+  void try_inject_shard(NodeId t, TerminalState& ts, Rng& rng, Shard& s);
+  void flush_shard(Shard& s);
 
   void schedule_flit(Cycle at, FlitEvent ev);
   void schedule_credit(Cycle at, CreditEvent ev);
@@ -473,7 +542,9 @@ class Engine {
   /// high 16 bits = bitmask of nonempty VCs.
   std::vector<std::uint32_t> in_scan_;         // [router*ports+port]
   std::vector<std::uint16_t> out_rr_;  // [router*ports+port], over inputs
-  std::vector<std::uint64_t> occupied_ports_;  // [router] port bitmask
+  /// Occupied-port bitmask, occ_words_ words per router (see occ_index).
+  std::vector<std::uint64_t> occupied_ports_;
+  int occ_words_ = 1;
   std::vector<std::int32_t> nonempty_vcs_;     // [router]
 
   // Worklist bitmaps: a router is active while any input VC holds flits; a
@@ -482,6 +553,11 @@ class Engine {
   std::vector<std::uint64_t> pending_terminals_;
 
   std::vector<TerminalState> terminals_;
+  /// Scripted destinations from inject_for_test, one queue per terminal.
+  /// Lazily sized on first use so production runs never pay num_terminals
+  /// RingDeques for a test hook.
+  std::vector<RingDeque<NodeId>> forced_dst_;
+  bool has_forced_dst_ = false;
   /// Markov ON/OFF injection (InjectionProcess::onoff_*): one chain state
   /// per terminal, stepped before that terminal's generation draw. Empty
   /// (and the flag false) for plain Bernoulli sources, whose draw
@@ -515,18 +591,69 @@ class Engine {
   GenerationHook on_generated_;
   HopHook on_hop_;
 
-  // scratch for allocation (avoids per-cycle allocations)
-  struct Nomination {
-    PortId in_port;
-    VcId in_vc;
-    PortId out_port;
-    VcId out_vc;
-    bool fresh;          // head flit with a fresh routing decision
-    RouteChoice choice;  // valid when fresh
+  // Exact-mode allocation scratch (avoids per-cycle allocations); the
+  // sharded stepper uses one AllocScratch per shard instead.
+  AllocScratch scratch_;
+
+  // --- group-sharded parallel stepper -----------------------------------
+  // One shard per group: shard s owns routers [s*a, (s+1)*a) and their
+  // terminals, so shard-ascending iteration IS router-ascending
+  // iteration. During the two parallel phases a shard touches only its
+  // own routers'/terminals' state and stages every cross-shard effect
+  // (scheduled events, hooks, counters) into these buffers; a serial
+  // flush in ascending shard order then applies them deterministically.
+  struct StagedFlit {
+    Cycle at;
+    FlitEvent ev;
   };
-  std::vector<Nomination> noms_;
-  std::vector<std::int16_t> out_first_nom_;  // per out port -> index|-1
-  std::vector<PortId> touched_outs_;
+  struct StagedCredit {
+    Cycle at;
+    CreditEvent ev;
+  };
+  struct StagedDelivery {
+    Cycle at;
+    PacketId id;
+  };
+  struct StagedInjection {
+    NodeId terminal;
+    NodeId dst;
+    Cycle created;
+  };
+  struct HopRecord {
+    PacketId packet;
+    RouteChoice choice;
+    RouterId router;
+  };
+  struct Shard {
+    RouterId first_router = 0;
+    RouterId end_router = 0;
+    NodeId first_terminal = 0;
+    NodeId end_terminal = 0;
+    AllocScratch scratch;
+    // Current-cycle arrivals routed to this shard (serial partition).
+    std::vector<CreditEvent> inbox_credits;
+    std::vector<FlitEvent> inbox_flits;
+    // Effects staged during the parallel phases, flushed serially.
+    std::vector<StagedFlit> staged_flits;
+    std::vector<StagedCredit> staged_credits;
+    std::vector<StagedDelivery> staged_deliveries;
+    std::vector<StagedInjection> injections;
+    std::vector<HopRecord> hops;
+    std::vector<std::uint8_t> gen_accepted;
+    std::uint64_t phits_sent[3] = {0, 0, 0};
+    std::uint64_t dead_dst_drops = 0;
+    bool progressed = false;
+    bool deadlock = false;
+  };
+  std::vector<Shard> shards_;
+  bool sharded_ = false;
+  std::unique_ptr<runtime::ThreadPool> shard_pool_;
+  /// shard_of(router): routers_per_group is fixed per topology.
+  int routers_per_shard_ = 1;
+  /// keyed_stream domains: routing decisions key on the input VC index,
+  /// injection on the terminal id.
+  static constexpr std::uint64_t kStreamRoute = 1;
+  static constexpr std::uint64_t kStreamInject = 2;
 };
 
 }  // namespace dfsim

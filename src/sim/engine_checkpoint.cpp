@@ -120,6 +120,10 @@ void Engine::save_checkpoint(std::ostream& os) const {
   ser::write_u64(os, ring_size_);
   ser::write_u8(os, static_cast<std::uint8_t>(cfg_.flow));
   ser::write_u8(os, onoff_ ? 1 : 0);
+  // v2: engine mode. The two steppers draw from different RNG streams, so
+  // resuming a sharded run under exact (or vice versa) would silently fork
+  // the trajectory.
+  ser::write_u8(os, sharded_ ? 1 : 0);
   ser::write_string(os, routing_.name());
 
   // --- clock, RNG, counters ---------------------------------------------
@@ -179,8 +183,13 @@ void Engine::save_checkpoint(std::ostream& os) const {
     ser::write_u64(os, ts.pending_created.size());
     ts.pending_created.for_each(
         [&](const Cycle c) { ser::write_u64(os, c); });
-    ser::write_u64(os, ts.forced_dst.size());
-    ts.forced_dst.for_each([&](const NodeId d) { ser::write_i32(os, d); });
+    if (has_forced_dst_) {
+      const auto& fd = forced_dst_[static_cast<std::size_t>(t)];
+      ser::write_u64(os, fd.size());
+      fd.for_each([&](const NodeId d) { ser::write_i32(os, d); });
+    } else {
+      ser::write_u64(os, 0);
+    }
     ser::write_u64(os, ts.burst_remaining);
     ser::write_u64(os, ts.link_busy_until);
     ser::write_i32(os, ts.inflight_phits);
@@ -262,6 +271,17 @@ void Engine::restore(std::istream& is) {
     throw std::runtime_error(
         "checkpoint mismatch: Markov ON/OFF injection differs from this "
         "configuration");
+  }
+  const std::uint8_t sharded = ser::read_u8(is, "engine mode");
+  if ((sharded != 0) != sharded_) {
+    throw std::runtime_error(
+        std::string("checkpoint mismatch: the run was checkpointed under "
+                    "the ") +
+        (sharded != 0 ? "sharded" : "exact") +
+        " engine but this configuration uses the " +
+        (sharded_ ? "sharded" : "exact") +
+        " engine (the two draw different RNG streams; set engine= to "
+        "match)");
   }
   const std::string routing_name = ser::read_string(is, "routing name");
   if (routing_name != routing_.name()) {
@@ -348,17 +368,23 @@ void Engine::restore(std::istream& is) {
   }
 
   // --- terminals ---------------------------------------------------------
+  forced_dst_.clear();
+  has_forced_dst_ = false;
   for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
     TerminalState& ts = terminals_[static_cast<std::size_t>(t)];
     ts.pending_created = {};
-    ts.forced_dst = {};
     const std::uint64_t npending = ser::read_u64(is, "source queue depth");
     for (std::uint64_t k = 0; k < npending; ++k) {
       ts.pending_created.push_back(ser::read_u64(is, "source queue entry"));
     }
     const std::uint64_t nforced = ser::read_u64(is, "forced dst depth");
+    if (nforced > 0 && !has_forced_dst_) {
+      forced_dst_.resize(static_cast<std::size_t>(topo_.num_terminals()));
+      has_forced_dst_ = true;
+    }
     for (std::uint64_t k = 0; k < nforced; ++k) {
-      ts.forced_dst.push_back(ser::read_i32(is, "forced dst entry"));
+      forced_dst_[static_cast<std::size_t>(t)].push_back(
+          ser::read_i32(is, "forced dst entry"));
     }
     ts.burst_remaining = ser::read_u64(is, "burst budget");
     ts.link_busy_until = ser::read_u64(is, "terminal link busy");
@@ -423,7 +449,7 @@ void Engine::restore(std::istream& is) {
   for (RouterId r = 0; r < topo_.num_routers(); ++r) {
     for (PortId p = 0; p < ports_; ++p) {
       if ((in_scan_[port_index(r, p)] >> 16) != 0) {
-        occupied_ports_[static_cast<std::size_t>(r)] |= 1ULL << p;
+        set_occupied(r, p);
       }
       for (VcId v = 0; v < vc_count(p); ++v) {
         if (!in_vcs_[vc_index(r, p, v)].fifo.empty()) {
@@ -438,8 +464,9 @@ void Engine::restore(std::istream& is) {
   std::fill(pending_terminals_.begin(), pending_terminals_.end(), 0);
   for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
     const TerminalState& ts = terminals_[static_cast<std::size_t>(t)];
-    if (!ts.pending_created.empty() || !ts.forced_dst.empty() ||
-        ts.burst_remaining > 0) {
+    if (!ts.pending_created.empty() || ts.burst_remaining > 0 ||
+        (has_forced_dst_ &&
+         !forced_dst_[static_cast<std::size_t>(t)].empty())) {
       mark_terminal_pending(t);
     }
   }

@@ -1,0 +1,324 @@
+// The group-sharded parallel stepper (EngineConfig::sharded).
+//
+// Routers are partitioned by group: shard s owns routers [s*a, (s+1)*a)
+// and their terminals, so every piece of router/terminal state has exactly
+// one owning shard. A cycle runs as
+//
+//   1. serial   — drain this cycle's flit/credit ring slots into per-shard
+//                 inboxes (ring order is preserved per shard)
+//   2. parallel — per-shard arrival bookkeeping (own routers only)
+//   3. serial   — packet deliveries + RoutingAlgorithm::per_cycle
+//   4. parallel — per-shard allocation + injection; every cross-shard
+//                 effect (scheduled events, hooks, counters) is staged
+//   5. serial   — flush the staged effects in ascending shard order
+//
+// Determinism for ANY worker count: the partition is a pure function of
+// the topology, phases 2 and 4 touch only owner-shard state and draw from
+// counter-based RNG streams keyed by (seed, cycle, entity), and phase 5
+// replays side effects in a fixed order. The results are therefore
+// bit-identical across jobs=1..N — but not bit-compatible with the exact
+// engine, whose single shared RNG cursor implies a different draw
+// sequence.
+#include <atomic>
+#include <cassert>
+#include <memory>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sim/engine.hpp"
+#include "traffic/pattern.hpp"
+
+namespace dfsim {
+
+// Defined here (not in engine.cpp) so the unique_ptr<ThreadPool> member
+// destroys against the complete type.
+Engine::~Engine() = default;
+
+void Engine::init_shards() {
+  sharded_ = true;
+  routers_per_shard_ = topo_.routers_per_group();
+  const int num_shards = topo_.num_groups();
+  shards_.resize(static_cast<std::size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    sh.first_router = s * routers_per_shard_;
+    sh.end_router = (s + 1) * routers_per_shard_;
+    sh.first_terminal = sh.first_router * terminals_per_router_;
+    sh.end_terminal = sh.end_router * terminals_per_router_;
+    sh.scratch.out_first_nom.assign(static_cast<size_t>(ports_), -1);
+  }
+  const int workers =
+      std::min(runtime::resolve_jobs(cfg_.shard_jobs), num_shards);
+  if (workers > 1) {
+    shard_pool_ = std::make_unique<runtime::ThreadPool>(workers);
+  }
+}
+
+void Engine::run_shards(void (Engine::*phase)(Shard&)) {
+  if (!shard_pool_) {
+    for (Shard& s : shards_) (this->*phase)(s);
+    return;
+  }
+  // Workers claim shards dynamically; shard state is disjoint, and the
+  // pool's queue mutex orders every claimed shard's writes before
+  // wait_idle returns.
+  std::atomic<std::size_t> next{0};
+  const std::size_t n = shards_.size();
+  const int workers = shard_pool_->size();
+  for (int w = 0; w < workers; ++w) {
+    shard_pool_->submit([this, phase, &next, n] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        (this->*phase)(shards_[i]);
+      }
+    });
+  }
+  shard_pool_->wait_idle();
+}
+
+bool Engine::step_sharded() {
+  const std::size_t slot = ring_slot(now_);
+  const int rps = routers_per_shard_;
+
+  // Phase 1: partition this cycle's arrivals by owning shard. Per-shard
+  // inbox order is ring order, so arrival bookkeeping is order-stable.
+  credit_ring_.drain(slot, [&](const CreditEvent& ev) {
+    shards_[static_cast<std::size_t>(ev.router / rps)].inbox_credits
+        .push_back(ev);
+  });
+  flit_ring_.drain(slot, [&](const FlitEvent& ev) {
+    shards_[static_cast<std::size_t>(ev.router / rps)].inbox_flits.push_back(
+        ev);
+  });
+
+  // Phase 2: per-shard arrival bookkeeping.
+  run_shards(&Engine::arrive_shard);
+
+  // Phase 3: deliveries (pool release + user hook) and the routing
+  // mechanism's global per-cycle work stay serial.
+  delivery_ring_.drain(slot, [&](PacketId id) { deliver(id); });
+  routing_.per_cycle(*this);
+
+  // Phase 4: switch allocation + injection, effects staged per shard.
+  run_shards(&Engine::allocate_and_inject_shard);
+
+  // Phase 5: apply staged effects in ascending shard order.
+  for (Shard& s : shards_) flush_shard(s);
+
+  if (pool_.in_use() > 0 && now_ - last_progress_ > cfg_.watchdog_cycles) {
+    deadlock_ = true;
+  }
+  ++now_;
+  return !deadlock_;
+}
+
+// Mirrors process_arrivals() minus the active-router bitmap: the sharded
+// allocator walks its own router range directly, and the bitmap's words
+// straddle shard boundaries (a cross-shard read-modify-write hazard).
+void Engine::arrive_shard(Shard& s) {
+  for (const CreditEvent& ev : s.inbox_credits) {
+    const std::size_t ovidx = vc_index(ev.router, ev.port, ev.vc);
+    OutputVc& ovc = out_vcs_[ovidx];
+    ovc.credits_phits += ev.phits;
+    assert(ovc.credits_phits <= port_capacity(ev.port));
+    wake_waiters(ovidx);  // waiter chains never leave the router
+  }
+  s.inbox_credits.clear();
+
+  for (const FlitEvent& ev : s.inbox_flits) {
+    const std::size_t vidx = vc_index(ev.router, ev.port, ev.vc);
+    InputVc& ivc = in_vcs_[vidx];
+    if (ivc.fifo.empty()) {
+      ++nonempty_vcs_[static_cast<size_t>(ev.router)];
+      ivc.head_since = now_;
+      head_hop_[vidx] = kHeadUnknown;  // this flit becomes the head
+      std::uint32_t& scan = in_scan_[port_index(ev.router, ev.port)];
+      if ((scan >> 16) == 0) set_occupied(ev.router, ev.port);
+      scan |= 1u << (16 + ev.vc);
+    }
+    ivc.fifo.push_back(ev.flit);
+    ivc.occupancy_phits += ev.flit.size_phits;
+    if (pclass(ev.port) == PortClass::kTerminal) {
+      const NodeId t = ev.router * terminals_per_router_ +
+                       (ev.port - first_terminal_port_);
+      terminals_[static_cast<size_t>(t)].inflight_phits -=
+          ev.flit.size_phits;
+    }
+    assert(ivc.occupancy_phits <= port_capacity(ev.port));
+  }
+  s.inbox_flits.clear();
+}
+
+void Engine::allocate_and_inject_shard(Shard& s) {
+  for (RouterId r = s.first_router; r < s.end_router; ++r) {
+    if (nonempty_vcs_[static_cast<size_t>(r)] > 0) {
+      allocate_router(r, s.scratch, &s);
+    }
+  }
+
+  const bool draws = injection_.mode == InjectionProcess::Mode::kBernoulli &&
+                     gen_probability_ > 0.0;
+  if (draws) {
+    // Each terminal's generation randomness comes from its own keyed
+    // stream, in a fixed draw order: ON/OFF chain step(s), generation
+    // draw, then (inside try_inject_shard) the destination draw.
+    for (NodeId t = s.first_terminal; t < s.end_terminal; ++t) {
+      if (has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)]) {
+        continue;
+      }
+      TerminalState& ts = terminals_[static_cast<size_t>(t)];
+      Rng trng = keyed_stream(cfg_.seed, now_, kStreamInject,
+                              static_cast<std::uint64_t>(t));
+      bool generate;
+      if (onoff_) {
+        std::uint8_t& on = onoff_state_[static_cast<size_t>(t)];
+        if (on != 0) {
+          if (trng.bernoulli(injection_.onoff_off)) on = 0;
+        } else if (trng.bernoulli(injection_.onoff_on)) {
+          on = 1;
+        }
+        generate = on != 0 && trng.bernoulli(gen_probability_on_);
+      } else {
+        generate = trng.bernoulli(gen_probability_);
+      }
+      if (generate) {
+        const bool accepted =
+            ts.pending_created.size() <
+            static_cast<std::size_t>(cfg_.source_queue_cap);
+        if (accepted) ts.pending_created.push_back(now_);
+        if (on_generated_) s.gen_accepted.push_back(accepted ? 1 : 0);
+      }
+      try_inject_shard(t, ts, trng, s);
+    }
+    return;
+  }
+
+  // No generation randomness (burst mode, zero load, or scripted
+  // destinations only): look at terminals with queued work.
+  for (NodeId t = s.first_terminal; t < s.end_terminal; ++t) {
+    TerminalState& ts = terminals_[static_cast<size_t>(t)];
+    if (ts.pending_created.empty() && ts.burst_remaining == 0) continue;
+    Rng trng = keyed_stream(cfg_.seed, now_, kStreamInject,
+                            static_cast<std::uint64_t>(t));
+    try_inject_shard(t, ts, trng, s);
+  }
+}
+
+// try_inject + materialize, restricted to owner-shard state: the packet
+// itself (a pool allocation, hence cross-shard) is staged and materialized
+// at the flush, but the source-side bookkeeping — queue pop, destination
+// draw, inflight/link accounting — happens here so the next cycle's
+// capacity checks see it.
+void Engine::try_inject_shard(NodeId t, TerminalState& ts, Rng& rng,
+                              Shard& s) {
+  if (ts.pending_created.empty() && ts.burst_remaining == 0) return;
+  if (ts.link_busy_until > now_) return;
+
+  const RouterId r = topo_.router_of_terminal(t);
+  const PortId port = topo_.terminal_port(t);
+  const InputVc& ivc = in_vcs_[vc_index(r, port, 0)];
+  if (ivc.occupancy_phits + ts.inflight_phits + cfg_.packet_phits >
+      injection_buf_phits_) {
+    return;
+  }
+
+  Cycle created = 0;
+  if (!ts.pending_created.empty()) {
+    created = ts.pending_created.front();
+    ts.pending_created.pop_front();
+  } else {
+    assert(ts.burst_remaining > 0);
+    --ts.burst_remaining;
+  }
+
+  NodeId dst;
+  if (has_forced_dst_ && !forced_dst_[static_cast<size_t>(t)].empty()) {
+    dst = forced_dst_[static_cast<size_t>(t)].front();
+    forced_dst_[static_cast<size_t>(t)].pop_front();
+  } else {
+    dst = pattern_->dest(t, rng);
+  }
+  assert(dst != t && dst >= 0 && dst < topo_.num_terminals());
+
+  if (has_dead_terminals_ && terminal_dead_[static_cast<size_t>(dst)]) {
+    ++s.dead_dst_drops;
+    return;
+  }
+
+  ts.inflight_phits += cfg_.packet_phits;
+  ts.link_busy_until = now_ + static_cast<Cycle>(cfg_.packet_phits);
+  s.injections.push_back({t, dst, created});
+  s.progressed = true;
+}
+
+void Engine::flush_shard(Shard& s) {
+  if (s.deadlock) deadlock_ = true;
+  s.deadlock = false;
+
+  // User hooks replay in staging order (allocation order within the
+  // shard), ascending shard — a deterministic serialization.
+  if (on_hop_) {
+    for (const HopRecord& h : s.hops) {
+      // Hopped packets are alive at least until their staged delivery
+      // fires, which is strictly in the future.
+      on_hop_(pool_[h.packet], h.choice, h.router);
+    }
+  }
+  s.hops.clear();
+  if (on_generated_) {
+    for (const std::uint8_t accepted : s.gen_accepted) {
+      on_generated_(now_, accepted != 0);
+    }
+  }
+  s.gen_accepted.clear();
+
+  for (const StagedCredit& c : s.staged_credits) schedule_credit(c.at, c.ev);
+  s.staged_credits.clear();
+  for (const StagedFlit& f : s.staged_flits) schedule_flit(f.at, f.ev);
+  s.staged_flits.clear();
+  for (const StagedDelivery& d : s.staged_deliveries) {
+    schedule_delivery(d.at, d.id);
+  }
+  s.staged_deliveries.clear();
+
+  for (const StagedInjection& inj : s.injections) {
+    const PacketId id = pool_.alloc();
+    Packet& pkt = pool_[id];
+    pkt.src = inj.terminal;
+    pkt.dst = inj.dst;
+    pkt.size_phits = cfg_.packet_phits;
+    pkt.num_flits = static_cast<std::int16_t>(flits_per_packet_);
+    pkt.flit_phits = static_cast<std::int16_t>(flit_phits_);
+    pkt.created = inj.created;
+    pkt.injected = now_;
+    pkt.rs.dst_router = topo_.router_of_terminal(inj.dst);
+    pkt.rs.dst_group = topo_.group_of_terminal(inj.dst);
+    pkt.rs.src_group = topo_.group_of_terminal(inj.terminal);
+
+    const RouterId r = topo_.router_of_terminal(inj.terminal);
+    const PortId port = topo_.terminal_port(inj.terminal);
+    for (int k = 0; k < flits_per_packet_; ++k) {
+      Flit flit;
+      flit.packet = id;
+      flit.index = static_cast<std::int16_t>(k);
+      flit.size_phits = static_cast<std::int16_t>(flit_phits_);
+      flit.head = (k == 0);
+      flit.tail = (k == flits_per_packet_ - 1);
+      schedule_flit(now_ + static_cast<Cycle>((k + 1) * flit_phits_),
+                    {r, port, 0, flit});
+    }
+  }
+  s.injections.clear();
+
+  for (int c = 0; c < 3; ++c) {
+    phits_sent_[c] += s.phits_sent[c];
+    s.phits_sent[c] = 0;
+  }
+  dead_dst_drops_ += s.dead_dst_drops;
+  s.dead_dst_drops = 0;
+  if (s.progressed) last_progress_ = now_;
+  s.progressed = false;
+}
+
+}  // namespace dfsim

@@ -50,7 +50,9 @@ struct RouteState {
 /// load. Invalidated whenever a hop updates the RouteState.
 struct MinPortCache {
   RouterId router = kInvalid;  ///< router this entry is valid at
-  PortId port = kInvalid;
+  /// Narrowed to 16 bits (ports are capped at 2047) so the memo packs
+  /// into 8 bytes — this struct sits inside every pooled Packet.
+  std::int16_t port = -1;
   std::int8_t cls = 0;  ///< PortClass of `port`
 };
 

@@ -90,9 +90,9 @@ TEST(Validate, NegativeKnobsAreRejectedNotDefaulted) {
 
 TEST(Validate, RejectsRouterDegreeAboveEngineLimit) {
   SimConfig cfg;
-  cfg.topo = "p2a4h60";  // degree 3 + 60 + 2 = 65 > 63
+  cfg.topo = "p2000a4h60";  // degree 3 + 60 + 2000 = 2063 > 2047
   const std::string msg = thrown_message(cfg);
-  EXPECT_NE(msg.find("63-port"), std::string::npos);
+  EXPECT_NE(msg.find("2047-port"), std::string::npos);
 }
 
 TEST(Validate, LargeDirectKnobsDoNotOverflow) {

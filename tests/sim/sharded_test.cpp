@@ -1,0 +1,231 @@
+// The sharded engine's determinism contract: results are a function of
+// (config, seed) only — never of the worker count. jobs=1 and jobs=N must
+// produce bit-identical results for every run shape (steady, phased,
+// faulted, ON/OFF), checkpoints cut under the sharded engine must resume
+// bit-identically, and the sharded engine must agree with the exact
+// engine statistically (same network, same offered load — only the
+// RNG-stream assignment differs).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/config.hpp"
+#include "api/experiment.hpp"
+#include "api/simulator.hpp"
+#include "runtime/parallel_for.hpp"
+
+namespace dfsim {
+namespace {
+
+/// Pins the process-default worker count for one scope; restores the
+/// auto default on exit so tests never leak jobs settings into each
+/// other (ctest runs the whole binary as one process).
+class JobsGuard {
+ public:
+  explicit JobsGuard(int jobs) { runtime::set_default_jobs(jobs); }
+  ~JobsGuard() { runtime::set_default_jobs(0); }
+  JobsGuard(const JobsGuard&) = delete;
+  JobsGuard& operator=(const JobsGuard&) = delete;
+};
+
+SimConfig sharded_config() {
+  SimConfig cfg;
+  cfg.h = 2;  // 9 groups, 36 routers — seconds, not minutes
+  cfg.engine = "sharded";
+  cfg.warmup_cycles = 400;
+  cfg.measure_cycles = 1200;
+  cfg.load = 0.3;
+  cfg.seed = 11;
+  return cfg;
+}
+
+SteadyResult steady_with_jobs(const SimConfig& cfg, int jobs) {
+  JobsGuard guard(jobs);
+  return run_steady(cfg);
+}
+
+void expect_same_steady(const SteadyResult& a, const SteadyResult& b) {
+  EXPECT_EQ(a.avg_latency, b.avg_latency);  // exact doubles throughout:
+  EXPECT_EQ(a.p99_latency, b.p99_latency);  // the contract is bit
+  EXPECT_EQ(a.accepted_load, b.accepted_load);  // identity, not closeness
+  EXPECT_EQ(a.offered_load, b.offered_load);
+  EXPECT_EQ(a.source_drop_rate, b.source_drop_rate);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.dead_destination_drops, b.dead_destination_drops);
+  EXPECT_EQ(a.deadlock, b.deadlock);
+}
+
+// --- worker-count invariance --------------------------------------------
+
+TEST(ShardedDeterminism, SteadyIsWorkerCountInvariant) {
+  const SimConfig cfg = sharded_config();
+  const SteadyResult serial = steady_with_jobs(cfg, 1);
+  const SteadyResult parallel = steady_with_jobs(cfg, 8);
+  EXPECT_GT(serial.delivered, 0u);
+  expect_same_steady(serial, parallel);
+}
+
+TEST(ShardedDeterminism, AdaptiveRoutingIsWorkerCountInvariant) {
+  // OLM exercises the keyed per-VC routing streams (escape-ladder
+  // tiebreaks draw from ctx.rng) much harder than minimal routing.
+  SimConfig cfg = sharded_config();
+  cfg.routing = "olm";
+  cfg.pattern = "advg+1";
+  cfg.load = 0.25;
+  expect_same_steady(steady_with_jobs(cfg, 1), steady_with_jobs(cfg, 8));
+}
+
+TEST(ShardedDeterminism, OnOffSourcesAreWorkerCountInvariant) {
+  // ON/OFF sources chain several draws per terminal per cycle — the
+  // keyed injection stream must replay that chain identically no matter
+  // which worker owns the terminal's group.
+  SimConfig cfg = sharded_config();
+  cfg.onoff_on = 0.05;
+  cfg.onoff_off = 0.05;
+  expect_same_steady(steady_with_jobs(cfg, 1), steady_with_jobs(cfg, 8));
+}
+
+TEST(ShardedDeterminism, FaultedTopologyIsWorkerCountInvariant) {
+  SimConfig cfg = sharded_config();
+  cfg.fault_spec = "r:4,r:5,r:6,r:7";  // one whole dead group
+  const SteadyResult serial = steady_with_jobs(cfg, 1);
+  const SteadyResult parallel = steady_with_jobs(cfg, 8);
+  EXPECT_GT(serial.delivered, 0u);
+  expect_same_steady(serial, parallel);
+}
+
+TEST(ShardedDeterminism, PhasedRunIsWorkerCountInvariant) {
+  SimConfig cfg = sharded_config();
+  const std::vector<Phase> phases = {
+      {600, 2, "", -1.0},          // steady under the config pattern
+      {600, 2, "advg+1", 0.2},      // mid-run pattern + load switch
+  };
+  PhasedResult serial, parallel;
+  {
+    JobsGuard guard(1);
+    serial = run_phased(cfg, phases);
+  }
+  {
+    JobsGuard guard(8);
+    parallel = run_phased(cfg, phases);
+  }
+  ASSERT_EQ(serial.windows.size(), parallel.windows.size());
+  for (std::size_t i = 0; i < serial.windows.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(serial.windows[i].stats.delivered,
+              parallel.windows[i].stats.delivered);
+    EXPECT_EQ(serial.windows[i].stats.avg_latency,
+              parallel.windows[i].stats.avg_latency);
+    EXPECT_EQ(serial.windows[i].stats.accepted_load,
+              parallel.windows[i].stats.accepted_load);
+  }
+  EXPECT_EQ(serial.drain.delivered, parallel.drain.delivered);
+  EXPECT_EQ(serial.drained, parallel.drained);
+  expect_same_steady(serial.total, parallel.total);
+}
+
+// --- checkpointing under the sharded engine ------------------------------
+
+TEST(ShardedCheckpoint, MidRunCutResumesBitIdentically) {
+  const SimConfig cfg = sharded_config();
+  JobsGuard guard(8);
+
+  SimulationRun reference = SimulationRun::steady(cfg);
+  reference.run_to_completion();
+
+  SimulationRun cut = SimulationRun::steady(cfg);
+  cut.advance(700);  // mid-measurement, flits in flight
+  std::stringstream snap;
+  cut.save_checkpoint(snap);
+
+  SimulationRun resumed = SimulationRun::steady(cfg);
+  resumed.restore(snap);
+  resumed.run_to_completion();
+  expect_same_steady(reference.steady_result(), resumed.steady_result());
+}
+
+TEST(ShardedCheckpoint, CheckpointStreamIsWorkerCountInvariant) {
+  // Stronger than result equality: the serialized engine state itself —
+  // every queue, credit counter, and in-flight packet — must match byte
+  // for byte between worker counts.
+  const SimConfig cfg = sharded_config();
+  std::string bytes_serial, bytes_parallel;
+  {
+    JobsGuard guard(1);
+    SimulationRun run = SimulationRun::steady(cfg);
+    run.advance(700);
+    std::stringstream snap;
+    run.save_checkpoint(snap);
+    bytes_serial = snap.str();
+  }
+  {
+    JobsGuard guard(8);
+    SimulationRun run = SimulationRun::steady(cfg);
+    run.advance(700);
+    std::stringstream snap;
+    run.save_checkpoint(snap);
+    bytes_parallel = snap.str();
+  }
+  EXPECT_EQ(bytes_serial, bytes_parallel);
+}
+
+TEST(ShardedCheckpoint, EngineModeMismatchIsRejected) {
+  SimConfig exact_cfg = sharded_config();
+  exact_cfg.engine = "exact";
+  SimulationRun exact_run = SimulationRun::steady(exact_cfg);
+  exact_run.advance(500);
+  std::stringstream snap;
+  exact_run.save_checkpoint(snap);
+
+  SimulationRun sharded_run = SimulationRun::steady(sharded_config());
+  try {
+    sharded_run.restore(snap);
+    FAIL() << "restore() accepted a checkpoint from the other engine";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("engine"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- exact vs sharded statistical agreement ------------------------------
+
+TEST(ShardedVsExact, SteadyStateStatisticsAgree) {
+  // The two engines draw from differently-structured RNG streams, so
+  // individual runs differ — but they simulate the same network at the
+  // same offered load, so replicated means must agree within error bars.
+  SimConfig cfg = sharded_config();
+  cfg.measure_cycles = 2000;
+  constexpr int kReps = 5;
+
+  cfg.engine = "exact";
+  const ReplicatedResult exact = run_replicated(cfg, kReps);
+  cfg.engine = "sharded";
+  JobsGuard guard(8);
+  const ReplicatedResult sharded = run_replicated(cfg, kReps);
+
+  ASSERT_EQ(exact.deadlocks, 0);
+  ASSERT_EQ(sharded.deadlocks, 0);
+
+  // Welch-style combined standard error, generous 5-sigma band plus an
+  // absolute floor so a near-zero-variance pair can't flake the test.
+  const auto within = [](const RunningStat& a, const RunningStat& b,
+                         double floor_abs) {
+    const double se = std::sqrt(a.stddev() * a.stddev() / kReps +
+                                b.stddev() * b.stddev() / kReps);
+    return std::abs(a.mean() - b.mean()) <= 5.0 * se + floor_abs;
+  };
+  EXPECT_TRUE(within(exact.accepted_load, sharded.accepted_load, 0.01))
+      << "exact=" << exact.accepted_mean()
+      << " sharded=" << sharded.accepted_mean();
+  EXPECT_TRUE(within(exact.latency, sharded.latency, 2.0))
+      << "exact=" << exact.latency_mean()
+      << " sharded=" << sharded.latency_mean();
+}
+
+}  // namespace
+}  // namespace dfsim
