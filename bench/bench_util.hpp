@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "common/bench_json.hpp"
 #include "common/env.hpp"
 #include "runtime/parallel_for.hpp"
+#include "sim/engine.hpp"
 #include "topology/dragonfly_topology.hpp"
 
 namespace dfsim::bench {
@@ -66,8 +68,23 @@ class BenchReport {
             .count();
     const double rss_mb =
         static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+    // Phase-profiler telemetry (DF_PROFILE=1): every profiled engine this
+    // process ran folded its per-phase counters into the process-wide
+    // accumulator at destruction; all-zero means profiling was off.
+    std::string extra;
+    const Engine::PhaseProfile prof = accumulated_phase_profile();
+    if (prof.total_ns > 0) {
+      std::ostringstream p;
+      p << "\"serial_fraction\": " << prof.serial_fraction()
+        << ", \"profiled_steps\": " << prof.steps
+        << ", \"arrive_ns\": " << prof.arrive_ns
+        << ", \"deliver_ns\": " << prof.deliver_ns
+        << ", \"alloc_ns\": " << prof.alloc_ns
+        << ", \"flush_ns\": " << prof.flush_ns;
+      extra = p.str();
+    }
     append_bench_record(name_, wall_s, runtime::default_jobs(), "", rss_mb,
-                        terminals_);
+                        terminals_, extra);
   }
 
   BenchReport(const BenchReport&) = delete;

@@ -5,6 +5,8 @@
 // costs (peak_rss_mb / bytes_per_terminal land in BENCH_sweep.json via
 // BenchReport). Honors DF_ENGINE=sharded like every bench, reporting as
 // "fig_scale+sharded" so the two engines' trajectories stay separate.
+// DF_H overrides the shape (the nightly also pins h=16: 16416 routers,
+// 262656 terminals — the scale the sharded engine exists for).
 //
 // Deliberately one (pattern, routing, load) point rather than a figure
 // sweep: the full fig05 grid at h=8 is an hours-long run, while this
@@ -20,7 +22,7 @@ int main(int argc, char** argv) {
   bench::BenchReport report("fig_scale", argc, argv);
 
   SimConfig cfg;
-  cfg.h = 8;  // balanced: p=8, a=16, g=129
+  cfg.h = static_cast<int>(env_int("DF_H", 8));  // balanced: p=h, a=2h
   cfg.routing = env_str("DF_ROUTING", "olm");
   cfg.pattern = env_str("DF_TRAFFIC", "uniform");
   cfg.load = env_double("DF_LOAD", 0.30);

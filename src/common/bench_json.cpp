@@ -19,7 +19,8 @@ std::uint64_t peak_rss_bytes() {
 
 void append_bench_record(const std::string& bench, double wall_s, int jobs,
                          const std::string& path_in, double peak_rss_mb,
-                         std::int64_t terminals) {
+                         std::int64_t terminals,
+                         const std::string& extra_json) {
   std::string path = path_in;
   if (path.empty()) {
     // Explicitly-empty DF_BENCH_JSON disables the report (env_str would
@@ -40,6 +41,7 @@ void append_bench_record(const std::string& bench, double wall_s, int jobs,
                                           static_cast<double>(terminals));
     }
   }
+  if (!extra_json.empty()) record << ", " << extra_json;
   record << "}";
 
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);

@@ -24,9 +24,14 @@ std::uint64_t peak_rss_bytes();
 ///
 /// `peak_rss_mb` <= 0 omits the memory fields; `terminals` > 0 adds
 /// "bytes_per_terminal" (peak RSS over the largest shape the bench ran).
+/// `extra_json`, when non-empty, is spliced into the record verbatim after
+/// the standard fields — it must be a fragment of the form
+/// `"key": value, "key2": value2` (no braces). The phase profiler's
+/// serial-fraction telemetry rides in this way.
 void append_bench_record(const std::string& bench, double wall_s, int jobs,
                          const std::string& path = "",
                          double peak_rss_mb = 0.0,
-                         std::int64_t terminals = 0);
+                         std::int64_t terminals = 0,
+                         const std::string& extra_json = "");
 
 }  // namespace dfsim

@@ -165,6 +165,7 @@ class SlabEventRing {
   void drain(std::size_t slot, Fn&& fn) {
     Slot& s = slots_[slot];
     std::int32_t c = s.head;
+    if (c < 0) return;  // empty: skip the slot-reset stores
     s.head = -1;
     s.tail = -1;
 #ifndef NDEBUG
@@ -183,7 +184,42 @@ class SlabEventRing {
 #endif
   }
 
+  /// drain() that runs `prefetch(ev)` over a whole chunk before `fn(ev)`
+  /// processes it. The caller computes the dependent address (e.g. the
+  /// input VC an event lands in) in `prefetch`, so up to kChunkCap target
+  /// cache lines are in flight while earlier events are handled — the
+  /// arrive phase is latency-bound on exactly those scattered loads.
+  /// Ordering seen by `fn` is identical to drain().
+  template <typename Pf, typename Fn>
+  void drain_prefetch(std::size_t slot, Pf&& prefetch, Fn&& fn) {
+    Slot& s = slots_[slot];
+    std::int32_t c = s.head;
+    if (c < 0) return;
+    s.head = -1;
+    s.tail = -1;
+#ifndef NDEBUG
+    draining_ = true;
+#endif
+    while (c >= 0) {
+      Chunk& ch = chunks_[static_cast<std::size_t>(c)];
+      for (std::int32_t i = 0; i < ch.count; ++i) prefetch(ch.items[i]);
+      for (std::int32_t i = 0; i < ch.count; ++i) fn(ch.items[i]);
+      const std::int32_t next = ch.next;
+      ch.next = free_head_;
+      free_head_ = c;
+      c = next;
+    }
+#ifndef NDEBUG
+    draining_ = false;
+#endif
+  }
+
   std::size_t slab_chunks() const { return chunks_.size(); }
+
+  /// True when the slot holds no events — a single load, so per-cycle
+  /// pollers (the sharded engine checks every shard's wheels every
+  /// cycle) skip empty slots without touching the slab.
+  bool slot_empty(std::size_t slot) const { return slots_[slot].head < 0; }
 
   /// Resident bytes of the slab and slot table (memory-audit support).
   std::size_t footprint_bytes() const {

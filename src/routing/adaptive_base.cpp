@@ -39,37 +39,60 @@ bool AdaptiveBase::direct_commit_allowed(const RoutingContext&) const {
 // may then evaluate itself on every retry cycle. Any drift between these
 // gates and the collectors' own early returns breaks seed reproducibility,
 // so keep the two in lockstep.
-std::optional<Hop> AdaptiveBase::pure_minimal_hop(const RoutingContext& ctx) {
+bool AdaptiveBase::decision_is_pure(const RoutingContext& ctx) const {
   const RouteState& rs = ctx.packet.rs;
-  if (ctx.router != rs.dst_router) {
-    // Global misrouting reachable (source group, before any global hop)?
-    if (!rs.valiant && rs.global_hops == 0 && rs.local_hops_group <= 1 &&
-        topo_.num_groups() >= 3) {
-      return std::nullopt;
-    }
-    // Local misrouting reachable (samples draw RNG even when no candidate
-    // survives the VC filter)?
-    const GroupId g = topo_.group_of_router(ctx.router);
-    const bool heading_out = rs.valiant && rs.global_hops == 0;
-    const bool at_dst_group = g == rs.dst_group && !heading_out;
-    const bool at_inter_group =
-        rs.valiant && rs.global_hops == 1 && g != rs.dst_group;
-    if ((at_dst_group || at_inter_group) && rs.local_mis_group == 0 &&
-        rs.local_hops_group == 0 && topo_.routers_per_group() >= 3) {
-      const RouterId target = at_dst_group
-                                  ? rs.dst_router
-                                  : topo_.gateway_router(g, rs.dst_group);
-      if (target != ctx.router) return std::nullopt;
-    }
+  if (ctx.router == rs.dst_router) return true;
+  // Global misrouting reachable (source group, before any global hop)?
+  if (!rs.valiant && rs.global_hops == 0 && rs.local_hops_group <= 1 &&
+      topo_.num_groups() >= 3) {
+    return false;
   }
+  // Local misrouting reachable (samples draw RNG even when no candidate
+  // survives the VC filter)?
+  const GroupId g = topo_.group_of_router(ctx.router);
+  const bool heading_out = rs.valiant && rs.global_hops == 0;
+  const bool at_dst_group = g == rs.dst_group && !heading_out;
+  const bool at_inter_group =
+      rs.valiant && rs.global_hops == 1 && g != rs.dst_group;
+  if ((at_dst_group || at_inter_group) && rs.local_mis_group == 0 &&
+      rs.local_hops_group == 0 && topo_.routers_per_group() >= 3) {
+    const RouterId target = at_dst_group
+                                ? rs.dst_router
+                                : topo_.gateway_router(g, rs.dst_group);
+    if (target != ctx.router) return false;
+  }
+  return true;
+}
+
+std::optional<Hop> AdaptiveBase::pure_minimal_hop(const RoutingContext& ctx) {
+  if (!decision_is_pure(ctx)) return std::nullopt;
   return minimal_hop(ctx);
 }
 
+// First visit of a head at this router: gates and minimal route in one
+// pass. Verdict and draws are bit-identical to pure_minimal_hop() +
+// decide() — decide_impure is the tail of decide() after its own
+// minimal_hop resolve.
+std::optional<RouteChoice> AdaptiveBase::decide_fresh(
+    RoutingContext& ctx, std::optional<Hop>* pure_hop) {
+  const Hop min = minimal_hop(ctx);
+  if (decision_is_pure(ctx)) {
+    *pure_hop = min;
+    return std::nullopt;  // the engine nominates via the cached verdict
+  }
+  *pure_hop = std::nullopt;
+  return decide_impure(ctx, min);
+}
+
 std::optional<RouteChoice> AdaptiveBase::decide(RoutingContext& ctx) {
+  return decide_impure(ctx, minimal_hop(ctx));
+}
+
+std::optional<RouteChoice> AdaptiveBase::decide_impure(RoutingContext& ctx,
+                                                       const Hop& min) {
   Engine& eng = ctx.engine;
   const Flit& flit = ctx.flit;
 
-  const Hop min = minimal_hop(ctx);
   if (eng.output_usable(ctx.router, min.port, min.vc, flit)) {
     RouteChoice choice;
     choice.port = min.port;
@@ -92,17 +115,26 @@ std::optional<RouteChoice> AdaptiveBase::decide(RoutingContext& ctx) {
 
   const double min_occ =
       eng.output_occupancy(ctx.router, min.port, min.vc);
-  eligible.clear();
+  // Branchless compaction: write every candidate and advance the cursor
+  // by the verdict, instead of a hard-to-predict keep/skip branch per
+  // candidate (the usable/trigger mix is close to 50/50 under congestion
+  // — exactly where this loop is hottest). The verdict itself stays
+  // short-circuiting: a candidate blocked at the link-busy check never
+  // touches its output VC's cache line for the occupancy. Order is
+  // preserved and the loop draws no RNG, so the single uniform() below
+  // sees the same eligible sequence as the branching loop did.
+  eligible.resize(candidates.size());
+  std::size_t m = 0;
   for (const RouteChoice& c : candidates) {
-    if (!eng.output_usable(ctx.router, c.port, c.vc, flit)) continue;
-    if (!trigger_.allows(eng.output_occupancy(ctx.router, c.port, c.vc),
-                         min_occ)) {
-      continue;
-    }
-    eligible.push_back(c);
+    const bool ok =
+        eng.output_usable(ctx.router, c.port, c.vc, flit) &&
+        trigger_.allows(eng.output_occupancy(ctx.router, c.port, c.vc),
+                        min_occ);
+    eligible[m] = c;
+    m += ok ? 1 : 0;
   }
-  if (eligible.empty()) return std::nullopt;
-  return eligible[ctx.rng.uniform(eligible.size())];
+  if (m == 0) return std::nullopt;
+  return eligible[ctx.rng.uniform(m)];
 }
 
 void AdaptiveBase::collect_global_candidates(RoutingContext& ctx,

@@ -37,6 +37,8 @@ class AdaptiveBase : public RoutingAlgorithm {
 
   std::optional<RouteChoice> decide(RoutingContext& ctx) final;
   std::optional<Hop> pure_minimal_hop(const RoutingContext& ctx) final;
+  std::optional<RouteChoice> decide_fresh(RoutingContext& ctx,
+                                          std::optional<Hop>* pure_hop) final;
 
   int min_global_vcs() const override { return 2; }
 
@@ -74,6 +76,13 @@ class AdaptiveBase : public RoutingAlgorithm {
   MisroutingTrigger trigger_;
 
  private:
+  /// Purity gates of pure_minimal_hop() as a predicate (no route resolve);
+  /// the single source of truth both entry points share.
+  bool decision_is_pure(const RoutingContext& ctx) const;
+  /// decide() after the minimal hop has been resolved (`min` must be this
+  /// packet's minimal hop at ctx.router, with the min_cache memo hot).
+  std::optional<RouteChoice> decide_impure(RoutingContext& ctx,
+                                           const Hop& min);
   // Candidate collection appends into caller-provided scratch; decide()
   // keeps the scratch in thread_local storage so concurrent decisions
   // from the sharded engine's workers never share a buffer.

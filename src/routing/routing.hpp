@@ -74,6 +74,21 @@ class RoutingAlgorithm {
     return std::nullopt;
   }
 
+  /// Fused first-visit entry point: semantically pure_minimal_hop()
+  /// followed — when the verdict is impure — by decide(), but overridable
+  /// as one pass so the purity gates and the minimal-route resolution are
+  /// not computed twice on the hottest path. Writes the purity verdict to
+  /// *pure_hop. When the verdict is engaged (pure) the return value is
+  /// ignored: the engine caches the hop and runs the usability check
+  /// itself, exactly as with pure_minimal_hop. Overrides must keep the
+  /// verdict and any RNG draws bit-identical to the two-call sequence.
+  virtual std::optional<RouteChoice> decide_fresh(
+      RoutingContext& ctx, std::optional<Hop>* pure_hop) {
+    *pure_hop = pure_minimal_hop(ctx);
+    if (*pure_hop) return std::nullopt;  // engine nominates via the verdict
+    return decide(ctx);
+  }
+
   /// Invoked once per simulated cycle before allocation; mechanisms with
   /// distributed state (Piggybacking's broadcast) refresh it here.
   virtual void per_cycle(Engine& /*engine*/) {}

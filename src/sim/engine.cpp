@@ -2,11 +2,12 @@
 
 #include <bit>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 #include <type_traits>
 
-// Complete ThreadPool type: the constructor's exception cleanup destroys
-// the shard_pool_ member.
+// Complete BarrierTeam type: the constructor's exception cleanup destroys
+// the shard_team_ member.
 #include "runtime/thread_pool.hpp"
 #include "traffic/pattern.hpp"
 
@@ -152,6 +153,7 @@ Engine::Engine(const DragonflyTopology& topo, const EngineConfig& cfg,
   vc_waiter_next_.assign(num_vcs, kNotWaiting);
   out_busy_until_.assign(num_ports, 0);
   in_scan_.assign(num_ports, 0);
+  port_wake_.assign(num_ports, 0);
   out_rr_.assign(num_ports, 0);
   occupied_ports_.assign(num_routers * static_cast<std::size_t>(occ_words_),
                          0);
@@ -288,9 +290,11 @@ void Engine::process_arrivals() {
       ++nonempty_vcs_[static_cast<size_t>(ev.router)];
       ivc.head_since = now_;
       head_hop_[vidx] = kHeadUnknown;  // this flit becomes the head
-      std::uint32_t& scan = in_scan_[port_index(ev.router, ev.port)];
+      const std::size_t pidx = port_index(ev.router, ev.port);
+      std::uint32_t& scan = in_scan_[pidx];
       if ((scan >> 16) == 0) set_occupied(ev.router, ev.port);
       scan |= 1u << (16 + ev.vc);
+      port_wake_[pidx] = 0;  // a fresh head makes the port actionable
       mark_router_active(ev.router);
     }
     ivc.fifo.push_back(ev.flit);
@@ -355,19 +359,35 @@ void Engine::allocate_router(RouterId r, AllocScratch& scratch,
       const PortId p =
           static_cast<PortId>(ow * 64 + std::countr_zero(pending));
       pending &= pending - 1;
+      const std::size_t pbase = rbase + static_cast<size_t>(p);
+      // Every nonempty VC of this port is asleep: one load replaces the
+      // whole VC walk. Arrivals and credit wakes clear the gate; timed
+      // sleeps simply expire.
+      if (port_wake_[pbase] > now_) continue;
       const int nvc = vc_count(p);
-      const std::uint32_t scan = in_scan_[rbase + static_cast<size_t>(p)];
+      const std::uint32_t scan = in_scan_[pbase];
       const std::uint32_t mask = scan >> 16;
       // RR pointers are stored pre-reduced (always < the port's VC count /
       // port count), so the wraparound is a compare instead of a division.
       const int start = static_cast<int>(scan & 0xffffu);
+      // Earliest wake among this port's sleeping nonempty VCs; published
+      // to port_wake_ only when NO VC was actionable (an actionable VC
+      // that nominates — or merely fails decide() — forces a revisit
+      // next cycle, since its state can change without an event).
+      Cycle port_min = std::numeric_limits<Cycle>::max();
+      bool any_nominated = false;
       for (int k = 0; k < nvc; ++k) {
         int vi = start + k;
         if (vi >= nvc) vi -= nvc;
         if (((mask >> vi) & 1u) == 0) continue;  // empty VC: skip the load
         const VcId v = static_cast<VcId>(vi);
         const std::size_t vidx = vc_index(r, p, v);
-        if (vc_sleep_until_[vidx] > now_) continue;  // provably blocked
+        if (vc_sleep_until_[vidx] > now_) {  // provably blocked
+          if (vc_sleep_until_[vidx] < port_min) {
+            port_min = vc_sleep_until_[vidx];
+          }
+          continue;
+        }
         InputVc& ivc = in_vcs_[vidx];
         if (now_ - ivc.head_since > cfg_.watchdog_cycles) {
           if (shard != nullptr) {
@@ -387,6 +407,9 @@ void Engine::allocate_router(RouterId r, AllocScratch& scratch,
           const VcId ov = hh & 0xf;
           if (!head_usable(r, op, ov)) {
             suppress_retry(vidx, ivc, r, op, ov);
+            if (vc_sleep_until_[vidx] < port_min) {
+              port_min = vc_sleep_until_[vidx];
+            }
             continue;
           }
           nom.out_port = op;
@@ -400,6 +423,9 @@ void Engine::allocate_router(RouterId r, AllocScratch& scratch,
                              flit)) {
             suppress_retry(vidx, ivc, r, ivc.bound_out_port,
                            ivc.bound_out_vc);
+            if (vc_sleep_until_[vidx] < port_min) {
+              port_min = vc_sleep_until_[vidx];
+            }
             continue;
           }
           nom.out_port = ivc.bound_out_port;
@@ -418,16 +444,22 @@ void Engine::allocate_router(RouterId r, AllocScratch& scratch,
           }
           RoutingContext ctx{*this,      r,    p, v, pkt, flit,
                              shard != nullptr ? scratch.rng : rng_};
+          std::optional<RouteChoice> choice;
           if (hh == kHeadUnknown) {
-            // First decision for this (head, router): ask the mechanism
-            // whether its decision here is provably pure-minimal and
-            // RNG-free, and cache the verdict for the retry cycles.
-            const auto hop = routing_.pure_minimal_hop(ctx);
+            // First decision for this (head, router): the fused entry
+            // point computes the purity verdict and — when impure — the
+            // decision in one pass; the verdict is cached for the retry
+            // cycles.
+            std::optional<Hop> hop;
+            choice = routing_.decide_fresh(ctx, &hop);
             if (hop) {
               hh = static_cast<std::int16_t>((hop->port << 4) | hop->vc);
               head_hop_[vidx] = hh;
               if (!output_usable(r, hop->port, hop->vc, flit)) {
                 suppress_retry(vidx, ivc, r, hop->port, hop->vc);
+                if (vc_sleep_until_[vidx] < port_min) {
+                  port_min = vc_sleep_until_[vidx];
+                }
                 continue;
               }
               nom.out_port = hop->port;
@@ -437,10 +469,14 @@ void Engine::allocate_router(RouterId r, AllocScratch& scratch,
               goto nominated;
             }
             head_hop_[vidx] = kHeadImpure;
+          } else {
+            choice = routing_.decide(ctx);
           }
           {
-            const auto choice = routing_.decide(ctx);
-            if (!choice) continue;
+            if (!choice) {
+              port_min = 0;  // drew RNG and failed: must retry next cycle
+              continue;
+            }
             assert(output_usable(r, choice->port, choice->vc, flit));
             nom.out_port = choice->port;
             nom.out_vc = choice->vc;
@@ -469,8 +505,10 @@ void Engine::allocate_router(RouterId r, AllocScratch& scratch,
             scratch.noms[static_cast<size_t>(cur)] = nom;
           }
         }
+        any_nominated = true;
         break;  // this input port nominated; move to the next port
       }
+      if (!any_nominated && port_min > now_) port_wake_[pbase] = port_min;
     }
   }
 
@@ -546,15 +584,20 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
 
   // Return the freed space upstream. Injection-buffer space is visible to
   // the co-located source immediately (no wire to cross). In sharded mode
-  // the upstream router may live in another shard, so credits are staged
-  // and scheduled at the serial flush.
+  // a credit whose upstream router lives in this very shard goes straight
+  // into the shard's own wheel; only cross-shard credits (global links)
+  // ride the outbox to the serial flush.
   const PortClass in_cls = pclass(in_port);
   if (in_cls != PortClass::kTerminal) {
     const auto up = endpoints_[port_index(r, in_port)];
     const CreditEvent cev{up.router, up.port, in_vc_id, flit.size_phits};
     const Cycle at = now_ + link_latency(in_cls);
     if (shard != nullptr) {
-      shard->staged_credits.push_back({at, cev});
+      if (up.router >= shard->first_router && up.router < shard->end_router) {
+        shard->credit_ring.push(ring_slot(at), cev);
+      } else {
+        shard->outbox_credits.push_back({at, cev});
+      }
     } else {
       schedule_credit(at, cev);
     }
@@ -601,7 +644,9 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
     if (flit.tail) {
       const Cycle at = now_ + static_cast<Cycle>(flit.size_phits);
       if (shard != nullptr) {
-        shard->staged_deliveries.push_back({at, flit.packet});
+        // Ejection happens at the owning router: deliveries are always
+        // same-shard, straight into the shard's own wheel.
+        shard->delivery_ring.push(ring_slot(at), flit.packet);
       } else {
         schedule_delivery(at, flit.packet);
       }
@@ -631,7 +676,14 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
       now_ + static_cast<Cycle>(flit.size_phits + link_latency(out_cls));
   const FlitEvent fev{down.router, down.port, out_vc_id, flit};
   if (shard != nullptr) {
-    shard->staged_flits.push_back({at, fev});
+    // Local-link flits stay inside the group (= the shard) and go into
+    // the shard's own wheel; only global-link flits cross the outbox.
+    if (down.router >= shard->first_router &&
+        down.router < shard->end_router) {
+      shard->flit_ring.push(ring_slot(at), fev);
+    } else {
+      shard->outbox_flits.push_back({at, fev});
+    }
     shard->progressed = true;
   } else {
     schedule_flit(at, fev);
@@ -832,7 +884,7 @@ std::size_t Engine::footprint_bytes() const {
   std::size_t total = sizeof(Engine);
   total += vec(port_class_) + vec(vc_count_);
   total += vec(in_vcs_) + vec(out_vcs_) + vec(flit_arena_);
-  total += vec(vc_sleep_until_) + vec(head_hop_);
+  total += vec(vc_sleep_until_) + vec(head_hop_) + vec(port_wake_);
   total += vec(ovc_waiter_head_) + vec(vc_waiter_next_);
   total += vec(endpoints_) + vec(out_busy_until_) + vec(in_scan_) +
            vec(out_rr_);
@@ -847,6 +899,18 @@ std::size_t Engine::footprint_bytes() const {
   total += pool_.capacity() * sizeof(Packet);
   total += flit_ring_.footprint_bytes() + credit_ring_.footprint_bytes() +
            delivery_ring_.footprint_bytes();
+  // Shard-owned allocations: the per-shard timing wheels, outboxes and
+  // staging vectors are where the sharded engine's event memory actually
+  // lives (the global wheels above stay empty in sharded mode).
+  total += vec(shards_);
+  for (const Shard& s : shards_) {
+    total += s.flit_ring.footprint_bytes() + s.credit_ring.footprint_bytes() +
+             s.delivery_ring.footprint_bytes();
+    total += vec(s.outbox_flits) + vec(s.outbox_credits);
+    total += vec(s.injections) + vec(s.hops) + vec(s.gen_accepted);
+    total += vec(s.scratch.noms) + vec(s.scratch.out_first_nom) +
+             vec(s.scratch.touched_outs);
+  }
   return total;
 }
 

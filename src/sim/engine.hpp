@@ -21,6 +21,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -37,7 +38,7 @@
 namespace dfsim {
 
 namespace runtime {
-class ThreadPool;
+class BarrierTeam;
 }
 
 class TrafficPattern;
@@ -76,6 +77,12 @@ struct EngineConfig {
   /// Worker threads for the sharded stepper; 0 resolves via
   /// runtime::resolve_jobs (--jobs / DF_JOBS / hardware concurrency).
   int shard_jobs = 0;
+
+  /// Per-phase cycle profiler for the sharded stepper (DF_PROFILE=1 is
+  /// the env equivalent). Off by default: the hot loop then contains no
+  /// clock reads at all — the flag is checked once per step and the
+  /// timed path is a separate template instantiation.
+  bool profile = false;
 
   std::uint64_t seed = 1;
 };
@@ -142,6 +149,29 @@ class Engine {
   }
   /// True when the group-sharded parallel stepper is active.
   bool sharded() const { return sharded_; }
+
+  /// Per-phase wall-clock totals of the sharded stepper, accumulated only
+  /// while profiling (EngineConfig::profile / DF_PROFILE=1). The four
+  /// phase counters tile each step exactly — timestamps are taken at the
+  /// phase boundaries, so arrive + deliver + alloc + flush == total by
+  /// construction. All-zero when profiling is off or the engine is exact.
+  struct PhaseProfile {
+    std::uint64_t steps = 0;
+    std::uint64_t arrive_ns = 0;   ///< parallel: per-shard ring drains
+    std::uint64_t deliver_ns = 0;  ///< serial: deliveries + per_cycle
+    std::uint64_t alloc_ns = 0;    ///< parallel: allocation + injection
+    std::uint64_t flush_ns = 0;    ///< serial: outbox replay + injections
+    std::uint64_t total_ns = 0;
+    /// Amdahl estimate: the share of step time spent in the serial
+    /// phases (deliver + flush). 0 when nothing was profiled.
+    double serial_fraction() const {
+      if (total_ns == 0) return 0.0;
+      return static_cast<double>(deliver_ns + flush_ns) /
+             static_cast<double>(total_ns);
+    }
+  };
+  const PhaseProfile& phase_profile() const { return profile_data_; }
+  bool profiling() const { return profile_; }
   /// Resident bytes of the engine's own state arrays (arenas, VC state,
   /// worklists, terminals, timing wheels, packet pool). Used by the scale
   /// benches to report bytes-per-terminal; excludes malloc overhead.
@@ -261,7 +291,10 @@ class Engine {
   /// any other version with a pointed message (no cross-version decoding).
   /// v2: engine-mode byte in the header (exact vs sharded — the two draw
   /// different RNG streams, so cross-mode restores must fail loudly).
-  static constexpr std::uint32_t kCheckpointVersion = 2;
+  /// v3: sharded checkpoints serialize the per-shard timing wheels (one
+  /// flit/credit/delivery ring per shard) instead of the retired global
+  /// wheels; v2 sharded streams are rejected with a pointed message.
+  static constexpr std::uint32_t kCheckpointVersion = 3;
 
   /// Serialize the complete dynamic engine state behind a versioned,
   /// shape-checked header: every input-VC FIFO (flit arena slices), all
@@ -420,6 +453,9 @@ class Engine {
       const std::int32_t next = vc_waiter_next_[wi];
       vc_waiter_next_[wi] = kNotWaiting;
       vc_sleep_until_[wi] = 0;
+      // The woken VC's port is actionable again (vc_index is
+      // port_index * vc_stride_ + vc, so the division recovers the port).
+      port_wake_[wi / static_cast<std::size_t>(vc_stride_)] = 0;
       w = next;
     } while (w >= 0);
   }
@@ -468,10 +504,17 @@ class Engine {
   // --- sharded stepper (engine_sharded.cpp) -----------------------------
   void init_shards();
   bool step_sharded();
+  template <bool kProfile>
+  bool step_sharded_impl();
   void run_shards(void (Engine::*phase)(Shard&));
+  void shard_worker(int worker);
   void arrive_shard(Shard& s);
   void allocate_and_inject_shard(Shard& s);
-  void try_inject_shard(NodeId t, TerminalState& ts, Rng& rng, Shard& s);
+  /// `rng` is null in the no-generation-draw path: the keyed injection
+  /// stream is then constructed lazily at the destination draw (the only
+  /// draw that path can make), so terminals that bail on the early checks
+  /// never pay the stream derivation.
+  void try_inject_shard(NodeId t, TerminalState& ts, Rng* rng, Shard& s);
   void flush_shard(Shard& s);
 
   void schedule_flit(Cycle at, FlitEvent ev);
@@ -517,6 +560,16 @@ class Engine {
   /// so the VC sleeps until min(T, its watchdog deadline) and the scan
   /// skips it with a single load. Bit-identical to retrying every cycle.
   std::vector<Cycle> vc_sleep_until_;
+  /// Port-level aggregation of vc_sleep_until_: when EVERY nonempty VC of
+  /// an input port is asleep, the port records its earliest wake here and
+  /// the allocation scan skips the whole port with a single load (instead
+  /// of walking its VC mask to rediscover that nothing is actionable).
+  /// Cleared to 0 — port actionable — whenever a flit arrives into an
+  /// empty VC of the port or a waiting VC is woken by wake_waiters; timed
+  /// sleeps simply expire. Like the per-VC sleeps this is derived,
+  /// behavior-neutral state: a skipped visit would have nominated nothing
+  /// and drawn no RNG, so results are bit-identical with or without it.
+  std::vector<Cycle> port_wake_;
   /// Per-VC verdict of RoutingAlgorithm::pure_minimal_hop for the current
   /// head flit: kHeadUnknown (re-ask on next scan), kHeadImpure (full
   /// decide() every retry), or the encoded pure hop port*16+vc. Reset
@@ -598,10 +651,12 @@ class Engine {
   // --- group-sharded parallel stepper -----------------------------------
   // One shard per group: shard s owns routers [s*a, (s+1)*a) and their
   // terminals, so shard-ascending iteration IS router-ascending
-  // iteration. During the two parallel phases a shard touches only its
-  // own routers'/terminals' state and stages every cross-shard effect
-  // (scheduled events, hooks, counters) into these buffers; a serial
-  // flush in ascending shard order then applies them deterministically.
+  // iteration. Each shard owns its OWN timing wheels: during the parallel
+  // phases a shard drains arrivals from / schedules same-shard futures
+  // into its own rings directly, and only cross-shard events (global-link
+  // flits and their credits) are staged in a per-source-shard outbox that
+  // the serial flush replays in ascending shard order. The serial work
+  // per cycle is therefore O(cross-shard events), not O(all events).
   struct StagedFlit {
     Cycle at;
     FlitEvent ev;
@@ -609,10 +664,6 @@ class Engine {
   struct StagedCredit {
     Cycle at;
     CreditEvent ev;
-  };
-  struct StagedDelivery {
-    Cycle at;
-    PacketId id;
   };
   struct StagedInjection {
     NodeId terminal;
@@ -630,13 +681,21 @@ class Engine {
     NodeId first_terminal = 0;
     NodeId end_terminal = 0;
     AllocScratch scratch;
-    // Current-cycle arrivals routed to this shard (serial partition).
-    std::vector<CreditEvent> inbox_credits;
-    std::vector<FlitEvent> inbox_flits;
-    // Effects staged during the parallel phases, flushed serially.
-    std::vector<StagedFlit> staged_flits;
-    std::vector<StagedCredit> staged_credits;
-    std::vector<StagedDelivery> staged_deliveries;
+    // The shard's own timing wheels. Every event addressed to a router in
+    // this shard lives here; deliveries are always same-shard (ejection
+    // happens at the owning router), so they never cross an outbox.
+    SlabEventRing<FlitEvent> flit_ring;
+    SlabEventRing<CreditEvent> credit_ring;
+    SlabEventRing<PacketId> delivery_ring;
+    // Cross-shard events staged during the parallel allocation phase,
+    // replayed serially in ascending source-shard order. One outbox per
+    // source shard suffices: events bound for different destination
+    // shards land in disjoint rings, so replaying a single outbox in
+    // staging order produces ring contents identical to a
+    // per-(source, destination) split replayed in ascending (src, dst)
+    // order — O(shards) buffers instead of O(shards^2).
+    std::vector<StagedFlit> outbox_flits;
+    std::vector<StagedCredit> outbox_credits;
     std::vector<StagedInjection> injections;
     std::vector<HopRecord> hops;
     std::vector<std::uint8_t> gen_accepted;
@@ -647,13 +706,35 @@ class Engine {
   };
   std::vector<Shard> shards_;
   bool sharded_ = false;
-  std::unique_ptr<runtime::ThreadPool> shard_pool_;
+  std::unique_ptr<runtime::BarrierTeam> shard_team_;
+  /// Phase dispatched to the persistent worker team; set by run_shards
+  /// before releasing the barrier (the team's callback is fixed).
+  void (Engine::*shard_phase_)(Shard&) = nullptr;
+  /// Dynamic-claim cursor (DF_SHARD_ASSIGN=dynamic fallback path).
+  std::atomic<std::size_t> shard_next_{0};
+  int shard_workers_ = 1;
+  /// Static block assignment (the default): worker w owns shards
+  /// [w*n/W, (w+1)*n/W) every phase of every cycle, so a shard's state
+  /// stays in one worker's cache. DF_SHARD_ASSIGN=dynamic restores the
+  /// PR-7 atomic-claim behavior (useful when shard costs are skewed).
+  bool shard_assign_static_ = true;
   /// shard_of(router): routers_per_group is fixed per topology.
   int routers_per_shard_ = 1;
+  std::size_t shard_of(RouterId r) const {
+    return static_cast<std::size_t>(r / routers_per_shard_);
+  }
+  bool profile_ = false;
+  PhaseProfile profile_data_;
   /// keyed_stream domains: routing decisions key on the input VC index,
   /// injection on the terminal id.
   static constexpr std::uint64_t kStreamRoute = 1;
   static constexpr std::uint64_t kStreamInject = 2;
 };
+
+/// Process-wide sum of every profiled engine's PhaseProfile, folded in at
+/// engine destruction. BenchReport reads this at exit to attach the
+/// serial-fraction estimate to its BENCH_sweep.json record (a bench may
+/// run several engines; the sum is what its wall-clock actually covered).
+Engine::PhaseProfile accumulated_phase_profile();
 
 }  // namespace dfsim

@@ -1,28 +1,41 @@
 // The group-sharded parallel stepper (EngineConfig::sharded).
 //
 // Routers are partitioned by group: shard s owns routers [s*a, (s+1)*a)
-// and their terminals, so every piece of router/terminal state has exactly
-// one owning shard. A cycle runs as
+// and their terminals, AND its own flit/credit/delivery timing wheels —
+// every event addressed to a router in s lives in s's rings. A cycle runs
+// as
 //
-//   1. serial   — drain this cycle's flit/credit ring slots into per-shard
-//                 inboxes (ring order is preserved per shard)
-//   2. parallel — per-shard arrival bookkeeping (own routers only)
-//   3. serial   — packet deliveries + RoutingAlgorithm::per_cycle
-//   4. parallel — per-shard allocation + injection; every cross-shard
-//                 effect (scheduled events, hooks, counters) is staged
-//   5. serial   — flush the staged effects in ascending shard order
+//   1. parallel — each shard drains this cycle's slot of its own credit
+//                 and flit rings (arrival bookkeeping, own routers only)
+//   2. serial   — packet deliveries (per-shard delivery rings, ascending
+//                 shard order) + RoutingAlgorithm::per_cycle
+//   3. parallel — per-shard allocation + injection; same-shard future
+//                 events go straight into the shard's own rings, only
+//                 cross-shard events (global-link flits and their
+//                 credits) are staged in a per-source-shard outbox
+//   4. serial   — replay the outboxes and hooks, materialize injections,
+//                 reduce counters, in ascending shard order
+//
+// The serial work per cycle is O(cross-shard events + shards), not
+// O(all events + shards): intra-shard traffic — all local and terminal
+// links, the bulk of every cycle — never leaves its shard.
 //
 // Determinism for ANY worker count: the partition is a pure function of
-// the topology, phases 2 and 4 touch only owner-shard state and draw from
-// counter-based RNG streams keyed by (seed, cycle, entity), and phase 5
-// replays side effects in a fixed order. The results are therefore
-// bit-identical across jobs=1..N — but not bit-compatible with the exact
-// engine, whose single shared RNG cursor implies a different draw
-// sequence.
-#include <atomic>
+// the topology, the parallel phases touch only owner-shard state and
+// draw from counter-based RNG streams keyed by (seed, cycle, entity),
+// and each shard's ring contents are a pure function of that shard's
+// deterministic staging order plus the ascending-shard outbox replay.
+// Event order *within* one ring slot is arrival-bookkeeping-neutral (at
+// most one flit per input port per cycle — upstream links serialize —
+// and credit application commutes), so results are bit-identical across
+// jobs=1..N. They are NOT bit-compatible with the exact engine, whose
+// single shared RNG cursor implies a different draw sequence.
 #include <cassert>
+#include <chrono>
 #include <memory>
+#include <mutex>
 
+#include "common/env.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sim/engine.hpp"
@@ -30,12 +43,47 @@
 
 namespace dfsim {
 
-// Defined here (not in engine.cpp) so the unique_ptr<ThreadPool> member
+namespace {
+
+// Process-wide profile accumulator (see accumulated_phase_profile()).
+std::mutex g_profile_mu;
+Engine::PhaseProfile g_profile_total;
+
+void accumulate_profile(const Engine::PhaseProfile& p) {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  g_profile_total.steps += p.steps;
+  g_profile_total.arrive_ns += p.arrive_ns;
+  g_profile_total.deliver_ns += p.deliver_ns;
+  g_profile_total.alloc_ns += p.alloc_ns;
+  g_profile_total.flush_ns += p.flush_ns;
+  g_profile_total.total_ns += p.total_ns;
+}
+
+std::uint64_t profile_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Engine::PhaseProfile accumulated_phase_profile() {
+  std::lock_guard<std::mutex> lock(g_profile_mu);
+  return g_profile_total;
+}
+
+// Defined here (not in engine.cpp) so the unique_ptr<BarrierTeam> member
 // destroys against the complete type.
-Engine::~Engine() = default;
+Engine::~Engine() {
+  if (profile_ && profile_data_.steps > 0) {
+    accumulate_profile(profile_data_);
+  }
+}
 
 void Engine::init_shards() {
   sharded_ = true;
+  profile_ = cfg_.profile || env_flag("DF_PROFILE");
   routers_per_shard_ = topo_.routers_per_group();
   const int num_shards = topo_.num_groups();
   shards_.resize(static_cast<std::size_t>(num_shards));
@@ -46,108 +94,163 @@ void Engine::init_shards() {
     sh.first_terminal = sh.first_router * terminals_per_router_;
     sh.end_terminal = sh.end_router * terminals_per_router_;
     sh.scratch.out_first_nom.assign(static_cast<size_t>(ports_), -1);
+    sh.flit_ring.reset(ring_size_);
+    sh.credit_ring.reset(ring_size_);
+    sh.delivery_ring.reset(ring_size_);
   }
-  const int workers =
+  shard_assign_static_ =
+      env_str("DF_SHARD_ASSIGN", "static") != "dynamic";
+  shard_workers_ =
       std::min(runtime::resolve_jobs(cfg_.shard_jobs), num_shards);
-  if (workers > 1) {
-    shard_pool_ = std::make_unique<runtime::ThreadPool>(workers);
+  if (shard_workers_ > 1) {
+    shard_team_ = std::make_unique<runtime::BarrierTeam>(
+        shard_workers_, [this](int w) { shard_worker(w); });
+  }
+}
+
+// The fixed per-worker callback the barrier team runs each phase. Static
+// block assignment keeps shard w's state in the same worker's cache for
+// both phases of every cycle; the dynamic path re-claims shards through
+// an atomic cursor (PR-7 behavior, useful under skewed shard costs).
+// Either way the phases touch disjoint state, so assignment affects only
+// locality, never results.
+void Engine::shard_worker(int w) {
+  void (Engine::*phase)(Shard&) = shard_phase_;
+  const std::size_t n = shards_.size();
+  if (shard_assign_static_) {
+    const auto W = static_cast<std::size_t>(shard_workers_);
+    const auto uw = static_cast<std::size_t>(w);
+    const std::size_t lo = n * uw / W;
+    const std::size_t hi = n * (uw + 1) / W;
+    for (std::size_t i = lo; i < hi; ++i) (this->*phase)(shards_[i]);
+    return;
+  }
+  for (;;) {
+    const std::size_t i =
+        shard_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    (this->*phase)(shards_[i]);
   }
 }
 
 void Engine::run_shards(void (Engine::*phase)(Shard&)) {
-  if (!shard_pool_) {
+  if (!shard_team_) {
     for (Shard& s : shards_) (this->*phase)(s);
     return;
   }
-  // Workers claim shards dynamically; shard state is disjoint, and the
-  // pool's queue mutex orders every claimed shard's writes before
-  // wait_idle returns.
-  std::atomic<std::size_t> next{0};
-  const std::size_t n = shards_.size();
-  const int workers = shard_pool_->size();
-  for (int w = 0; w < workers; ++w) {
-    shard_pool_->submit([this, phase, &next, n] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        (this->*phase)(shards_[i]);
-      }
-    });
-  }
-  shard_pool_->wait_idle();
+  shard_phase_ = phase;
+  shard_next_.store(0, std::memory_order_relaxed);
+  shard_team_->run();
 }
 
 bool Engine::step_sharded() {
-  const std::size_t slot = ring_slot(now_);
-  const int rps = routers_per_shard_;
+  return profile_ ? step_sharded_impl<true>() : step_sharded_impl<false>();
+}
 
-  // Phase 1: partition this cycle's arrivals by owning shard. Per-shard
-  // inbox order is ring order, so arrival bookkeeping is order-stable.
-  credit_ring_.drain(slot, [&](const CreditEvent& ev) {
-    shards_[static_cast<std::size_t>(ev.router / rps)].inbox_credits
-        .push_back(ev);
-  });
-  flit_ring_.drain(slot, [&](const FlitEvent& ev) {
-    shards_[static_cast<std::size_t>(ev.router / rps)].inbox_flits.push_back(
-        ev);
-  });
+template <bool kProfile>
+bool Engine::step_sharded_impl() {
+  // Timestamps are taken at the phase boundaries, so the four phase
+  // counters tile the step exactly: arrive + deliver + alloc + flush ==
+  // total by construction. The untimed instantiation contains no clock
+  // reads at all.
+  std::uint64_t t0 = 0, t1 = 0, t2 = 0, t3 = 0, t4 = 0;
+  if constexpr (kProfile) t0 = profile_now_ns();
 
-  // Phase 2: per-shard arrival bookkeeping.
+  // Phase 1 (parallel): per-shard arrival bookkeeping straight off each
+  // shard's own rings — the global drain-and-partition phase is gone.
   run_shards(&Engine::arrive_shard);
+  if constexpr (kProfile) t1 = profile_now_ns();
 
-  // Phase 3: deliveries (pool release + user hook) and the routing
-  // mechanism's global per-cycle work stay serial.
-  delivery_ring_.drain(slot, [&](PacketId id) { deliver(id); });
+  // Phase 2 (serial): deliveries (pool release + user hook) in ascending
+  // shard order, then the routing mechanism's global per-cycle work.
+  // Ejection happens at the destination router, so a delivery's ring and
+  // its packet's last hop share a shard: ascending-shard drain order
+  // equals the old global wheel's flush order, keeping the pool
+  // free-list sequence (hence future packet ids) unchanged.
+  const std::size_t slot = ring_slot(now_);
+  for (Shard& s : shards_) {
+    s.delivery_ring.drain(slot, [&](PacketId id) { deliver(id); });
+  }
   routing_.per_cycle(*this);
+  if constexpr (kProfile) t2 = profile_now_ns();
 
-  // Phase 4: switch allocation + injection, effects staged per shard.
+  // Phase 3 (parallel): switch allocation + injection. Same-shard future
+  // events are scheduled directly; cross-shard ones land in the outbox.
   run_shards(&Engine::allocate_and_inject_shard);
+  if constexpr (kProfile) t3 = profile_now_ns();
 
-  // Phase 5: apply staged effects in ascending shard order.
+  // Phase 4 (serial): apply the staged cross-shard effects in ascending
+  // shard order.
   for (Shard& s : shards_) flush_shard(s);
 
   if (pool_.in_use() > 0 && now_ - last_progress_ > cfg_.watchdog_cycles) {
     deadlock_ = true;
   }
   ++now_;
+
+  if constexpr (kProfile) {
+    t4 = profile_now_ns();
+    ++profile_data_.steps;
+    profile_data_.arrive_ns += t1 - t0;
+    profile_data_.deliver_ns += t2 - t1;
+    profile_data_.alloc_ns += t3 - t2;
+    profile_data_.flush_ns += t4 - t3;
+    profile_data_.total_ns += t4 - t0;
+  }
   return !deadlock_;
 }
 
 // Mirrors process_arrivals() minus the active-router bitmap: the sharded
 // allocator walks its own router range directly, and the bitmap's words
 // straddle shard boundaries (a cross-shard read-modify-write hazard).
+// Slot order differs from the retired global wheel (same-shard events
+// precede cross-shard ones) but arrival bookkeeping is order-invariant
+// within a slot: credits commute, and the upstream link's serialization
+// means at most one flit per input port per cycle.
 void Engine::arrive_shard(Shard& s) {
-  for (const CreditEvent& ev : s.inbox_credits) {
-    const std::size_t ovidx = vc_index(ev.router, ev.port, ev.vc);
-    OutputVc& ovc = out_vcs_[ovidx];
-    ovc.credits_phits += ev.phits;
-    assert(ovc.credits_phits <= port_capacity(ev.port));
-    wake_waiters(ovidx);  // waiter chains never leave the router
-  }
-  s.inbox_credits.clear();
+  const std::size_t slot = ring_slot(now_);
 
-  for (const FlitEvent& ev : s.inbox_flits) {
-    const std::size_t vidx = vc_index(ev.router, ev.port, ev.vc);
-    InputVc& ivc = in_vcs_[vidx];
-    if (ivc.fifo.empty()) {
-      ++nonempty_vcs_[static_cast<size_t>(ev.router)];
-      ivc.head_since = now_;
-      head_hop_[vidx] = kHeadUnknown;  // this flit becomes the head
-      std::uint32_t& scan = in_scan_[port_index(ev.router, ev.port)];
-      if ((scan >> 16) == 0) set_occupied(ev.router, ev.port);
-      scan |= 1u << (16 + ev.vc);
-    }
-    ivc.fifo.push_back(ev.flit);
-    ivc.occupancy_phits += ev.flit.size_phits;
-    if (pclass(ev.port) == PortClass::kTerminal) {
-      const NodeId t = ev.router * terminals_per_router_ +
-                       (ev.port - first_terminal_port_);
-      terminals_[static_cast<size_t>(t)].inflight_phits -=
-          ev.flit.size_phits;
-    }
-    assert(ivc.occupancy_phits <= port_capacity(ev.port));
-  }
-  s.inbox_flits.clear();
+  s.credit_ring.drain_prefetch(
+      slot,
+      [&](const CreditEvent& ev) {
+        __builtin_prefetch(&out_vcs_[vc_index(ev.router, ev.port, ev.vc)]);
+      },
+      [&](const CreditEvent& ev) {
+        const std::size_t ovidx = vc_index(ev.router, ev.port, ev.vc);
+        OutputVc& ovc = out_vcs_[ovidx];
+        ovc.credits_phits += ev.phits;
+        assert(ovc.credits_phits <= port_capacity(ev.port));
+        wake_waiters(ovidx);  // waiter chains never leave the router
+      });
+
+  s.flit_ring.drain_prefetch(
+      slot,
+      [&](const FlitEvent& ev) {
+        __builtin_prefetch(&in_vcs_[vc_index(ev.router, ev.port, ev.vc)]);
+      },
+      [&](const FlitEvent& ev) {
+        const std::size_t vidx = vc_index(ev.router, ev.port, ev.vc);
+        InputVc& ivc = in_vcs_[vidx];
+        if (ivc.fifo.empty()) {
+          ++nonempty_vcs_[static_cast<size_t>(ev.router)];
+          ivc.head_since = now_;
+          head_hop_[vidx] = kHeadUnknown;  // this flit becomes the head
+          const std::size_t pidx = port_index(ev.router, ev.port);
+          std::uint32_t& scan = in_scan_[pidx];
+          if ((scan >> 16) == 0) set_occupied(ev.router, ev.port);
+          scan |= 1u << (16 + ev.vc);
+          port_wake_[pidx] = 0;  // a fresh head makes the port actionable
+        }
+        ivc.fifo.push_back(ev.flit);
+        ivc.occupancy_phits += ev.flit.size_phits;
+        if (pclass(ev.port) == PortClass::kTerminal) {
+          const NodeId t = ev.router * terminals_per_router_ +
+                           (ev.port - first_terminal_port_);
+          terminals_[static_cast<size_t>(t)].inflight_phits -=
+              ev.flit.size_phits;
+        }
+        assert(ivc.occupancy_phits <= port_capacity(ev.port));
+      });
 }
 
 void Engine::allocate_and_inject_shard(Shard& s) {
@@ -159,10 +262,46 @@ void Engine::allocate_and_inject_shard(Shard& s) {
 
   const bool draws = injection_.mode == InjectionProcess::Mode::kBernoulli &&
                      gen_probability_ > 0.0;
+  if (draws && !onoff_) {
+    // Plain-Bernoulli fast path: the generation coin for terminal t is a
+    // single mix64 of the hoisted per-cycle stream key against a fixed
+    // threshold — no keyed Rng is built unless the terminal reaches its
+    // destination draw (try_inject_shard derives the stream lazily; its
+    // xoshiro reseed decorrelates the stream from the raw coin value).
+    // Still a pure function of (seed, cycle, terminal), hence exactly as
+    // jobs-invariant as the full per-terminal stream it replaces.
+    const std::uint64_t kcd = mix64(
+        mix64(cfg_.seed, static_cast<std::uint64_t>(now_)), kStreamInject);
+    const bool always = gen_probability_ >= 1.0;
+    const std::uint64_t threshold =
+        always ? ~0ULL
+               : static_cast<std::uint64_t>(
+                     gen_probability_ * 18446744073709551616.0 /* 2^64 */);
+    for (NodeId t = s.first_terminal; t < s.end_terminal; ++t) {
+      if (has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)]) {
+        continue;
+      }
+      TerminalState& ts = terminals_[static_cast<size_t>(t)];
+      const bool generate =
+          always || mix64(kcd, static_cast<std::uint64_t>(t)) < threshold;
+      if (generate) {
+        const bool accepted =
+            ts.pending_created.size() <
+            static_cast<std::size_t>(cfg_.source_queue_cap);
+        if (accepted) ts.pending_created.push_back(now_);
+        if (on_generated_) s.gen_accepted.push_back(accepted ? 1 : 0);
+      } else if (ts.pending_created.empty() && ts.burst_remaining == 0) {
+        continue;  // nothing generated, nothing queued: no attempt
+      }
+      try_inject_shard(t, ts, nullptr, s);
+    }
+    return;
+  }
   if (draws) {
-    // Each terminal's generation randomness comes from its own keyed
-    // stream, in a fixed draw order: ON/OFF chain step(s), generation
-    // draw, then (inside try_inject_shard) the destination draw.
+    // ON/OFF: each terminal's generation randomness comes from its own
+    // keyed stream, in a fixed draw order: ON/OFF chain step(s),
+    // generation draw, then (inside try_inject_shard) the destination
+    // draw.
     for (NodeId t = s.first_terminal; t < s.end_terminal; ++t) {
       if (has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)]) {
         continue;
@@ -170,18 +309,13 @@ void Engine::allocate_and_inject_shard(Shard& s) {
       TerminalState& ts = terminals_[static_cast<size_t>(t)];
       Rng trng = keyed_stream(cfg_.seed, now_, kStreamInject,
                               static_cast<std::uint64_t>(t));
-      bool generate;
-      if (onoff_) {
-        std::uint8_t& on = onoff_state_[static_cast<size_t>(t)];
-        if (on != 0) {
-          if (trng.bernoulli(injection_.onoff_off)) on = 0;
-        } else if (trng.bernoulli(injection_.onoff_on)) {
-          on = 1;
-        }
-        generate = on != 0 && trng.bernoulli(gen_probability_on_);
-      } else {
-        generate = trng.bernoulli(gen_probability_);
+      std::uint8_t& on = onoff_state_[static_cast<size_t>(t)];
+      if (on != 0) {
+        if (trng.bernoulli(injection_.onoff_off)) on = 0;
+      } else if (trng.bernoulli(injection_.onoff_on)) {
+        on = 1;
       }
+      const bool generate = on != 0 && trng.bernoulli(gen_probability_on_);
       if (generate) {
         const bool accepted =
             ts.pending_created.size() <
@@ -189,19 +323,19 @@ void Engine::allocate_and_inject_shard(Shard& s) {
         if (accepted) ts.pending_created.push_back(now_);
         if (on_generated_) s.gen_accepted.push_back(accepted ? 1 : 0);
       }
-      try_inject_shard(t, ts, trng, s);
+      try_inject_shard(t, ts, &trng, s);
     }
     return;
   }
 
   // No generation randomness (burst mode, zero load, or scripted
-  // destinations only): look at terminals with queued work.
+  // destinations only): look at terminals with queued work. The keyed
+  // stream has drawn nothing yet here, so try_inject_shard derives it
+  // lazily — only if the attempt survives to the destination draw.
   for (NodeId t = s.first_terminal; t < s.end_terminal; ++t) {
     TerminalState& ts = terminals_[static_cast<size_t>(t)];
     if (ts.pending_created.empty() && ts.burst_remaining == 0) continue;
-    Rng trng = keyed_stream(cfg_.seed, now_, kStreamInject,
-                            static_cast<std::uint64_t>(t));
-    try_inject_shard(t, ts, trng, s);
+    try_inject_shard(t, ts, nullptr, s);
   }
 }
 
@@ -210,7 +344,7 @@ void Engine::allocate_and_inject_shard(Shard& s) {
 // at the flush, but the source-side bookkeeping — queue pop, destination
 // draw, inflight/link accounting — happens here so the next cycle's
 // capacity checks see it.
-void Engine::try_inject_shard(NodeId t, TerminalState& ts, Rng& rng,
+void Engine::try_inject_shard(NodeId t, TerminalState& ts, Rng* rng,
                               Shard& s) {
   if (ts.pending_created.empty() && ts.burst_remaining == 0) return;
   if (ts.link_busy_until > now_) return;
@@ -236,8 +370,15 @@ void Engine::try_inject_shard(NodeId t, TerminalState& ts, Rng& rng,
   if (has_forced_dst_ && !forced_dst_[static_cast<size_t>(t)].empty()) {
     dst = forced_dst_[static_cast<size_t>(t)].front();
     forced_dst_[static_cast<size_t>(t)].pop_front();
+  } else if (rng != nullptr) {
+    dst = pattern_->dest(t, *rng);
   } else {
-    dst = pattern_->dest(t, rng);
+    // No generation draw preceded this attempt, so the terminal's keyed
+    // stream is still at its origin: deriving it here, at its first
+    // actual draw, is draw-for-draw identical to deriving it up front.
+    Rng lazy = keyed_stream(cfg_.seed, now_, kStreamInject,
+                            static_cast<std::uint64_t>(t));
+    dst = pattern_->dest(t, lazy);
   }
   assert(dst != t && dst >= 0 && dst < topo_.num_terminals());
 
@@ -264,23 +405,29 @@ void Engine::flush_shard(Shard& s) {
       // fires, which is strictly in the future.
       on_hop_(pool_[h.packet], h.choice, h.router);
     }
+    s.hops.clear();
   }
-  s.hops.clear();
   if (on_generated_) {
     for (const std::uint8_t accepted : s.gen_accepted) {
       on_generated_(now_, accepted != 0);
     }
+    s.gen_accepted.clear();
   }
-  s.gen_accepted.clear();
 
-  for (const StagedCredit& c : s.staged_credits) schedule_credit(c.at, c.ev);
-  s.staged_credits.clear();
-  for (const StagedFlit& f : s.staged_flits) schedule_flit(f.at, f.ev);
-  s.staged_flits.clear();
-  for (const StagedDelivery& d : s.staged_deliveries) {
-    schedule_delivery(d.at, d.id);
+  // Cross-shard events, replayed in staging order. Events bound for
+  // different destination shards land in disjoint rings, so one outbox
+  // per source shard replayed here is slot-for-slot identical to a
+  // per-(source, destination) split replayed in ascending (src, dst).
+  for (const StagedCredit& c : s.outbox_credits) {
+    assert(c.at > now_ && c.at - now_ < ring_size_);
+    shards_[shard_of(c.ev.router)].credit_ring.push(ring_slot(c.at), c.ev);
   }
-  s.staged_deliveries.clear();
+  s.outbox_credits.clear();
+  for (const StagedFlit& f : s.outbox_flits) {
+    assert(f.at > now_ && f.at - now_ < ring_size_);
+    shards_[shard_of(f.ev.router)].flit_ring.push(ring_slot(f.at), f.ev);
+  }
+  s.outbox_flits.clear();
 
   for (const StagedInjection& inj : s.injections) {
     const PacketId id = pool_.alloc();
@@ -296,6 +443,9 @@ void Engine::flush_shard(Shard& s) {
     pkt.rs.dst_group = topo_.group_of_terminal(inj.dst);
     pkt.rs.src_group = topo_.group_of_terminal(inj.terminal);
 
+    // The source terminal's router is in this very shard, so injection
+    // flits go straight into s's own wheel (we are serial here; nothing
+    // is draining it).
     const RouterId r = topo_.router_of_terminal(inj.terminal);
     const PortId port = topo_.terminal_port(inj.terminal);
     for (int k = 0; k < flits_per_packet_; ++k) {
@@ -305,8 +455,8 @@ void Engine::flush_shard(Shard& s) {
       flit.size_phits = static_cast<std::int16_t>(flit_phits_);
       flit.head = (k == 0);
       flit.tail = (k == flits_per_packet_ - 1);
-      schedule_flit(now_ + static_cast<Cycle>((k + 1) * flit_phits_),
-                    {r, port, 0, flit});
+      const Cycle at = now_ + static_cast<Cycle>((k + 1) * flit_phits_);
+      s.flit_ring.push(ring_slot(at), {r, port, 0, flit});
     }
   }
   s.injections.clear();

@@ -17,6 +17,8 @@
 #include "api/experiment.hpp"
 #include "api/simulator.hpp"
 #include "runtime/parallel_for.hpp"
+#include "traffic/factory.hpp"
+#include "traffic/pattern.hpp"
 
 namespace dfsim {
 namespace {
@@ -93,6 +95,20 @@ TEST(ShardedDeterminism, OnOffSourcesAreWorkerCountInvariant) {
 TEST(ShardedDeterminism, FaultedTopologyIsWorkerCountInvariant) {
   SimConfig cfg = sharded_config();
   cfg.fault_spec = "r:4,r:5,r:6,r:7";  // one whole dead group
+  const SteadyResult serial = steady_with_jobs(cfg, 1);
+  const SteadyResult parallel = steady_with_jobs(cfg, 8);
+  EXPECT_GT(serial.delivered, 0u);
+  expect_same_steady(serial, parallel);
+}
+
+TEST(ShardedDeterminism, UnbalancedShapeIsWorkerCountInvariant) {
+  // p2a6h3g8: a < 2h leaves global-port slots unwired, g < a*h + 1 wires
+  // several links between each group pair, and the group count does not
+  // divide evenly across 8 workers — the shard partitioner must handle
+  // ragged group-to-worker assignments without the RNG keying noticing.
+  SimConfig cfg = sharded_config();
+  cfg.h = 0;
+  cfg.topo = "p2a6h3g8";
   const SteadyResult serial = steady_with_jobs(cfg, 1);
   const SteadyResult parallel = steady_with_jobs(cfg, 8);
   EXPECT_GT(serial.delivered, 0u);
@@ -190,6 +206,92 @@ TEST(ShardedCheckpoint, EngineModeMismatchIsRejected) {
     EXPECT_NE(std::string(e.what()).find("engine"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(ShardedCheckpoint, VersionTwoRejectedPointedly) {
+  // v3 moved the in-flight events from one global wheel triple to one
+  // triple per shard. A v2 stream must fail with a message that says so,
+  // not be misparsed as shard 0's wheels.
+  const SimConfig cfg = sharded_config();
+  JobsGuard guard(1);
+  SimulationRun run = SimulationRun::steady(cfg);
+  run.advance(700);
+  std::stringstream snap;
+  run.save_checkpoint(snap);
+  std::string bytes = snap.str();
+
+  // The engine section starts with its own magic; the version u32 sits in
+  // the 4 bytes right after it (little-endian).
+  const std::size_t eng = bytes.find("DFENGCK\n");
+  ASSERT_NE(eng, std::string::npos);
+  bytes[eng + 8] = 2;
+  bytes[eng + 9] = 0;
+  bytes[eng + 10] = 0;
+  bytes[eng + 11] = 0;
+
+  SimulationRun fresh = SimulationRun::steady(cfg);
+  std::istringstream is(bytes);
+  try {
+    fresh.restore(is);
+    FAIL() << "restore() accepted a version-2 engine section";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version 2"), std::string::npos) << msg;
+  }
+}
+
+// --- phase profiler ------------------------------------------------------
+
+TEST(ShardedProfile, PhaseCountersTileTheTotal) {
+  // Timestamps are taken at phase boundaries, so the four phase counters
+  // must sum to the step total exactly — any gap means a phase is timed
+  // against the wrong edge (and the serial-fraction telemetry lies).
+  DragonflyTopology topo(2);
+  RoutingParams rp;
+  auto routing = make_routing("olm", topo, rp);
+  auto pattern = make_pattern_spec(topo, "un");
+  EngineConfig ec;
+  ec.sharded = true;
+  ec.shard_jobs = 2;
+  ec.profile = true;
+  ec.seed = 7;
+  InjectionProcess inj;
+  inj.load = 0.3;
+  Engine engine(topo, ec, *routing, *pattern, inj);
+  ASSERT_TRUE(engine.profiling());
+  for (int i = 0; i < 200; ++i) engine.step();
+
+  const Engine::PhaseProfile& p = engine.phase_profile();
+  EXPECT_EQ(p.steps, 200u);
+  EXPECT_GT(p.total_ns, 0u);
+  EXPECT_EQ(p.arrive_ns + p.deliver_ns + p.alloc_ns + p.flush_ns,
+            p.total_ns);
+  EXPECT_GT(p.serial_fraction(), 0.0);
+  EXPECT_LT(p.serial_fraction(), 1.0);
+}
+
+TEST(ShardedProfile, OffByDefaultAndAllZero) {
+  // Profiling off is the hot configuration: the counters must stay
+  // untouched (no clock reads leak into the unprofiled step path).
+  DragonflyTopology topo(2);
+  RoutingParams rp;
+  auto routing = make_routing("olm", topo, rp);
+  auto pattern = make_pattern_spec(topo, "un");
+  EngineConfig ec;
+  ec.sharded = true;
+  ec.shard_jobs = 2;
+  ec.seed = 7;
+  InjectionProcess inj;
+  inj.load = 0.3;
+  Engine engine(topo, ec, *routing, *pattern, inj);
+  EXPECT_FALSE(engine.profiling());
+  for (int i = 0; i < 50; ++i) engine.step();
+
+  const Engine::PhaseProfile& p = engine.phase_profile();
+  EXPECT_EQ(p.steps, 0u);
+  EXPECT_EQ(p.total_ns, 0u);
+  EXPECT_EQ(p.arrive_ns + p.deliver_ns + p.alloc_ns + p.flush_ns, 0u);
+  EXPECT_EQ(p.serial_fraction(), 0.0);
 }
 
 // --- exact vs sharded statistical agreement ------------------------------

@@ -26,6 +26,10 @@ for _ in 1 2 3; do
   # .github/workflows/ci.yml).
   DF_H=2 DF_WARMUP=500 DF_MEASURE=1500 \
     "$BUILD_DIR/bench/fig05_throughput_vct" --jobs=2 >/dev/null
+  # The same point under the sharded engine; reports as
+  # "fig05_throughput_vct+sharded", its own perf-gate identity.
+  DF_ENGINE=sharded DF_H=2 DF_WARMUP=500 DF_MEASURE=1500 \
+    "$BUILD_DIR/bench/fig05_throughput_vct" --jobs=2 >/dev/null
   # The micro_sim smoke (skipped with a note if google-benchmark was
   # unavailable at configure time).
   if [ -x "$BUILD_DIR/bench/micro_sim" ]; then
