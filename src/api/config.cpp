@@ -9,6 +9,7 @@
 #include "common/env.hpp"
 #include "topology/fault_model.hpp"
 #include "traffic/factory.hpp"
+#include "traffic/workload.hpp"
 
 namespace dfsim {
 
@@ -200,6 +201,19 @@ void SimConfig::validate() const {
     validate_pattern_spec(pattern);
   } catch (const std::invalid_argument& e) {
     fail(e.what());
+  }
+  if (!workload.empty()) {
+    try {
+      validate_workload_spec(workload);
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+    }
+    if (onoff_on > 0.0 || onoff_off > 0.0) {
+      fail(
+          "workload and ON/OFF injection cannot be combined: workloads "
+          "drive per-terminal loads and forced injections through the "
+          "plain Bernoulli path (clear onoff_on/onoff_off or workload)");
+    }
   }
   // Written as negated >=/<= so NaN fails too (every comparison with NaN
   // is false, which would sail through the direct form).
@@ -396,6 +410,7 @@ std::string SimConfig::describe() const {
   os << "load=" << fmt_f64(load) << '\n';
   os << "onoff_on=" << fmt_f64(onoff_on) << '\n';
   os << "onoff_off=" << fmt_f64(onoff_off) << '\n';
+  os << "workload=" << workload << '\n';
   os << "engine=" << engine << '\n';
   os << "warmup_cycles=" << warmup_cycles << '\n';
   os << "measure_cycles=" << measure_cycles << '\n';
@@ -464,6 +479,7 @@ void SimConfig::set(const std::string& key, const std::string& value) {
   else if (key == "load") load = as_f64();
   else if (key == "onoff_on") onoff_on = as_f64();
   else if (key == "onoff_off") onoff_off = as_f64();
+  else if (key == "workload") workload = value;
   else if (key == "engine") engine = value;
   else if (key == "warmup_cycles") warmup_cycles = static_cast<Cycle>(as_u64());
   else if (key == "measure_cycles") {
@@ -536,6 +552,8 @@ SimConfig bench_defaults() {
   // (fig04-11) override the pattern per panel; DF_TRAFFIC drives the
   // single-pattern binaries (quickstart, fig_transient base phase, ...).
   cfg.pattern = env_str("DF_TRAFFIC", cfg.pattern);
+  // Workload spec (README "Workloads"); empty runs the plain pattern.
+  cfg.workload = env_str("DF_WORKLOAD", cfg.workload);
   // Engine mode (README "Engine internals"): exact (default) or sharded.
   cfg.engine = env_str("DF_ENGINE", cfg.engine);
   cfg.onoff_on = env_double("DF_ONOFF_ON", cfg.onoff_on);

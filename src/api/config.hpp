@@ -88,6 +88,15 @@ struct SimConfig {
   // whatever `pattern` resolves to.
   double onoff_on = 0.0;
   double onoff_off = 0.0;
+  // Application workload layered above the pattern (DF_WORKLOAD spec
+  // resolved by the workload registry): collective motifs
+  // ("coll:alltoall", "coll:ring-allreduce", "coll:halo2d:4x8"),
+  // multi-job interference ("jobs:4:place=random:alltoall@0.3|ring"),
+  // or trace replay ("trace:FILE"). Empty (the default) runs the plain
+  // `pattern`; when set, `pattern` is ignored and the workload supplies
+  // destinations, message sizes, replies and per-job loads (see
+  // src/traffic/workload.hpp for the grammar).
+  std::string workload;
 
   // --- engine -------------------------------------------------------------
   // "exact" (default): the serial stepper whose single-RNG ascending draw
@@ -149,7 +158,7 @@ struct SimConfig {
 
 /// Defaults for bench binaries: laptop scale unless DF_FULL=1, overridable
 /// via DF_H, DF_P, DF_A, DF_G, DF_TOPO, DF_WARMUP, DF_MEASURE, DF_SEED,
-/// DF_BURST.
+/// DF_BURST, DF_TRAFFIC, DF_WORKLOAD, DF_ENGINE, DF_FAULTS.
 SimConfig bench_defaults();
 
 }  // namespace dfsim

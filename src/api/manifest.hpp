@@ -15,6 +15,11 @@
 //   grid.load = 0.2, 0.4, 0.6       # comma-separated values for any
 //   grid.seed = 1, 2                # SimConfig key; axes multiply
 //
+//   workload = jobs:4:alltoall       # workload specs (traffic/workload.hpp)
+//   grid.workload = jobs:4:place=contig:alltoall, jobs:4:place=random:alltoall
+//                                    # are plain SimConfig keys, so they sweep
+//                                    # like any other axis (no commas in specs)
+//
 //   phase = cycles=800 windows=2                    # optional: phased
 //   phase = cycles=800 windows=2 pattern=advg+1     # points instead of
 //                                                   # steady ones

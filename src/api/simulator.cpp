@@ -10,6 +10,7 @@
 #include "sim/engine.hpp"
 #include "traffic/factory.hpp"
 #include "traffic/pattern.hpp"
+#include "traffic/workload.hpp"
 
 namespace dfsim {
 
@@ -25,8 +26,15 @@ struct Harness {
         routing(make_routing(cfg.routing, topo, cfg.routing_params())),
         pattern(make_pattern(topo, cfg.pattern, cfg.pattern_offset,
                              cfg.global_fraction)),
+        workload(cfg.workload.empty() ? nullptr
+                                      : make_workload(&topo, cfg.workload)),
         collector(cfg.warmup_cycles, topo.num_terminals()),
-        engine(topo, cfg.engine_config(*routing), *routing, *pattern,
+        // A Workload IS a TrafficPattern: when one is configured it takes
+        // over the engine's destination draws wholesale (cfg.pattern is
+        // ignored, as documented on the knob).
+        engine(topo, cfg.engine_config(*routing), *routing,
+               workload != nullptr ? static_cast<TrafficPattern&>(*workload)
+                                   : *pattern,
                injection) {
     engine.set_delivery_hook([this](const Packet& pkt, Cycle now) {
       collector.on_delivered(pkt, now);
@@ -34,11 +42,22 @@ struct Harness {
     engine.set_generation_hook([this](Cycle now, bool accepted) {
       collector.on_generated(now, accepted);
     });
+    if (workload != nullptr) {
+      engine.set_workload(workload.get());
+      const std::vector<double> loads = workload->terminal_loads(cfg.load);
+      if (!loads.empty()) engine.set_terminal_loads(loads);
+      collector.set_job_map(workload->job_of_terminal(),
+                            workload->num_jobs());
+      // Trace replay: every injection comes from the file's rows; the
+      // Bernoulli sources must stay silent.
+      if (workload->is_trace()) engine.set_offered_load(0.0);
+    }
   }
 
   DragonflyTopology topo;
   std::unique_ptr<RoutingAlgorithm> routing;
   std::unique_ptr<TrafficPattern> pattern;
+  std::unique_ptr<Workload> workload;
   Collector collector;
   Engine engine;
 };
@@ -58,6 +77,11 @@ SteadyResult steady_result_from(const Harness& hx, const SimConfig& cfg) {
   out.delivered = hx.collector.delivered_packets();
   out.dead_destination_drops = hx.engine.dead_destination_drops();
   out.deadlock = hx.engine.deadlock_detected();
+  if (hx.collector.num_jobs() > 0) {
+    // Non-advancing totals: steady results may be derived repeatedly.
+    out.per_job =
+        hx.collector.job_totals(cfg.warmup_cycles, hx.engine.now());
+  }
   return out;
 }
 
@@ -85,6 +109,15 @@ void validate_phases(const SimConfig& cfg, const std::vector<Phase>& phases) {
           "run_phased: phase " + std::to_string(i) + " wants " +
           std::to_string(ph.windows) + " windows in " +
           std::to_string(ph.cycles) + " cycles");
+    }
+    if (!cfg.workload.empty() && (!ph.pattern.empty() || ph.load >= 0.0)) {
+      throw std::invalid_argument(
+          "run_phased: phase " + std::to_string(i) +
+          " switches the pattern or load, but the run has workload \"" +
+          cfg.workload +
+          "\": workloads own the destination draws and per-terminal "
+          "loads, so mid-run phase switches are not supported (drop the "
+          "switch or the workload)");
     }
     if (!ph.pattern.empty()) validate_pattern_spec(ph.pattern);
     // Negative = keep; otherwise [0, 1]. NaN satisfies neither arm and is
@@ -124,6 +157,14 @@ void write_traffic_window(std::ostream& os, const TrafficWindow& w) {
   ser::write_f64(os, w.drop_rate);
 }
 
+void write_window_vec(std::ostream& os,
+                      const std::vector<TrafficWindow>& ws) {
+  ser::write_u64(os, ws.size());
+  for (const TrafficWindow& w : ws) write_traffic_window(os, w);
+}
+
+std::vector<TrafficWindow> read_window_vec(std::istream& is);
+
 TrafficWindow read_traffic_window(std::istream& is) {
   TrafficWindow w;
   w.start = ser::read_u64(is, "window start");
@@ -137,6 +178,20 @@ TrafficWindow read_traffic_window(std::istream& is) {
   w.offered_load = ser::read_f64(is, "window offered load");
   w.drop_rate = ser::read_f64(is, "window drop rate");
   return w;
+}
+
+std::vector<TrafficWindow> read_window_vec(std::istream& is) {
+  const std::uint64_t n = ser::read_u64(is, "per-job window count");
+  if (n > (1ULL << 20)) {
+    throw std::runtime_error(
+        "checkpoint corrupt: implausible per-job window count");
+  }
+  std::vector<TrafficWindow> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(read_traffic_window(is));
+  }
+  return out;
 }
 
 /// Name the first knob that differs between two describe() texts, for the
@@ -206,6 +261,7 @@ struct SimulationRun::Impl {
   // --- accumulated results (serialized) ----------------------------------
   std::vector<PhaseWindow> windows;
   TrafficWindow drain_window;
+  std::vector<TrafficWindow> drain_per_job;
   bool drained = false;
 
   bool deadlock() const { return hx.engine.deadlock_detected(); }
@@ -228,6 +284,9 @@ struct SimulationRun::Impl {
     pw.pattern = active_pattern_name;
     pw.load = active_load;
     pw.stats = hx.collector.cut_window(window_start, now(), cfg.packet_phits);
+    if (hx.collector.num_jobs() > 0) {
+      pw.per_job = hx.collector.cut_job_windows(window_start, now());
+    }
     windows.push_back(std::move(pw));
   }
 
@@ -238,6 +297,9 @@ struct SimulationRun::Impl {
   void finish_phased() {
     drain_window =
         hx.collector.cut_window(drain_start, now(), cfg.packet_phits);
+    if (hx.collector.num_jobs() > 0) {
+      drain_per_job = hx.collector.cut_job_windows(drain_start, now());
+    }
     drained = hx.engine.packets_in_flight() == 0 && !deadlock();
     stage = Stage::kDone;
   }
@@ -423,6 +485,10 @@ bool SimulationRun::advance(Cycle budget) {
           im.drain_start = im.now();
           im.draining = true;
           eng.set_offered_load(0.0);
+          // Per-terminal workload loads force generation draws regardless
+          // of the uniform load; clearing them is what actually silences
+          // the sources.
+          eng.set_terminal_loads({});
         }
         const Cycle deadline = im.drain_start + im.cfg.max_cycles;
         while (remaining > 0 && eng.packets_in_flight() > 0 &&
@@ -482,6 +548,7 @@ PhasedResult SimulationRun::phased_result() const {
   PhasedResult out;
   out.windows = im.windows;
   out.drain = im.drain_window;
+  out.drain_per_job = im.drain_per_job;
   out.drained = im.drained;
   out.total = steady_result_from(im.hx, im.cfg);
   return out;
@@ -519,8 +586,10 @@ void SimulationRun::save_checkpoint(std::ostream& os) const {
     ser::write_string(os, pw.pattern);
     ser::write_f64(os, pw.load);
     write_traffic_window(os, pw.stats);
+    write_window_vec(os, pw.per_job);  // v2: per-job cuts of the window
   }
   write_traffic_window(os, im.drain_window);
+  write_window_vec(os, im.drain_per_job);
   ser::write_u8(os, im.drained ? 1 : 0);
   im.hx.collector.save(os);
   im.hx.engine.save_checkpoint(os);
@@ -541,6 +610,13 @@ void SimulationRun::restore(std::istream& is) {
         "not a dfsim run checkpoint (bad magic bytes)");
   }
   const std::uint32_t version = ser::read_u32(is, "run checkpoint version");
+  if (version == 1) {
+    throw std::runtime_error(
+        "run checkpoint format version 1 is not supported by this build "
+        "(version 2 added the workload knob to the config text and "
+        "per-job sections to every accumulated window; re-run the "
+        "checkpointed experiment to produce a v2 checkpoint)");
+  }
   if (version != kCheckpointVersion) {
     throw std::runtime_error(
         "run checkpoint format version " + std::to_string(version) +
@@ -616,9 +692,11 @@ void SimulationRun::restore(std::istream& is) {
     pw.pattern = ser::read_string(is, "accumulated window pattern");
     pw.load = ser::read_f64(is, "accumulated window load");
     pw.stats = read_traffic_window(is);
+    pw.per_job = read_window_vec(is);
     im.windows.push_back(std::move(pw));
   }
   im.drain_window = read_traffic_window(is);
+  im.drain_per_job = read_window_vec(is);
   im.drained = ser::read_u8(is, "run drained flag") != 0;
 
   im.hx.collector.load(is);

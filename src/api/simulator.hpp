@@ -38,6 +38,12 @@ struct SteadyResult {
   /// router (degraded topologies only; 0 on healthy networks).
   std::uint64_t dead_destination_drops = 0;
   bool deadlock = false;
+  /// Per-job measurement totals, one entry per job of a multi-job
+  /// workload (empty when cfg.workload is empty or single-job).
+  /// accepted_load is normalized by the job's own terminal count;
+  /// generated/offered/drop stay 0 — the generation hook carries no
+  /// terminal id, so offered load cannot be attributed to a job.
+  std::vector<TrafficWindow> per_job;
 };
 
 struct BurstResult {
@@ -78,6 +84,10 @@ struct PhaseWindow {
   std::string pattern;   ///< pattern name active during the window
   double load = 0.0;     ///< offered load configured during the window
   TrafficWindow stats;
+  /// Per-job cuts of the same window (multi-job workloads; empty
+  /// otherwise). Cut at the same boundaries as `stats`, so per-job
+  /// windows tile the run and sum to the per-job totals exactly.
+  std::vector<TrafficWindow> per_job;
 };
 
 struct PhasedResult {
@@ -85,6 +95,8 @@ struct PhasedResult {
   /// Post-phase drain: injection stops and the engine runs until the
   /// network empties (or cfg.max_cycles). Deliveries land here.
   TrafficWindow drain;
+  /// Per-job cut of the drain span (multi-job workloads; empty otherwise).
+  std::vector<TrafficWindow> drain_per_job;
   bool drained = false;  ///< network fully emptied within the budget
   /// Whole-run aggregate over [warmup, end of drain]. Every integer
   /// counter equals the sum of the windows' (including drain's): the
@@ -116,7 +128,10 @@ class SimulationRun {
  public:
   /// Bumped when the run-level checkpoint layout changes. The engine
   /// section carries its own Engine::kCheckpointVersion underneath.
-  static constexpr std::uint32_t kCheckpointVersion = 1;
+  /// v2: the workload knob joined the config text and every accumulated
+  /// window gained a per-job section; v1 streams are rejected with a
+  /// pointed message.
+  static constexpr std::uint32_t kCheckpointVersion = 2;
 
   /// The experiment shapes. Each factory validates exactly as the
   /// corresponding run_* wrapper always has (same exceptions, same

@@ -104,8 +104,7 @@ std::vector<ExperimentPoint> sweep_grid(
 
 namespace {
 
-// Shared CSV row emitters: the deprecated printers and the
-// ExperimentResult printers must produce byte-identical output.
+// Shared CSV row emitters behind the public printers.
 void sweep_rows(std::ostream& out, Metric metric, const std::string& x_label,
                 std::size_t n,
                 const std::function<void(std::size_t, std::string&, double&,
@@ -168,32 +167,12 @@ void print_sweep(std::ostream& out,
              });
 }
 
-void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
-                 Metric metric, const std::string& x_label) {
-  sweep_rows(out, metric, x_label, points.size(),
-             [&](std::size_t i, std::string& series, double& x,
-                 SteadyResult& r) {
-               series = points[i].series;
-               x = points[i].x;
-               r = points[i].result;
-             });
-}
-
 void print_phased(std::ostream& out,
                   const std::vector<ExperimentResult>& results) {
   phased_rows(out, results.size(),
               [&](std::size_t i, std::string& series, PhasedResult& r) {
                 series = results[i].series;
                 r = results[i].phased;
-              });
-}
-
-void print_phased(std::ostream& out,
-                  const std::vector<PhasedPoint>& points) {
-  phased_rows(out, points.size(),
-              [&](std::size_t i, std::string& series, PhasedResult& r) {
-                series = points[i].series;
-                r = points[i].result;
               });
 }
 

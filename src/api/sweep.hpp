@@ -72,8 +72,8 @@ struct SweepOptions {
 };
 
 /// Run every grid point, in parallel, preserving point order in the
-/// returned vector. The single execution path behind parallel_sweep,
-/// parallel_phased_sweep, and the manifest runner.
+/// returned vector. The single execution path behind every bench grid
+/// and the manifest runner.
 std::vector<ExperimentResult> run_experiments(
     const std::vector<ExperimentPoint>& points, const SweepOptions& opts = {});
 
@@ -105,103 +105,5 @@ void print_phased(std::ostream& out,
 
 /// Standard load grids used by the figure benches.
 std::vector<double> default_loads(double max_load, int points);
-
-// --- deprecated pre-unification surface ----------------------------------
-// The SweepPoint/PhasedPoint split predates ExperimentPoint. Every entry
-// point below is an inline forwarder onto run_experiments, kept for one
-// PR so downstream call sites migrate on their own schedule.
-
-struct SweepPoint {
-  std::string series;
-  double x = 0.0;
-  std::uint64_t seed = 0;  ///< derived per-point seed the run used
-  SteadyResult result;
-};
-
-/// One prepared steady grid point of the pre-unification API.
-struct SweepJob {
-  std::string series;
-  double x = 0.0;
-  SimConfig cfg;
-};
-
-/// One prepared phased run of the pre-unification API.
-struct PhasedJob {
-  std::string series;
-  SimConfig cfg;
-  std::vector<Phase> phases;
-};
-
-struct PhasedPoint {
-  std::string series;
-  std::uint64_t seed = 0;  ///< derived per-job seed the run used
-  PhasedResult result;
-};
-
-[[deprecated("use run_experiments over ExperimentPoints")]]
-inline std::vector<SweepPoint> parallel_sweep(const std::vector<SweepJob>& jobs,
-                                              const SweepOptions& opts = {}) {
-  std::vector<ExperimentPoint> points;
-  points.reserve(jobs.size());
-  for (const SweepJob& job : jobs) {
-    points.push_back({job.series, job.x, job.cfg, {}});
-  }
-  const std::vector<ExperimentResult> results = run_experiments(points, opts);
-  std::vector<SweepPoint> out(results.size());
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    out[i] = {results[i].series, results[i].x, results[i].seed,
-              results[i].steady};
-  }
-  return out;
-}
-
-[[deprecated("use run_experiments(sweep_grid(...))")]]
-inline std::vector<SweepPoint> parallel_sweep(
-    const SimConfig& base, const std::vector<std::string>& routings,
-    const std::vector<double>& loads, const SweepOptions& opts = {}) {
-  const std::vector<ExperimentResult> results =
-      run_experiments(sweep_grid(base, routings, loads), opts);
-  std::vector<SweepPoint> out(results.size());
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    out[i] = {results[i].series, results[i].x, results[i].seed,
-              results[i].steady};
-  }
-  return out;
-}
-
-[[deprecated("use run_experiments(sweep_grid(...))")]]
-inline std::vector<SweepPoint> load_sweep(
-    const SimConfig& base, const std::vector<std::string>& routings,
-    const std::vector<double>& loads) {
-  const std::vector<ExperimentResult> results =
-      run_experiments(sweep_grid(base, routings, loads), {});
-  std::vector<SweepPoint> out(results.size());
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    out[i] = {results[i].series, results[i].x, results[i].seed,
-              results[i].steady};
-  }
-  return out;
-}
-
-[[deprecated("use run_experiments over phased ExperimentPoints")]]
-inline std::vector<PhasedPoint> parallel_phased_sweep(
-    const std::vector<PhasedJob>& jobs, const SweepOptions& opts = {}) {
-  std::vector<ExperimentPoint> points;
-  points.reserve(jobs.size());
-  for (const PhasedJob& job : jobs) {
-    points.push_back({job.series, 0.0, job.cfg, job.phases});
-  }
-  const std::vector<ExperimentResult> results = run_experiments(points, opts);
-  std::vector<PhasedPoint> out(results.size());
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    out[i] = {results[i].series, results[i].seed, results[i].phased};
-  }
-  return out;
-}
-
-void print_sweep(std::ostream& out, const std::vector<SweepPoint>& points,
-                 Metric metric, const std::string& x_label);
-
-void print_phased(std::ostream& out, const std::vector<PhasedPoint>& points);
 
 }  // namespace dfsim

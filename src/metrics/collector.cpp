@@ -1,5 +1,8 @@
 #include "metrics/collector.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "common/serialize.hpp"
 
 namespace dfsim {
@@ -30,6 +33,14 @@ void Collector::on_delivered(const Packet& pkt, Cycle now) {
   ++delivered_packets_total_;
   if (now < warmup_) return;
   delivered_phits_ += static_cast<std::uint64_t>(pkt.size_phits);
+  // Per-job attribution (by packet source) mirrors the whole-run warmup
+  // rules exactly, so the per-job counters sum to the totals above.
+  JobCounters* jc = nullptr;
+  if (num_jobs_ > 0) {
+    jc = &job_[static_cast<std::size_t>(
+        job_of_[static_cast<std::size_t>(pkt.src)])];
+    jc->delivered_phits += static_cast<std::uint64_t>(pkt.size_phits);
+  }
   if (pkt.created < warmup_) return;
   ++delivered_packets_;
   const auto lat = static_cast<double>(now - pkt.created);
@@ -37,6 +48,93 @@ void Collector::on_delivered(const Packet& pkt, Cycle now) {
   latency_sum_ += lat;
   latency_hist_.add(lat);
   hops_.add(static_cast<double>(pkt.rs.total_hops));
+  if (jc != nullptr) {
+    ++jc->delivered;
+    jc->latency_sum += lat;
+  }
+}
+
+void Collector::set_job_map(const std::vector<std::int32_t>& map,
+                            int num_jobs) {
+  if (map.empty()) {
+    job_of_.clear();
+    job_terminals_.clear();
+    job_.clear();
+    job_mark_.clear();
+    num_jobs_ = 0;
+    return;
+  }
+  if (map.size() != static_cast<std::size_t>(num_terminals_)) {
+    throw std::invalid_argument(
+        "Collector::set_job_map: map covers " + std::to_string(map.size()) +
+        " terminals but the collector tracks " +
+        std::to_string(num_terminals_));
+  }
+  std::vector<std::int32_t> terminals(static_cast<std::size_t>(num_jobs), 0);
+  for (const std::int32_t j : map) {
+    if (j < 0 || j >= num_jobs) {
+      throw std::invalid_argument(
+          "Collector::set_job_map: job id " + std::to_string(j) +
+          " outside [0, " + std::to_string(num_jobs) + ")");
+    }
+    ++terminals[static_cast<std::size_t>(j)];
+  }
+  job_of_ = map;
+  job_terminals_ = std::move(terminals);
+  num_jobs_ = num_jobs;
+  job_.assign(static_cast<std::size_t>(num_jobs), JobCounters{});
+  job_mark_.assign(static_cast<std::size_t>(num_jobs), JobCounters{});
+}
+
+std::vector<TrafficWindow> Collector::cut_job_windows(Cycle start,
+                                                      Cycle end) {
+  std::vector<TrafficWindow> out(static_cast<std::size_t>(num_jobs_));
+  for (int j = 0; j < num_jobs_; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    const JobCounters& c = job_[uj];
+    JobCounters& m = job_mark_[uj];
+    TrafficWindow& w = out[uj];
+    w.start = start;
+    w.end = end;
+    w.delivered = c.delivered - m.delivered;
+    w.delivered_phits = c.delivered_phits - m.delivered_phits;
+    const double latency_delta = c.latency_sum - m.latency_sum;
+    if (w.delivered > 0) {
+      w.avg_latency = latency_delta / static_cast<double>(w.delivered);
+    }
+    if (end > start && job_terminals_[uj] > 0) {
+      w.accepted_load =
+          static_cast<double>(w.delivered_phits) /
+          (static_cast<double>(end - start) *
+           static_cast<double>(job_terminals_[uj]));
+    }
+    m = c;
+  }
+  return out;
+}
+
+std::vector<TrafficWindow> Collector::job_totals(Cycle start,
+                                                 Cycle end) const {
+  std::vector<TrafficWindow> out(static_cast<std::size_t>(num_jobs_));
+  for (int j = 0; j < num_jobs_; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    const JobCounters& c = job_[uj];
+    TrafficWindow& w = out[uj];
+    w.start = start;
+    w.end = end;
+    w.delivered = c.delivered;
+    w.delivered_phits = c.delivered_phits;
+    if (w.delivered > 0) {
+      w.avg_latency = c.latency_sum / static_cast<double>(w.delivered);
+    }
+    if (end > start && job_terminals_[uj] > 0) {
+      w.accepted_load =
+          static_cast<double>(w.delivered_phits) /
+          (static_cast<double>(end - start) *
+           static_cast<double>(job_terminals_[uj]));
+    }
+  }
+  return out;
 }
 
 void Collector::on_generated(Cycle now, bool accepted) {
@@ -92,6 +190,19 @@ void Collector::save(std::ostream& os) const {
   ser::write_u64(os, mark_.generated);
   ser::write_u64(os, mark_.dropped);
   ser::write_f64(os, mark_.latency_sum);
+  // Per-job section (count 0 when no job map is set). The map itself is
+  // config-derived and re-established before load(); only counters and
+  // marks are state.
+  ser::write_u64(os, static_cast<std::uint64_t>(num_jobs_));
+  for (int j = 0; j < num_jobs_; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    ser::write_u64(os, job_[uj].delivered);
+    ser::write_u64(os, job_[uj].delivered_phits);
+    ser::write_f64(os, job_[uj].latency_sum);
+    ser::write_u64(os, job_mark_[uj].delivered);
+    ser::write_u64(os, job_mark_[uj].delivered_phits);
+    ser::write_f64(os, job_mark_[uj].latency_sum);
+  }
 }
 
 void Collector::load(std::istream& is) {
@@ -120,6 +231,20 @@ void Collector::load(std::istream& is) {
   mark_.generated = ser::read_u64(is, "collector mark generated");
   mark_.dropped = ser::read_u64(is, "collector mark dropped");
   mark_.latency_sum = ser::read_f64(is, "collector mark latency sum");
+  ser::expect_u64(is, static_cast<std::uint64_t>(num_jobs_),
+                  "collector job count");
+  for (int j = 0; j < num_jobs_; ++j) {
+    const auto uj = static_cast<std::size_t>(j);
+    job_[uj].delivered = ser::read_u64(is, "collector job delivered");
+    job_[uj].delivered_phits = ser::read_u64(is, "collector job phits");
+    job_[uj].latency_sum = ser::read_f64(is, "collector job latency sum");
+    job_mark_[uj].delivered =
+        ser::read_u64(is, "collector job mark delivered");
+    job_mark_[uj].delivered_phits =
+        ser::read_u64(is, "collector job mark phits");
+    job_mark_[uj].latency_sum =
+        ser::read_f64(is, "collector job mark latency sum");
+  }
 }
 
 TrafficWindow Collector::cut_window(Cycle start, Cycle end,

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -78,6 +79,28 @@ class Collector {
   /// all cuts reproduces the whole-run totals exactly.
   TrafficWindow cut_window(Cycle start, Cycle end, int packet_phits);
 
+  // --- per-job accounting (multi-job workloads) -------------------------
+  /// Partition the terminals for per-job attribution: map[t] names the job
+  /// of terminal t, in [0, num_jobs). Deliveries are attributed by packet
+  /// source under exactly the whole-run warmup rules (phits when the
+  /// delivery is post-warmup; delivered/latency when the packet was also
+  /// created post-warmup). An empty map (the default) disables the per-job
+  /// counters. Throws std::invalid_argument on a size or range mismatch.
+  void set_job_map(const std::vector<std::int32_t>& map, int num_jobs);
+  int num_jobs() const { return num_jobs_; }
+
+  /// Per-job deltas over [start, end), cut at the same boundaries as
+  /// cut_window (each job carries its own mark, so per-job windows tile
+  /// the run and sum to the per-job totals exactly). accepted_load is
+  /// normalized by the JOB's terminal count; generated/dropped/offered
+  /// stay 0 — the generation hook carries no terminal id, so offered load
+  /// cannot be attributed to a job.
+  std::vector<TrafficWindow> cut_job_windows(Cycle start, Cycle end);
+
+  /// Whole-measurement per-job totals over [start, end) without advancing
+  /// the marks (steady results may be derived repeatedly).
+  std::vector<TrafficWindow> job_totals(Cycle start, Cycle end) const;
+
   // --- checkpoint support -----------------------------------------------
   /// Serialize every counter, the window mark, and the (bit-exact)
   /// floating-point accumulators. load() requires a collector constructed
@@ -109,6 +132,19 @@ class Collector {
   std::uint64_t dropped_ = 0;
   std::uint64_t generated_measured_ = 0;  // in measurement window
   std::uint64_t dropped_measured_ = 0;    // in measurement window
+
+  /// Running measured totals (and the cut_job_windows snapshot) for one
+  /// job of the partition.
+  struct JobCounters {
+    std::uint64_t delivered = 0;
+    std::uint64_t delivered_phits = 0;
+    double latency_sum = 0.0;
+  };
+  std::vector<std::int32_t> job_of_;  ///< terminal -> job; empty = off
+  std::vector<std::int32_t> job_terminals_;
+  int num_jobs_ = 0;
+  std::vector<JobCounters> job_;
+  std::vector<JobCounters> job_mark_;
 };
 
 }  // namespace dfsim

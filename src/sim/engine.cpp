@@ -10,6 +10,7 @@
 // the shard_team_ member.
 #include "runtime/thread_pool.hpp"
 #include "traffic/pattern.hpp"
+#include "traffic/workload.hpp"
 
 namespace dfsim {
 
@@ -314,9 +315,105 @@ void Engine::deliver(PacketId id) {
   const Packet& pkt = pool_[id];
   ++delivered_packets_;
   delivered_phits_ += static_cast<std::uint64_t>(pkt.size_phits);
+  // Request-reply causality: deliveries run serially in BOTH steppers
+  // (the sharded deliver phase drains per-shard rings in ascending
+  // order), so queueing the reply here is deterministic.
+  if (workload_ != nullptr) maybe_reply(pkt);
   if (on_delivered_) on_delivered_(pkt, now_);
   pool_.release(id);
   last_progress_ = now_;
+}
+
+void Engine::maybe_reply(const Packet& pkt) {
+  if ((pkt.flags & (kPacketFlagReply | kPacketFlagNoReply)) != 0) return;
+  if (!workload_->wants_reply(pkt.src)) return;
+  // The reply travels dst -> src; its latency clock starts at the
+  // request's delivery.
+  const bool accepted = push_forced(pkt.dst, pkt.src, now_, kPacketFlagReply);
+  if (on_generated_) on_generated_(now_, accepted);
+}
+
+bool Engine::push_forced(NodeId t, NodeId dst, Cycle created,
+                         std::uint8_t flags) {
+  if (!has_forced_dst_) {
+    const auto n = static_cast<std::size_t>(topo_.num_terminals());
+    forced_dst_.resize(n);
+    forced_created_.resize(n);
+    forced_flags_.resize(n);
+    has_forced_dst_ = true;
+  }
+  const auto ti = static_cast<std::size_t>(t);
+  if (forced_dst_[ti].size() >=
+      static_cast<std::size_t>(cfg_.source_queue_cap)) {
+    return false;
+  }
+  forced_created_[ti].push_back(created);
+  forced_dst_[ti].push_back(dst);
+  forced_flags_[ti].push_back(flags);
+  // The sharded stepper iterates its shard's terminal range directly and
+  // never reads the pending bitmap; skipping the mark there also keeps
+  // parallel-phase pushes (message bodies) off the shared bitmap words.
+  if (!sharded_) mark_terminal_pending(t);
+  return true;
+}
+
+void Engine::feed_trace() {
+  workload_->drain_trace(now_, [&](NodeId src, NodeId dst, int size_phits) {
+    // Rows touching a dead terminal can never be injected/delivered;
+    // count them with the dead-destination drops.
+    if (has_dead_terminals_ && (terminal_dead_[static_cast<size_t>(src)] ||
+                                terminal_dead_[static_cast<size_t>(dst)])) {
+      ++dead_dst_drops_;
+      return;
+    }
+    const int packets =
+        (size_phits + cfg_.packet_phits - 1) / cfg_.packet_phits;
+    for (int k = 0; k < packets; ++k) {
+      const bool accepted = push_forced(src, dst, now_, kPacketFlagNoReply);
+      if (on_generated_) on_generated_(now_, accepted);
+    }
+  });
+}
+
+void Engine::set_workload(Workload* w) {
+  workload_ = w;
+  workload_trace_ = w != nullptr && w->is_trace();
+  if (w != nullptr && !has_forced_dst_) {
+    // Eager allocation: the sharded stepper queues message bodies from a
+    // parallel phase, which must never race a lazy resize.
+    const auto n = static_cast<std::size_t>(topo_.num_terminals());
+    forced_dst_.resize(n);
+    forced_created_.resize(n);
+    forced_flags_.resize(n);
+    has_forced_dst_ = true;
+  }
+}
+
+void Engine::set_terminal_loads(const std::vector<double>& loads) {
+  if (loads.empty()) {
+    has_terminal_loads_ = false;
+    terminal_gen_prob_.clear();
+    terminal_gen_threshold_.clear();
+    return;
+  }
+  if (loads.size() != static_cast<std::size_t>(topo_.num_terminals())) {
+    throw std::invalid_argument(
+        "terminal load vector has " + std::to_string(loads.size()) +
+        " entries but the topology has " +
+        std::to_string(topo_.num_terminals()) + " terminals");
+  }
+  terminal_gen_prob_.resize(loads.size());
+  terminal_gen_threshold_.resize(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double p = loads[i] / static_cast<double>(cfg_.packet_phits);
+    terminal_gen_prob_[i] = p;
+    // 2^64-scaled threshold for the sharded counter-based coin; clamp at
+    // the all-ones word so p ~ 1 cannot overflow the conversion.
+    terminal_gen_threshold_[i] =
+        p >= 1.0 ? ~0ULL
+                 : static_cast<std::uint64_t>(p * 18446744073709551616.0);
+  }
+  has_terminal_loads_ = true;
 }
 
 // Walk only routers with buffered flits, in ascending id order (the same
@@ -698,7 +795,7 @@ void Engine::send_flit(RouterId r, PortId in_port, VcId in_vc_id,
 // expensive part at low load.
 void Engine::inject_terminals() {
   const bool draws = injection_.mode == InjectionProcess::Mode::kBernoulli &&
-                     gen_probability_ > 0.0;
+                     (gen_probability_ > 0.0 || has_terminal_loads_);
   if (draws && onoff_) {
     // Markov ON/OFF sources: step each terminal's chain (one draw), then
     // let ON terminals generate at the duty-compensated rate (a second
@@ -738,7 +835,11 @@ void Engine::inject_terminals() {
       if (has_dead_terminals_ && terminal_dead_[static_cast<size_t>(t)]) {
         continue;
       }
-      if (rng_.bernoulli(gen_probability_)) {
+      // Per-terminal loads (multi-job workloads) swap the probability but
+      // keep one draw per live terminal, so the stream stays ascending.
+      if (rng_.bernoulli(has_terminal_loads_
+                             ? terminal_gen_prob_[static_cast<size_t>(t)]
+                             : gen_probability_)) {
         TerminalState& ts = terminals_[static_cast<size_t>(t)];
         const bool accepted =
             ts.pending_created.size() <
@@ -768,7 +869,7 @@ void Engine::inject_terminals() {
 
 void Engine::try_inject(NodeId t) {
   TerminalState& ts = terminals_[static_cast<size_t>(t)];
-  if (ts.pending_created.empty() && ts.burst_remaining == 0) {
+  if (!terminal_has_work(t, ts)) {
     clear_terminal_pending(t);
     return;
   }
@@ -784,27 +885,46 @@ void Engine::try_inject(NodeId t) {
     return;
   }
   materialize(t, ts);
-  if (ts.pending_created.empty() && ts.burst_remaining == 0) {
+  if (!terminal_has_work(t, ts)) {
     clear_terminal_pending(t);
   }
 }
 
 void Engine::materialize(NodeId t, TerminalState& ts) {
   Cycle created = 0;
-  if (!ts.pending_created.empty()) {
-    created = ts.pending_created.front();
-    ts.pending_created.pop_front();
-  } else {
-    assert(ts.burst_remaining > 0);
-    --ts.burst_remaining;
-  }
-
   NodeId dst;
+  std::uint8_t flags = 0;
   if (has_forced_dst_ && !forced_dst_[static_cast<size_t>(t)].empty()) {
-    dst = forced_dst_[static_cast<size_t>(t)].front();
-    forced_dst_[static_cast<size_t>(t)].pop_front();
+    // Forced packets (scripted injections, workload replies, message
+    // bodies, trace rows) carry their own creation time and flags and go
+    // ahead of the Bernoulli backlog.
+    const auto ti = static_cast<size_t>(t);
+    created = forced_created_[ti].front();
+    forced_created_[ti].pop_front();
+    dst = forced_dst_[ti].front();
+    forced_dst_[ti].pop_front();
+    flags = forced_flags_[ti].front();
+    forced_flags_[ti].pop_front();
   } else {
+    if (!ts.pending_created.empty()) {
+      created = ts.pending_created.front();
+      ts.pending_created.pop_front();
+    } else {
+      assert(ts.burst_remaining > 0);
+      --ts.burst_remaining;
+    }
     dst = pattern_->dest(t, rng_);
+    if (workload_ != nullptr) {
+      // Multi-packet messages: the body packets follow as forced entries
+      // behind this head (same destination and creation time; they never
+      // trigger replies of their own).
+      const int extra = workload_->message_packets(t, rng_) - 1;
+      for (int k = 0; k < extra; ++k) {
+        const bool accepted =
+            push_forced(t, dst, created, kPacketFlagNoReply);
+        if (on_generated_) on_generated_(now_, accepted);
+      }
+    }
   }
   assert(dst != t && dst >= 0 && dst < topo_.num_terminals());
 
@@ -825,6 +945,7 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
   pkt.flit_phits = static_cast<std::int16_t>(flit_phits_);
   pkt.created = created;
   pkt.injected = now_;
+  pkt.flags = flags;
   pkt.rs.dst_router = topo_.router_of_terminal(dst);
   pkt.rs.dst_group = topo_.group_of_terminal(dst);
   pkt.rs.src_group = topo_.group_of_terminal(t);
@@ -847,14 +968,8 @@ void Engine::materialize(NodeId t, TerminalState& ts) {
 }
 
 void Engine::inject_for_test(NodeId src, NodeId dst, Cycle created) {
-  TerminalState& ts = terminals_[static_cast<size_t>(src)];
-  ts.pending_created.push_back(created);
-  if (!has_forced_dst_) {
-    forced_dst_.resize(static_cast<size_t>(topo_.num_terminals()));
-    has_forced_dst_ = true;
-  }
-  forced_dst_[static_cast<size_t>(src)].push_back(dst);
-  mark_terminal_pending(src);
+  push_forced(src, dst, created, 0);
+  if (sharded_) mark_terminal_pending(src);  // serial caller: safe to mark
 }
 
 bool Engine::step() {
@@ -862,6 +977,7 @@ bool Engine::step() {
   if (sharded_) return step_sharded();
   process_arrivals();
   routing_.per_cycle(*this);
+  if (workload_trace_) feed_trace();
   allocate_active_routers();
   inject_terminals();
   if (pool_.in_use() > 0 && now_ - last_progress_ > cfg_.watchdog_cycles) {
@@ -894,8 +1010,11 @@ std::size_t Engine::footprint_bytes() const {
   for (const TerminalState& ts : terminals_) {
     total += ts.pending_created.footprint_bytes();
   }
-  total += vec(forced_dst_);
+  total += vec(forced_dst_) + vec(forced_created_) + vec(forced_flags_);
   for (const auto& q : forced_dst_) total += q.footprint_bytes();
+  for (const auto& q : forced_created_) total += q.footprint_bytes();
+  for (const auto& q : forced_flags_) total += q.footprint_bytes();
+  total += vec(terminal_gen_prob_) + vec(terminal_gen_threshold_);
   total += pool_.capacity() * sizeof(Packet);
   total += flit_ring_.footprint_bytes() + credit_ring_.footprint_bytes() +
            delivery_ring_.footprint_bytes();

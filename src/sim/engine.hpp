@@ -42,6 +42,7 @@ class BarrierTeam;
 }
 
 class TrafficPattern;
+class Workload;
 
 struct EngineConfig {
   FlowControl flow = FlowControl::kVirtualCutThrough;
@@ -196,6 +197,24 @@ class Engine {
     refresh_onoff_probability();
   }
 
+  // --- workload layer (traffic/workload.hpp) ---------------------------
+  /// Attach an application workload. The workload's pattern must already
+  /// be the engine's pattern (it supplies fresh destination draws); on
+  /// top of that the engine consults the workload for request-reply
+  /// causality (a reply is queued at the destination terminal when a
+  /// request is delivered), multi-packet message sizes, and trace rows.
+  /// The caller keeps `w` alive for the rest of the run; nullptr
+  /// detaches. Call before the first step().
+  void set_workload(Workload* w);
+  const Workload* workload() const { return workload_; }
+
+  /// Per-terminal offered loads (phits/node/cycle) for multi-job
+  /// workloads; overrides the uniform Bernoulli load per terminal. An
+  /// empty vector restores the uniform process. In sharded mode the
+  /// per-terminal coin is still a pure function of (seed, cycle,
+  /// terminal), so worker-count independence is preserved.
+  void set_terminal_loads(const std::vector<double>& loads);
+
   void set_delivery_hook(DeliveryHook hook) { on_delivered_ = std::move(hook); }
   void set_generation_hook(GenerationHook hook) {
     on_generated_ = std::move(hook);
@@ -294,7 +313,11 @@ class Engine {
   /// v3: sharded checkpoints serialize the per-shard timing wheels (one
   /// flit/credit/delivery ring per shard) instead of the retired global
   /// wheels; v2 sharded streams are rejected with a pointed message.
-  static constexpr std::uint32_t kCheckpointVersion = 3;
+  /// v4: workload state — per-packet flag bytes, the forced-injection
+  /// queues' (created, dst, flags) triples, per-terminal offered loads,
+  /// and the workload's trace cursor; v3 streams are rejected with a
+  /// pointed message.
+  static constexpr std::uint32_t kCheckpointVersion = 4;
 
   /// Serialize the complete dynamic engine state behind a versioned,
   /// shape-checked header: every input-VC FIFO (flit arena slices), all
@@ -501,6 +524,27 @@ class Engine {
   void materialize(NodeId terminal, TerminalState& ts);
   void deliver(PacketId id);
 
+  // --- workload support -------------------------------------------------
+  /// Queue a fully-specified packet (destination, creation time, flags)
+  /// at terminal `t`'s forced queue; materialized before fresh pattern
+  /// draws. Returns false (and queues nothing) when the source backlog
+  /// cap binds. Caller must be a serial phase, or own `t`'s shard.
+  bool push_forced(NodeId t, NodeId dst, Cycle created, std::uint8_t flags);
+  bool forced_pending(NodeId t) const {
+    return has_forced_dst_ && !forced_dst_[static_cast<std::size_t>(t)].empty();
+  }
+  /// True when terminal `t` still has anything to inject.
+  bool terminal_has_work(NodeId t, const TerminalState& ts) const {
+    return !ts.pending_created.empty() || ts.burst_remaining != 0 ||
+           forced_pending(t);
+  }
+  /// Replay trace rows with cycle <= now into the forced queues (serial
+  /// point of both steppers; no-op unless a trace workload is attached).
+  void feed_trace();
+  /// Request-reply causality: called from deliver() (serial in both
+  /// modes) to queue a reply at the destination terminal.
+  void maybe_reply(const Packet& pkt);
+
   // --- sharded stepper (engine_sharded.cpp) -----------------------------
   void init_shards();
   bool step_sharded();
@@ -606,11 +650,26 @@ class Engine {
   std::vector<std::uint64_t> pending_terminals_;
 
   std::vector<TerminalState> terminals_;
-  /// Scripted destinations from inject_for_test, one queue per terminal.
-  /// Lazily sized on first use so production runs never pay num_terminals
-  /// RingDeques for a test hook.
+  /// Forced-injection queues: fully-specified packets (destination,
+  /// creation time, flag bits) queued ahead of fresh pattern draws —
+  /// inject_for_test scripts, workload replies, multi-packet message
+  /// bodies, and trace rows. Three parallel RingDeques per terminal,
+  /// pushed and popped together. Lazily sized on first use (eagerly by
+  /// set_workload) so plain runs never pay num_terminals RingDeques.
   std::vector<RingDeque<NodeId>> forced_dst_;
+  std::vector<RingDeque<Cycle>> forced_created_;
+  std::vector<RingDeque<std::uint8_t>> forced_flags_;
   bool has_forced_dst_ = false;
+  /// Application workload (non-owning; see set_workload). The cached
+  /// trace flag keeps the per-step check to one bool.
+  Workload* workload_ = nullptr;
+  bool workload_trace_ = false;
+  /// Per-terminal Bernoulli generation (multi-job workloads): absolute
+  /// probabilities for the exact stepper, 2^64-scaled thresholds for the
+  /// sharded counter-based coin. Empty (flag false) on the uniform path.
+  std::vector<double> terminal_gen_prob_;
+  std::vector<std::uint64_t> terminal_gen_threshold_;
+  bool has_terminal_loads_ = false;
   /// Markov ON/OFF injection (InjectionProcess::onoff_*): one chain state
   /// per terminal, stepped before that terminal's generation draw. Empty
   /// (and the flag false) for plain Bernoulli sources, whose draw
@@ -669,6 +728,7 @@ class Engine {
     NodeId terminal;
     NodeId dst;
     Cycle created;
+    std::uint8_t flags;
   };
   struct HopRecord {
     PacketId packet;
@@ -726,9 +786,10 @@ class Engine {
   bool profile_ = false;
   PhaseProfile profile_data_;
   /// keyed_stream domains: routing decisions key on the input VC index,
-  /// injection on the terminal id.
+  /// injection and message-size draws on the terminal id.
   static constexpr std::uint64_t kStreamRoute = 1;
   static constexpr std::uint64_t kStreamInject = 2;
+  static constexpr std::uint64_t kStreamSize = 3;
 };
 
 /// Process-wide sum of every profiled engine's PhaseProfile, folded in at

@@ -6,8 +6,10 @@
 // (slot contents and free-list order — future alloc() ids must replay),
 // per-terminal source queues / burst budgets / ON/OFF chains, the timing
 // wheels' in-flight events (one wheel triple per shard in sharded mode,
-// the global triple in exact mode), delivery counters, and the routing
-// mechanism's cross-cycle state.
+// the global triple in exact mode), delivery counters, the routing
+// mechanism's cross-cycle state, and (v4) the workload layer: per-packet
+// flag bytes, the forced-injection (created, dst, flags) queues,
+// per-terminal offered loads and the trace replay cursor.
 //
 // What is deliberately NOT saved, because rebuilding it is decision- and
 // RNG-neutral: the retry-suppression caches (vc_sleep_until_, waiter
@@ -21,6 +23,7 @@
 
 #include "common/serialize.hpp"
 #include "sim/engine.hpp"
+#include "traffic/workload.hpp"
 
 namespace dfsim {
 
@@ -69,6 +72,7 @@ void write_packet(std::ostream& os, const Packet& p) {
   ser::write_i32(os, rs.total_hops);
   ser::write_i32(os, rs.prev_local_idx);
   ser::write_i32(os, rs.last_local_vc);
+  ser::write_u8(os, p.flags);
   // min_cache is a pure memo: recomputed on first use after restore.
 }
 
@@ -103,6 +107,7 @@ Packet read_packet(std::istream& is) {
       static_cast<std::int8_t>(ser::read_i32(is, "route prev local idx"));
   rs.last_local_vc =
       static_cast<std::int8_t>(ser::read_i32(is, "route last local vc"));
+  p.flags = ser::read_u8(is, "packet flags");
   return p;
 }
 
@@ -185,9 +190,17 @@ void Engine::save_checkpoint(std::ostream& os) const {
     ts.pending_created.for_each(
         [&](const Cycle c) { ser::write_u64(os, c); });
     if (has_forced_dst_) {
-      const auto& fd = forced_dst_[static_cast<std::size_t>(t)];
+      // v4: forced entries are (created, dst, flags) triples; the three
+      // parallel queues always hold the same count, serialized
+      // queue-major.
+      const auto ti = static_cast<std::size_t>(t);
+      const auto& fd = forced_dst_[ti];
       ser::write_u64(os, fd.size());
       fd.for_each([&](const NodeId d) { ser::write_i32(os, d); });
+      forced_created_[ti].for_each(
+          [&](const Cycle c) { ser::write_u64(os, c); });
+      forced_flags_[ti].for_each(
+          [&](const std::uint8_t f) { ser::write_u8(os, f); });
     } else {
       ser::write_u64(os, 0);
     }
@@ -198,6 +211,14 @@ void Engine::save_checkpoint(std::ostream& os) const {
   if (onoff_) {
     for (const std::uint8_t s : onoff_state_) ser::write_u8(os, s);
   }
+
+  // --- workload state (v4) ----------------------------------------------
+  ser::write_u8(os, has_terminal_loads_ ? 1 : 0);
+  if (has_terminal_loads_) {
+    for (const double p : terminal_gen_prob_) ser::write_f64(os, p);
+  }
+  ser::write_u8(os, workload_ != nullptr ? 1 : 0);
+  ser::write_u64(os, workload_ != nullptr ? workload_->cursor() : 0);
 
   // --- timing wheels -----------------------------------------------------
   // v3: the sharded engine keeps one wheel triple per shard (the global
@@ -264,6 +285,14 @@ void Engine::restore(std::istream& is) {
         "(version 3 stores the sharded engine's in-flight events in "
         "per-shard timing wheels; re-run the checkpointed experiment to "
         "produce a v3 checkpoint)");
+  }
+  if (version == 3) {
+    throw std::runtime_error(
+        "checkpoint format version 3 is not supported by this build "
+        "(version 4 adds workload state: per-packet flag bytes, the "
+        "forced-injection queues' creation times and flags, per-terminal "
+        "offered loads and the trace replay cursor; re-run the "
+        "checkpointed experiment to produce a v4 checkpoint)");
   }
   if (version != kCheckpointVersion) {
     throw std::runtime_error(
@@ -392,6 +421,8 @@ void Engine::restore(std::istream& is) {
 
   // --- terminals ---------------------------------------------------------
   forced_dst_.clear();
+  forced_created_.clear();
+  forced_flags_.clear();
   has_forced_dst_ = false;
   for (NodeId t = 0; t < topo_.num_terminals(); ++t) {
     TerminalState& ts = terminals_[static_cast<std::size_t>(t)];
@@ -402,12 +433,22 @@ void Engine::restore(std::istream& is) {
     }
     const std::uint64_t nforced = ser::read_u64(is, "forced dst depth");
     if (nforced > 0 && !has_forced_dst_) {
-      forced_dst_.resize(static_cast<std::size_t>(topo_.num_terminals()));
+      const auto n = static_cast<std::size_t>(topo_.num_terminals());
+      forced_dst_.resize(n);
+      forced_created_.resize(n);
+      forced_flags_.resize(n);
       has_forced_dst_ = true;
     }
+    const auto ti = static_cast<std::size_t>(t);
     for (std::uint64_t k = 0; k < nforced; ++k) {
-      forced_dst_[static_cast<std::size_t>(t)].push_back(
-          ser::read_i32(is, "forced dst entry"));
+      forced_dst_[ti].push_back(ser::read_i32(is, "forced dst entry"));
+    }
+    for (std::uint64_t k = 0; k < nforced; ++k) {
+      forced_created_[ti].push_back(
+          ser::read_u64(is, "forced created entry"));
+    }
+    for (std::uint64_t k = 0; k < nforced; ++k) {
+      forced_flags_[ti].push_back(ser::read_u8(is, "forced flags entry"));
     }
     ts.burst_remaining = ser::read_u64(is, "burst budget");
     ts.link_busy_until = ser::read_u64(is, "terminal link busy");
@@ -415,6 +456,49 @@ void Engine::restore(std::istream& is) {
   }
   if (onoff_) {
     for (auto& s : onoff_state_) s = ser::read_u8(is, "onoff chain state");
+  }
+
+  // --- workload state (v4) ----------------------------------------------
+  if (ser::read_u8(is, "terminal loads flag") != 0) {
+    // The stream carries terminal_gen_prob_ — the per-terminal generation
+    // PROBABILITIES, already divided by packet_phits. Assign them
+    // directly; routing through set_terminal_loads() would divide again.
+    const auto n = static_cast<std::size_t>(topo_.num_terminals());
+    terminal_gen_prob_.resize(n);
+    terminal_gen_threshold_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = ser::read_f64(is, "terminal load");
+      terminal_gen_prob_[i] = p;
+      terminal_gen_threshold_[i] =
+          p >= 1.0 ? ~0ULL
+                   : static_cast<std::uint64_t>(p * 18446744073709551616.0);
+    }
+    has_terminal_loads_ = true;
+  } else {
+    set_terminal_loads({});
+  }
+  const bool had_workload = ser::read_u8(is, "workload flag") != 0;
+  if (had_workload != (workload_ != nullptr)) {
+    throw std::runtime_error(
+        std::string("checkpoint mismatch: the run was checkpointed ") +
+        (had_workload ? "with" : "without") +
+        " a workload but this configuration runs " +
+        (workload_ != nullptr ? "with" : "without") +
+        " one (set workload= to match)");
+  }
+  const std::uint64_t trace_cursor = ser::read_u64(is, "trace cursor");
+  if (workload_ != nullptr) {
+    workload_->set_cursor(trace_cursor);
+    // Re-establish the eager queue allocation set_workload() guarantees:
+    // the sharded stepper pushes message bodies from a parallel phase and
+    // must never race a lazy resize.
+    if (!has_forced_dst_) {
+      const auto n = static_cast<std::size_t>(topo_.num_terminals());
+      forced_dst_.resize(n);
+      forced_created_.resize(n);
+      forced_flags_.resize(n);
+      has_forced_dst_ = true;
+    }
   }
 
   // --- timing wheels -----------------------------------------------------

@@ -40,6 +40,7 @@
 #include "runtime/thread_pool.hpp"
 #include "sim/engine.hpp"
 #include "traffic/pattern.hpp"
+#include "traffic/workload.hpp"
 
 namespace dfsim {
 
@@ -172,6 +173,9 @@ bool Engine::step_sharded_impl() {
     s.delivery_ring.drain(slot, [&](PacketId id) { deliver(id); });
   }
   routing_.per_cycle(*this);
+  // Trace rows feed at the same serial point as the exact stepper's:
+  // after routing bookkeeping, before allocation/injection sees them.
+  if (workload_trace_) feed_trace();
   if constexpr (kProfile) t2 = profile_now_ns();
 
   // Phase 3 (parallel): switch allocation + injection. Same-shard future
@@ -261,7 +265,7 @@ void Engine::allocate_and_inject_shard(Shard& s) {
   }
 
   const bool draws = injection_.mode == InjectionProcess::Mode::kBernoulli &&
-                     gen_probability_ > 0.0;
+                     (gen_probability_ > 0.0 || has_terminal_loads_);
   if (draws && !onoff_) {
     // Plain-Bernoulli fast path: the generation coin for terminal t is a
     // single mix64 of the hoisted per-cycle stream key against a fixed
@@ -282,15 +286,22 @@ void Engine::allocate_and_inject_shard(Shard& s) {
         continue;
       }
       TerminalState& ts = terminals_[static_cast<size_t>(t)];
+      // Per-terminal workload loads swap in each terminal's own threshold;
+      // an all-ones threshold means "always generate" in either case, so
+      // the legacy uniform-load coin is bit-for-bit unchanged.
+      const std::uint64_t th =
+          has_terminal_loads_
+              ? terminal_gen_threshold_[static_cast<std::size_t>(t)]
+              : threshold;
       const bool generate =
-          always || mix64(kcd, static_cast<std::uint64_t>(t)) < threshold;
+          th == ~0ULL || mix64(kcd, static_cast<std::uint64_t>(t)) < th;
       if (generate) {
         const bool accepted =
             ts.pending_created.size() <
             static_cast<std::size_t>(cfg_.source_queue_cap);
         if (accepted) ts.pending_created.push_back(now_);
         if (on_generated_) s.gen_accepted.push_back(accepted ? 1 : 0);
-      } else if (ts.pending_created.empty() && ts.burst_remaining == 0) {
+      } else if (!terminal_has_work(t, ts)) {
         continue;  // nothing generated, nothing queued: no attempt
       }
       try_inject_shard(t, ts, nullptr, s);
@@ -334,7 +345,7 @@ void Engine::allocate_and_inject_shard(Shard& s) {
   // lazily — only if the attempt survives to the destination draw.
   for (NodeId t = s.first_terminal; t < s.end_terminal; ++t) {
     TerminalState& ts = terminals_[static_cast<size_t>(t)];
-    if (ts.pending_created.empty() && ts.burst_remaining == 0) continue;
+    if (!terminal_has_work(t, ts)) continue;
     try_inject_shard(t, ts, nullptr, s);
   }
 }
@@ -346,7 +357,7 @@ void Engine::allocate_and_inject_shard(Shard& s) {
 // capacity checks see it.
 void Engine::try_inject_shard(NodeId t, TerminalState& ts, Rng* rng,
                               Shard& s) {
-  if (ts.pending_created.empty() && ts.burst_remaining == 0) return;
+  if (!terminal_has_work(t, ts)) return;
   if (ts.link_busy_until > now_) return;
 
   const RouterId r = topo_.router_of_terminal(t);
@@ -358,27 +369,53 @@ void Engine::try_inject_shard(NodeId t, TerminalState& ts, Rng* rng,
   }
 
   Cycle created = 0;
-  if (!ts.pending_created.empty()) {
-    created = ts.pending_created.front();
-    ts.pending_created.pop_front();
-  } else {
-    assert(ts.burst_remaining > 0);
-    --ts.burst_remaining;
-  }
-
   NodeId dst;
-  if (has_forced_dst_ && !forced_dst_[static_cast<size_t>(t)].empty()) {
-    dst = forced_dst_[static_cast<size_t>(t)].front();
-    forced_dst_[static_cast<size_t>(t)].pop_front();
-  } else if (rng != nullptr) {
-    dst = pattern_->dest(t, *rng);
+  std::uint8_t flags = 0;
+  const auto ti = static_cast<std::size_t>(t);
+  if (has_forced_dst_ && !forced_dst_[ti].empty()) {
+    // Forced packets (scripted injections, workload replies, message
+    // bodies, trace rows) carry their own creation time and flags and go
+    // ahead of the Bernoulli backlog — mirroring materialize(). Terminal
+    // t's queues belong to this shard alone, so the parallel-phase pop
+    // is race-free.
+    created = forced_created_[ti].front();
+    forced_created_[ti].pop_front();
+    dst = forced_dst_[ti].front();
+    forced_dst_[ti].pop_front();
+    flags = forced_flags_[ti].front();
+    forced_flags_[ti].pop_front();
   } else {
-    // No generation draw preceded this attempt, so the terminal's keyed
-    // stream is still at its origin: deriving it here, at its first
-    // actual draw, is draw-for-draw identical to deriving it up front.
-    Rng lazy = keyed_stream(cfg_.seed, now_, kStreamInject,
-                            static_cast<std::uint64_t>(t));
-    dst = pattern_->dest(t, lazy);
+    if (!ts.pending_created.empty()) {
+      created = ts.pending_created.front();
+      ts.pending_created.pop_front();
+    } else {
+      assert(ts.burst_remaining > 0);
+      --ts.burst_remaining;
+    }
+    Rng lazy;
+    if (rng == nullptr) {
+      // No generation draw preceded this attempt, so the terminal's keyed
+      // stream is still at its origin: deriving it here, at its first
+      // actual draw, is draw-for-draw identical to deriving it up front.
+      lazy = keyed_stream(cfg_.seed, now_, kStreamInject,
+                          static_cast<std::uint64_t>(t));
+      rng = &lazy;
+    }
+    dst = pattern_->dest(t, *rng);
+    if (workload_ != nullptr) {
+      // Multi-packet messages: the size draw comes from the same keyed
+      // stream as the destination, keeping it a pure function of
+      // (seed, cycle, terminal) — hence jobs-invariant. Body packets
+      // queue as forced entries behind this head (own-terminal push:
+      // race-free); their generation hook replays from the staging
+      // buffer at the serial flush.
+      const int extra = workload_->message_packets(t, *rng) - 1;
+      for (int k = 0; k < extra; ++k) {
+        const bool accepted =
+            push_forced(t, dst, created, kPacketFlagNoReply);
+        if (on_generated_) s.gen_accepted.push_back(accepted ? 1 : 0);
+      }
+    }
   }
   assert(dst != t && dst >= 0 && dst < topo_.num_terminals());
 
@@ -389,7 +426,7 @@ void Engine::try_inject_shard(NodeId t, TerminalState& ts, Rng* rng,
 
   ts.inflight_phits += cfg_.packet_phits;
   ts.link_busy_until = now_ + static_cast<Cycle>(cfg_.packet_phits);
-  s.injections.push_back({t, dst, created});
+  s.injections.push_back({t, dst, created, flags});
   s.progressed = true;
 }
 
@@ -439,6 +476,7 @@ void Engine::flush_shard(Shard& s) {
     pkt.flit_phits = static_cast<std::int16_t>(flit_phits_);
     pkt.created = inj.created;
     pkt.injected = now_;
+    pkt.flags = inj.flags;
     pkt.rs.dst_router = topo_.router_of_terminal(inj.dst);
     pkt.rs.dst_group = topo_.group_of_terminal(inj.dst);
     pkt.rs.src_group = topo_.group_of_terminal(inj.terminal);

@@ -56,6 +56,13 @@ struct MinPortCache {
   std::int8_t cls = 0;  ///< PortClass of `port`
 };
 
+/// Packet::flags bits, set by the workload layer (traffic/workload.hpp).
+/// kPacketFlagReply marks a reply message; kPacketFlagNoReply suppresses
+/// reply generation on delivery (trace rows, the body packets of a
+/// multi-packet message). A plain request carries flags == 0.
+inline constexpr std::uint8_t kPacketFlagReply = 1;
+inline constexpr std::uint8_t kPacketFlagNoReply = 2;
+
 struct Packet {
   // Hot while routing (read by every decide() retry) — keep at the front
   // so they share a cache line.
@@ -71,6 +78,7 @@ struct Packet {
   // Read at delivery only.
   Cycle created = 0;   ///< cycle the source generated it (queue time counts)
   Cycle injected = 0;  ///< cycle its head entered the injection buffer
+  std::uint8_t flags = 0;  ///< workload flag bits (kPacketFlag*)
 };
 
 struct Flit {

@@ -1,0 +1,163 @@
+// Application workloads layered above the synthetic traffic patterns:
+// collective motifs with message sizes and request-reply causality,
+// multi-job interference under placement policies, and external trace
+// replay. Resolved from DF_WORKLOAD spec strings by a registry in the
+// style of traffic/factory.cpp.
+//
+// Grammar (case-insensitive keys):
+//
+//   spec  := "coll:" motif | "jobs:" J fields ":" job ("|" job)* |
+//            "trace:" FILE
+//   motif := ( "alltoall" | "a2a" | "ring-allreduce" | "ring" |
+//              "halo2d" [":" RxC] | "shift" ["+N"|"-N"] )
+//            [":size=" K | ":size=" MIN "-" MAX] [":reply=" 0|1]
+//   fields:= (":place=" ("contig"|"random"|"rr"))? (":seed=" S)?
+//   job   := motif ["@" load]
+//
+//   coll:<motif>    one collective motif spanning every terminal
+//                   (replies default ON — request-reply causality).
+//   jobs:J:...      J concurrent jobs partitioning the terminals under
+//                   the placement policy (default contig). Each job runs
+//                   its own motif; "@load" overrides the config load for
+//                   that job's terminals. Fewer job entries than J cycle
+//                   round-robin. Replies default OFF per job.
+//   trace:FILE      replay "cycle,src,dst,size" rows (CSV, '#' comments,
+//                   or binary; see kTraceMagic). Sizes are phits; rows
+//                   must be sorted by cycle. Bernoulli injection is
+//                   disabled for trace runs.
+//
+// Motifs draw destinations job-locally, so jobs never exchange traffic —
+// interference happens purely in the shared network. A Workload IS a
+// TrafficPattern: the engine's destination-draw sites are unchanged, so
+// the sharded engine's worker-count-independent keyed-RNG contract holds
+// for workload runs automatically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "traffic/pattern.hpp"
+#include "topology/dragonfly_topology.hpp"
+
+namespace dfsim {
+
+/// First 8 bytes of a binary trace file. Rows follow as little-endian
+/// (u64 cycle, i32 src, i32 dst, i32 size_phits) records after a u64
+/// row count.
+inline constexpr char kTraceMagic[8] = {'D', 'F', 'T', 'R',
+                                        'A', 'C', 'E', '\n'};
+
+/// One registry row (mirrors TrafficPatternEntry). `key` is the spec
+/// prefix before the first ':'.
+struct WorkloadEntry {
+  const char* key;    ///< canonical lower-case name
+  const char* alias;  ///< optional second name ("" = none)
+  const char* help;   ///< spec syntax, e.g. "jobs:<J>[:place=...]:<job>|..."
+};
+
+/// The workload registry, in documentation order. The spec parser, the
+/// error messages and the README table all derive from this list.
+const std::vector<WorkloadEntry>& workload_registry();
+
+/// Comma-separated canonical keys (for error messages and --help output).
+std::string workload_names();
+
+class Workload;
+
+/// Resolve a workload spec against a topology. Throws
+/// std::invalid_argument with a pointed message on any parse or range
+/// error (unknown names include the registry list). Returns nullptr when
+/// `topo` is null (parse-only mode), still throwing on malformed specs.
+std::unique_ptr<Workload> make_workload(const DragonflyTopology* topo,
+                                        const std::string& spec);
+
+/// Syntax-check a spec without a topology (used by SimConfig::validate).
+/// Topology-dependent checks (job sizes, halo grid factorization, trace
+/// file existence) still happen at construction.
+void validate_workload_spec(const std::string& spec);
+
+/// A built workload: a job partition of the terminals, one motif per
+/// job, optional message-size distributions and request-reply causality,
+/// or a trace cursor. Derives TrafficPattern so the engine draws fresh
+/// destinations straight from the job-local motifs.
+class Workload : public TrafficPattern {
+ public:
+  ~Workload() override;
+
+  // --- TrafficPattern -----------------------------------------------------
+  /// Job-local motif draw; never returns src. Trace workloads never
+  /// receive fresh draws (injection load is forced to 0) but fall back
+  /// to a uniform draw to honor the interface.
+  NodeId dest(NodeId src, Rng& rng) override;
+  std::string name() const override { return spec_; }
+
+  // --- job partition ------------------------------------------------------
+  int num_jobs() const;
+  /// job_of_terminal()[t] in [0, num_jobs); every terminal belongs to
+  /// exactly one job (the partition is a bijection onto the terminals).
+  const std::vector<std::int32_t>& job_of_terminal() const;
+  /// Terminals per job (sums to the topology's terminal count).
+  std::vector<std::int32_t> job_sizes() const;
+  /// Stable CSV label for a job, e.g. "job0:alltoall".
+  std::string job_label(int job) const;
+
+  /// Per-terminal absolute offered loads (phits/cycle/terminal); jobs
+  /// without an explicit "@load" inherit `base_load`. Empty means "use
+  /// the uniform config load" (single-job collectives, traces).
+  std::vector<double> terminal_loads(double base_load) const;
+
+  // --- request-reply causality -------------------------------------------
+  /// Should delivering a request generated at terminal `src` produce a
+  /// reply? (Replies themselves and trace rows never do; the engine
+  /// tracks that via packet flags.)
+  bool wants_reply(NodeId src) const;
+
+  /// Packets per message for a fresh generation at `src` (>= 1). Draws
+  /// from `rng` only when the job's size spec is a range, so fixed-size
+  /// jobs cost no stream state.
+  int message_packets(NodeId src, Rng& rng) const;
+
+  // --- trace replay -------------------------------------------------------
+  bool is_trace() const { return trace_; }
+  /// Emit every not-yet-replayed row with row.cycle <= now, in file
+  /// order, advancing the cursor.
+  void drain_trace(Cycle now,
+                   const std::function<void(NodeId src, NodeId dst,
+                                            int size_phits)>& emit);
+  /// Replay cursor (row index) for checkpointing; 0 for non-trace
+  /// workloads. set_cursor throws std::invalid_argument when out of
+  /// range.
+  std::uint64_t cursor() const { return cursor_; }
+  void set_cursor(std::uint64_t cursor);
+
+  // Implementation detail, public so the spec parser's file-local
+  // helpers in workload.cpp can build them.
+  struct Job;
+  struct TraceRow {
+    Cycle cycle = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+    int size_phits = 0;
+  };
+
+ private:
+  friend std::unique_ptr<Workload> make_workload(const DragonflyTopology*,
+                                                 const std::string&);
+  Workload() = default;
+
+  std::string spec_;
+  bool trace_ = false;
+  std::vector<Job> jobs_;
+  std::vector<std::int32_t> job_of_;   ///< terminal -> job
+  std::vector<std::int32_t> rank_of_;  ///< terminal -> rank within job
+  std::vector<TraceRow> rows_;
+  std::uint64_t cursor_ = 0;
+  int num_terminals_ = 0;
+};
+
+}  // namespace dfsim

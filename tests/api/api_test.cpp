@@ -157,13 +157,13 @@ TEST(Sweep, ProducesOnePointPerComboInOrder) {
 
 TEST(Sweep, PrintFormatsCsv) {
   std::ostringstream os;
-  std::vector<SweepPoint> pts(1);
+  std::vector<ExperimentResult> pts(1);
   pts[0].series = "olm";
   pts[0].x = 0.5;
-  pts[0].result.avg_latency = 123.5;
-  pts[0].result.accepted_load = 0.25;
-  pts[0].result.offered_load = 0.5;
-  pts[0].result.source_drop_rate = 0.125;
+  pts[0].steady.avg_latency = 123.5;
+  pts[0].steady.accepted_load = 0.25;
+  pts[0].steady.offered_load = 0.5;
+  pts[0].steady.source_drop_rate = 0.125;
   print_sweep(os, pts, Metric::kLatency, "offered_load");
   EXPECT_EQ(os.str(),
             "series,offered_load,avg_latency_cycles,offered_load_measured,"

@@ -6,6 +6,8 @@
 // pointed message, never silently mis-resumed.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -158,6 +160,47 @@ TEST(Checkpoint, PhasedResumeBitIdentical) {
   }
 }
 
+TEST(Checkpoint, WorkloadResumeBitIdentical) {
+  // Collective with replies, message sizes and an explicit per-job load:
+  // the forced-injection queues, packet flags, per-terminal generation
+  // probabilities and per-job collector counters all cross the
+  // checkpoint boundary.
+  SimConfig cfg = small_config();
+  cfg.workload = "jobs:2:alltoall:size=1-3:reply=1|ring@0.2";
+  cfg.load = 0.15;
+  const SteadyResult ref = run_steady(cfg);
+  for (const Cycle cut : {Cycle{150}, Cycle{900}}) {
+    SCOPED_TRACE(cut);
+    const SteadyResult resumed = steady_via_cut(cfg, cut);
+    expect_same_steady(ref, resumed);
+    ASSERT_EQ(resumed.per_job.size(), ref.per_job.size());
+    for (std::size_t j = 0; j < ref.per_job.size(); ++j) {
+      EXPECT_EQ(ref.per_job[j].delivered, resumed.per_job[j].delivered);
+      EXPECT_EQ(ref.per_job[j].avg_latency, resumed.per_job[j].avg_latency);
+    }
+  }
+}
+
+TEST(Checkpoint, TraceWorkloadResumeReplaysTheCursor) {
+  // The cut lands between trace rows; the replay cursor must resume from
+  // the checkpoint, neither re-injecting earlier rows nor skipping later
+  // ones.
+  const std::string path = "checkpoint_test_trace.csv";
+  {
+    std::ofstream os(path);
+    for (int i = 0; i < 40; ++i) {
+      os << (i * 30) << "," << (i % 36) << "," << (36 + i % 36) << ",8\n";
+    }
+  }
+  SimConfig cfg = small_config();
+  cfg.workload = "trace:" + path;
+  const SteadyResult ref = run_steady(cfg);
+  const SteadyResult resumed = steady_via_cut(cfg, 600);  // row 20 of 40
+  expect_same_steady(ref, resumed);
+  EXPECT_GT(ref.delivered, 0u);
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, SaveAtCompletionRoundTrips) {
   const SimConfig cfg = small_config();
   SimulationRun a = SimulationRun::steady(cfg);
@@ -215,6 +258,25 @@ TEST(Checkpoint, UnknownVersionRejected) {
   std::string bytes = checkpoint_bytes(cfg, 700);
   bytes[8] = 99;  // the version u32 sits right after the 8-byte magic
   expect_restore_error(cfg, bytes, "version 99 is not supported");
+}
+
+TEST(Checkpoint, VersionOneRejectedPointedly) {
+  // v2 added the workload knob to the config text and per-job sections to
+  // every accumulated window; a v1 stream must name that, not be
+  // misparsed as an empty per-job section.
+  const SimConfig cfg = small_config();
+  std::string bytes = checkpoint_bytes(cfg, 700);
+  bytes[8] = 1;
+  SimulationRun run = SimulationRun::steady(cfg);
+  std::istringstream is(bytes);
+  try {
+    run.restore(is);
+    FAIL() << "restore accepted a version-1 checkpoint";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("workload"), std::string::npos) << msg;
+  }
 }
 
 TEST(Checkpoint, CorruptTrailingBytesRejected) {

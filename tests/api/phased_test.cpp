@@ -4,11 +4,6 @@
 // the Markov ON/OFF source process layered on a pattern.
 #include <gtest/gtest.h>
 
-// The phased-sweep bit-identity test deliberately exercises the
-// deprecated parallel_phased_sweep forwarder to prove it still matches
-// the run_experiments path while downstream call sites migrate.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 #include <limits>
 #include <vector>
 
@@ -108,34 +103,35 @@ TEST(Phased, WindowStatsSumToWholeRunStats) {
 }
 
 TEST(Phased, SameSeedBitIdenticalAcrossWorkerCounts) {
-  std::vector<PhasedJob> jobs;
+  std::vector<ExperimentPoint> points;
   for (const char* routing : {"minimal", "valiant", "olm", "pb"}) {
-    PhasedJob job;
-    job.series = routing;
-    job.cfg = small_config(routing);
-    job.phases = {{800, 2, "", -1.0}, {800, 2, "advg+1", -1.0}};
-    jobs.push_back(std::move(job));
+    ExperimentPoint pt;
+    pt.series = routing;
+    pt.cfg = small_config(routing);
+    pt.phases = {{800, 2, "", -1.0}, {800, 2, "advg+1", -1.0}};
+    points.push_back(std::move(pt));
   }
   SweepOptions serial;
   serial.jobs = 1;
   SweepOptions parallel;
   parallel.jobs = 4;
-  const auto a = parallel_phased_sweep(jobs, serial);
-  const auto b = parallel_phased_sweep(jobs, parallel);
+  const auto a = run_experiments(points, serial);
+  const auto b = run_experiments(points, parallel);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     SCOPED_TRACE(a[i].series);
+    EXPECT_TRUE(a[i].is_phased);
     EXPECT_EQ(a[i].seed, b[i].seed);
-    ASSERT_EQ(a[i].result.windows.size(), b[i].result.windows.size());
-    for (std::size_t w = 0; w < a[i].result.windows.size(); ++w) {
-      const TrafficWindow& wa = a[i].result.windows[w].stats;
-      const TrafficWindow& wb = b[i].result.windows[w].stats;
+    ASSERT_EQ(a[i].phased.windows.size(), b[i].phased.windows.size());
+    for (std::size_t w = 0; w < a[i].phased.windows.size(); ++w) {
+      const TrafficWindow& wa = a[i].phased.windows[w].stats;
+      const TrafficWindow& wb = b[i].phased.windows[w].stats;
       EXPECT_EQ(wa.delivered, wb.delivered);
       EXPECT_EQ(wa.accepted_load, wb.accepted_load);  // exact doubles
       EXPECT_EQ(wa.avg_latency, wb.avg_latency);
     }
-    EXPECT_EQ(a[i].result.total.avg_latency, b[i].result.total.avg_latency);
-    EXPECT_EQ(a[i].result.total.delivered, b[i].result.total.delivered);
+    EXPECT_EQ(a[i].phased.total.avg_latency, b[i].phased.total.avg_latency);
+    EXPECT_EQ(a[i].phased.total.delivered, b[i].phased.total.delivered);
   }
 }
 

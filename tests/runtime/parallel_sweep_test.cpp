@@ -1,14 +1,9 @@
 // The contract of the parallel sweep runtime: worker count changes
 // wall-clock, never results. 1 worker and N workers must produce the same
-// SweepPoint vector — same seeds, same ordering, bit-identical metrics —
-// and the primitives underneath (parallel_for, the sharded queue, seed
-// derivation) must be deterministic and complete.
+// ExperimentResult vector — same seeds, same ordering, bit-identical
+// metrics — and the primitives underneath (parallel_for, the sharded
+// queue, seed derivation) must be deterministic and complete.
 #include <gtest/gtest.h>
-
-// This suite deliberately exercises the deprecated pre-unification
-// forwarders (parallel_sweep & friends) to prove they still match the
-// run_experiments path bit-for-bit while downstream call sites migrate.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 #include <atomic>
 #include <cstddef>
@@ -34,20 +29,20 @@ SimConfig tiny_config() {
   return cfg;
 }
 
-void expect_same_points(const std::vector<SweepPoint>& a,
-                        const std::vector<SweepPoint>& b) {
+void expect_same_points(const std::vector<ExperimentResult>& a,
+                        const std::vector<ExperimentResult>& b) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     SCOPED_TRACE(i);
     EXPECT_EQ(a[i].series, b[i].series);
     EXPECT_EQ(a[i].x, b[i].x);
     EXPECT_EQ(a[i].seed, b[i].seed);
-    EXPECT_EQ(a[i].result.avg_latency, b[i].result.avg_latency);
-    EXPECT_EQ(a[i].result.p99_latency, b[i].result.p99_latency);
-    EXPECT_EQ(a[i].result.accepted_load, b[i].result.accepted_load);
-    EXPECT_EQ(a[i].result.avg_hops, b[i].result.avg_hops);
-    EXPECT_EQ(a[i].result.delivered, b[i].result.delivered);
-    EXPECT_EQ(a[i].result.deadlock, b[i].result.deadlock);
+    EXPECT_EQ(a[i].steady.avg_latency, b[i].steady.avg_latency);
+    EXPECT_EQ(a[i].steady.p99_latency, b[i].steady.p99_latency);
+    EXPECT_EQ(a[i].steady.accepted_load, b[i].steady.accepted_load);
+    EXPECT_EQ(a[i].steady.avg_hops, b[i].steady.avg_hops);
+    EXPECT_EQ(a[i].steady.delivered, b[i].steady.delivered);
+    EXPECT_EQ(a[i].steady.deadlock, b[i].steady.deadlock);
   }
 }
 
@@ -61,8 +56,9 @@ TEST(ParallelSweepTest, OneWorkerAndManyWorkersBitIdentical) {
   SweepOptions parallel;
   parallel.jobs = 4;
 
-  const auto a = parallel_sweep(base, routings, loads, serial);
-  const auto b = parallel_sweep(base, routings, loads, parallel);
+  const auto grid = sweep_grid(base, routings, loads);
+  const auto a = run_experiments(grid, serial);
+  const auto b = run_experiments(grid, parallel);
   ASSERT_EQ(a.size(), routings.size() * loads.size());
   expect_same_points(a, b);
 }
@@ -72,7 +68,7 @@ TEST(ParallelSweepTest, OrderingIsRoutingsMajorLoadsMinor) {
   SweepOptions opts;
   opts.jobs = 3;
   const auto points =
-      parallel_sweep(base, {"minimal", "olm"}, {0.1, 0.2}, opts);
+      run_experiments(sweep_grid(base, {"minimal", "olm"}, {0.1, 0.2}), opts);
   ASSERT_EQ(points.size(), 4u);
   EXPECT_EQ(points[0].series, "minimal");
   EXPECT_EQ(points[0].x, 0.1);
@@ -86,23 +82,23 @@ TEST(ParallelSweepTest, OrderingIsRoutingsMajorLoadsMinor) {
 
 TEST(ParallelSweepTest, GenericJobGridPreservesOrderAndDerivesSeeds) {
   const SimConfig base = tiny_config();
-  std::vector<SweepJob> grid;
+  std::vector<ExperimentPoint> grid;
   for (const double th : {0.3, 0.6}) {
-    SweepJob job;
-    job.series = "th";
-    job.x = th;
-    job.cfg = base;
-    job.cfg.routing = "rlm";
-    job.cfg.misroute_threshold = th;
-    job.cfg.load = 0.2;
-    grid.push_back(job);
+    ExperimentPoint pt;
+    pt.series = "th";
+    pt.x = th;
+    pt.cfg = base;
+    pt.cfg.routing = "rlm";
+    pt.cfg.misroute_threshold = th;
+    pt.cfg.load = 0.2;
+    grid.push_back(pt);
   }
   SweepOptions serial;
   serial.jobs = 1;
   SweepOptions parallel;
   parallel.jobs = 2;
-  const auto a = parallel_sweep(grid, serial);
-  const auto b = parallel_sweep(grid, parallel);
+  const auto a = run_experiments(grid, serial);
+  const auto b = run_experiments(grid, parallel);
   expect_same_points(a, b);
   ASSERT_EQ(a.size(), 2u);
   EXPECT_EQ(a[0].seed, runtime::derive_seed(base.seed, 0));
@@ -115,7 +111,8 @@ TEST(ParallelSweepTest, DeriveSeedsOffKeepsConfigSeed) {
   SweepOptions opts;
   opts.jobs = 1;
   opts.derive_seeds = false;
-  const auto points = parallel_sweep(base, {"minimal"}, {0.1, 0.2}, opts);
+  const auto points =
+      run_experiments(sweep_grid(base, {"minimal"}, {0.1, 0.2}), opts);
   ASSERT_EQ(points.size(), 2u);
   EXPECT_EQ(points[0].seed, base.seed);
   EXPECT_EQ(points[1].seed, base.seed);

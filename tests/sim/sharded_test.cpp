@@ -115,6 +115,31 @@ TEST(ShardedDeterminism, UnbalancedShapeIsWorkerCountInvariant) {
   expect_same_steady(serial, parallel);
 }
 
+TEST(ShardedDeterminism, WorkloadIsWorkerCountInvariant) {
+  // A 2-job workload drives per-terminal loads, forced reply/body
+  // injections and per-job metric attribution — all of which must stay a
+  // pure function of (config, seed) no matter how groups map to workers.
+  SimConfig cfg = sharded_config();
+  cfg.workload = "jobs:2:alltoall:size=1-3:reply=1|ring@0.15";
+  cfg.load = 0.1;
+  const SteadyResult serial = steady_with_jobs(cfg, 1);
+  const SteadyResult parallel = steady_with_jobs(cfg, 8);
+  EXPECT_GT(serial.delivered, 0u);
+  expect_same_steady(serial, parallel);
+  ASSERT_EQ(serial.per_job.size(), 2u);
+  ASSERT_EQ(parallel.per_job.size(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    SCOPED_TRACE(j);
+    EXPECT_GT(serial.per_job[j].delivered, 0u);
+    EXPECT_EQ(serial.per_job[j].delivered, parallel.per_job[j].delivered);
+    EXPECT_EQ(serial.per_job[j].delivered_phits,
+              parallel.per_job[j].delivered_phits);
+    EXPECT_EQ(serial.per_job[j].avg_latency, parallel.per_job[j].avg_latency);
+    EXPECT_EQ(serial.per_job[j].accepted_load,
+              parallel.per_job[j].accepted_load);
+  }
+}
+
 TEST(ShardedDeterminism, PhasedRunIsWorkerCountInvariant) {
   SimConfig cfg = sharded_config();
   const std::vector<Phase> phases = {
@@ -237,6 +262,65 @@ TEST(ShardedCheckpoint, VersionTwoRejectedPointedly) {
   } catch (const std::runtime_error& e) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("version 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(ShardedCheckpoint, VersionThreeRejectedPointedly) {
+  // v4 appended workload state (packet flag bytes, forced-queue creation
+  // times/flags, per-terminal loads, the trace cursor). A v3 stream must
+  // fail with a message naming that, not be misparsed mid-packet.
+  const SimConfig cfg = sharded_config();
+  JobsGuard guard(1);
+  SimulationRun run = SimulationRun::steady(cfg);
+  run.advance(700);
+  std::stringstream snap;
+  run.save_checkpoint(snap);
+  std::string bytes = snap.str();
+
+  const std::size_t eng = bytes.find("DFENGCK\n");
+  ASSERT_NE(eng, std::string::npos);
+  bytes[eng + 8] = 3;
+  bytes[eng + 9] = 0;
+  bytes[eng + 10] = 0;
+  bytes[eng + 11] = 0;
+
+  SimulationRun fresh = SimulationRun::steady(cfg);
+  std::istringstream is(bytes);
+  try {
+    fresh.restore(is);
+    FAIL() << "restore() accepted a version-3 engine section";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("version 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("workload"), std::string::npos) << msg;
+  }
+}
+
+TEST(ShardedCheckpoint, WorkloadMidRunCutResumesBitIdentically) {
+  SimConfig cfg = sharded_config();
+  cfg.workload = "jobs:2:alltoall:size=1-3:reply=1|ring@0.15";
+  cfg.load = 0.1;
+  JobsGuard guard(8);
+
+  SimulationRun reference = SimulationRun::steady(cfg);
+  reference.run_to_completion();
+
+  SimulationRun cut = SimulationRun::steady(cfg);
+  cut.advance(700);  // mid-measurement: forced queues non-empty
+  std::stringstream snap;
+  cut.save_checkpoint(snap);
+
+  SimulationRun resumed = SimulationRun::steady(cfg);
+  resumed.restore(snap);
+  resumed.run_to_completion();
+  expect_same_steady(reference.steady_result(), resumed.steady_result());
+  const SteadyResult a = reference.steady_result();
+  const SteadyResult b = resumed.steady_result();
+  ASSERT_EQ(a.per_job.size(), 2u);
+  ASSERT_EQ(b.per_job.size(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_EQ(a.per_job[j].delivered, b.per_job[j].delivered);
+    EXPECT_EQ(a.per_job[j].avg_latency, b.per_job[j].avg_latency);
   }
 }
 

@@ -2,14 +2,16 @@
 //
 //   df_run <manifest-file> [--jobs=N] [--run-dir=DIR]
 //          [--checkpoint-every=CYCLES] [--dry-run]
+//   df_run --list-traffic | --list-routing | --list-workloads
 //
 // The manifest grammar and the run-directory ledger layout are
 // documented in src/api/manifest.hpp. Re-running the same command after
 // a crash (or a SIGKILL) skips every completed point, restores the
 // in-flight point from its periodic checkpoint, and produces a merged
-// results.csv byte-identical to an uninterrupted run. Environment:
-// DF_RUN_DIR (default run directory), DF_CHECKPOINT_EVERY (checkpoint
-// cadence in cycles, default 20000), DF_JOBS (worker count).
+// results.csv byte-identical to an uninterrupted run. The --list-*
+// flags print each registry (key, alias, one-line spec help) and exit.
+// Environment: DF_RUN_DIR (default run directory), DF_CHECKPOINT_EVERY
+// (checkpoint cadence in cycles, default 20000), DF_JOBS (worker count).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,16 +20,54 @@
 #include <string>
 
 #include "api/manifest.hpp"
+#include "routing/factory.hpp"
 #include "runtime/seed.hpp"
+#include "traffic/factory.hpp"
+#include "traffic/workload.hpp"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <manifest-file> [--jobs=N] [--run-dir=DIR]\n"
-               "          [--checkpoint-every=CYCLES] [--dry-run]\n",
-               argv0);
+               "          [--checkpoint-every=CYCLES] [--dry-run]\n"
+               "       %s --list-traffic | --list-routing | --list-workloads\n",
+               argv0, argv0);
   return 2;
+}
+
+void print_row(const char* key, const char* alias, const char* help) {
+  std::string name = key;
+  if (alias[0] != '\0') {
+    name += " (";
+    name += alias;
+    name += ")";
+  }
+  std::printf("  %-22s %s\n", name.c_str(), help);
+}
+
+int list_traffic() {
+  std::printf("traffic patterns (DF_TRAFFIC / cfg.pattern specs):\n");
+  for (const auto& e : dfsim::traffic_pattern_registry()) {
+    print_row(e.key, e.alias, e.help);
+  }
+  return 0;
+}
+
+int list_routing() {
+  std::printf("routing mechanisms (DF_ROUTING / cfg.routing names):\n");
+  for (const auto& e : dfsim::routing_registry()) {
+    print_row(e.key, e.alias, e.help);
+  }
+  return 0;
+}
+
+int list_workloads() {
+  std::printf("workloads (DF_WORKLOAD / cfg.workload specs):\n");
+  for (const auto& e : dfsim::workload_registry()) {
+    print_row(e.key, e.alias, e.help);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -48,6 +88,12 @@ int main(int argc, char** argv) {
       opts.checkpoint_every = std::strtoull(arg + 19, nullptr, 10);
     } else if (std::strcmp(arg, "--dry-run") == 0) {
       dry_run = true;
+    } else if (std::strcmp(arg, "--list-traffic") == 0) {
+      return list_traffic();
+    } else if (std::strcmp(arg, "--list-routing") == 0) {
+      return list_routing();
+    } else if (std::strcmp(arg, "--list-workloads") == 0) {
+      return list_workloads();
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else if (manifest_path.empty()) {
