@@ -1,0 +1,102 @@
+// Work-stealing point leases for multi-machine manifest runs, plus the
+// atomic-write helpers the run-directory ledger is built on.
+//
+// N processes (on one machine or many, sharing the run directory over a
+// POSIX filesystem) each run `df_run --claim` against the same manifest.
+// Before executing point NNNN a claimer takes the lease file
+// `<run_dir>/claim_NNNN`:
+//
+//   - creation is `open(O_CREAT|O_EXCL)` — atomic on POSIX, so exactly
+//     one claimer wins a fresh lease;
+//   - the winner writes a `host:pid:timestamp` record and HOLDS an
+//     exclusive flock on the open descriptor for as long as it works on
+//     the point (the flock is the liveness signal filesystems release
+//     for us the instant a claimer dies, covering same-machine and
+//     NFSv4-style network mounts);
+//   - a lease whose file is older than the TTL (`DF_CLAIM_TTL` seconds,
+//     judged by the file's mtime so one fileserver clock arbitrates for
+//     every machine) AND whose flock can be taken is a crashed
+//     claimer's: it is stolen in place — flock first, then rewrite the
+//     record through the held descriptor, so two stealers can never
+//     both win;
+//   - live claimers re-stamp their lease on every periodic checkpoint
+//     (SweepOptions::on_checkpoint), so a long point is never stolen
+//     while it makes progress.
+//
+// Safety does not rest on arbitration alone: points are deterministic
+// (derived seeds, bit-identical engines) and land via write-unique-temp
+// + atomic rename, so even a double-executed point writes the same
+// bytes twice and the ledger stays correct. The lease protocol is what
+// makes the fan-out efficient; the ledger is what makes it safe.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dfsim {
+
+/// A temp name for atomically replacing `path`:
+/// `path.tmp.<pid>.<counter>`. Unique per call — never shared, so
+/// concurrent writers of the same path cannot interleave into one temp
+/// file and rename a corrupt entry into place.
+std::string unique_temp_path(const std::string& path);
+
+/// Atomically replace `path` with `body`: write to unique_temp_path()
+/// and rename it into place. Throws std::runtime_error on write failure.
+void write_file_atomic(const std::string& path, const std::string& body);
+
+/// Remove stray `*.tmp.*` files under `dir` older than `ttl_s` seconds
+/// (write_file_atomic temps orphaned by a killed process). The age gate
+/// keeps a live peer's in-flight temp safe; strays from crashed
+/// claimers age past any sane TTL. Errors are swallowed — cleanup is
+/// best-effort hygiene.
+void cleanup_stale_temps(const std::string& dir, double ttl_s);
+
+/// The DF_CLAIM_TTL env knob in seconds (default 60). Non-positive or
+/// unparsable values fall back to the default with a stderr warning.
+double env_claim_ttl();
+
+/// One process's (or thread's) view of the lease files in a run
+/// directory. Thread-safe; each worker thread may also keep its own
+/// instance — exclusion is per open descriptor, not per process.
+class PointClaimer {
+ public:
+  enum class Claim {
+    kClaimed,  ///< fresh lease created — the point is ours
+    kStolen,   ///< expired lease of a dead claimer taken over
+    kBusy,     ///< somebody else holds a live lease; move on
+  };
+
+  /// `ttl_s` <= 0 resolves via env_claim_ttl().
+  PointClaimer(std::string run_dir, double ttl_s);
+  /// Releases (unlinks) every lease still held — a destructed claimer
+  /// did not complete those points, so peers may take them immediately.
+  ~PointClaimer();
+  PointClaimer(const PointClaimer&) = delete;
+  PointClaimer& operator=(const PointClaimer&) = delete;
+
+  /// Try to take the lease for point `index`.
+  Claim try_claim(std::size_t index);
+  /// Re-stamp a held lease (fresh record + mtime) so it cannot expire
+  /// under a live claimer. Called from the periodic-checkpoint hook.
+  void heartbeat(std::size_t index);
+  /// Drop a held lease (point completed, or handed back).
+  void release(std::size_t index);
+
+  /// `<run_dir>/claim_NNNN` for point `index`.
+  std::string lease_path(std::size_t index) const;
+  /// The record a claimer writes into its lease: "host:pid:epoch-secs".
+  static std::string lease_record();
+
+  double ttl_s() const { return ttl_s_; }
+
+ private:
+  std::string run_dir_;
+  double ttl_s_;
+  std::mutex mu_;
+  std::map<std::size_t, int> held_;  ///< index -> open, flocked fd
+};
+
+}  // namespace dfsim

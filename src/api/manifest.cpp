@@ -1,5 +1,6 @@
 #include "api/manifest.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -9,7 +10,10 @@
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
+#include <vector>
 
+#include "api/claim.hpp"
 #include "common/bench_json.hpp"
 #include "common/csv.hpp"
 #include "common/env.hpp"
@@ -92,16 +96,6 @@ std::string point_file(const std::string& run_dir, std::size_t index,
   char buf[32];
   std::snprintf(buf, sizeof(buf), "point_%04zu", index);
   return run_dir + "/" + buf + ext;
-}
-
-void write_file_atomic(const std::string& path, const std::string& body) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    os << body;
-    if (!os) throw std::runtime_error("failed to write " + path);
-  }
-  std::filesystem::rename(tmp, path);
 }
 
 std::string read_file(const std::string& path) {
@@ -295,6 +289,40 @@ std::string Manifest::describe() const {
   return os.str();
 }
 
+Cycle resolve_checkpoint_every(Cycle opt_value) {
+  if (opt_value > 0) return opt_value;
+  const std::int64_t v = env_int("DF_CHECKPOINT_EVERY", 20000);
+  if (v < 0) {
+    // A raw cast would wrap the negative to a huge unsigned Cycle and
+    // silently disable checkpointing; reject like every other env knob.
+    std::fprintf(stderr,
+                 "dfsim: ignoring DF_CHECKPOINT_EVERY=%lld (checkpoint "
+                 "cadence must be non-negative; using 20000)\n",
+                 static_cast<long long>(v));
+    return 20000;
+  }
+  return static_cast<Cycle>(v);
+}
+
+namespace {
+
+// Merge in point order: header once, then every ledger file verbatim.
+void merge_point_files(const Manifest& m, const std::string& run_dir,
+                       std::size_t n_points, const std::string& csv_path) {
+  std::ostringstream merged;
+  merged << (m.phases.empty()
+                 ? "series,x,seed,avg_latency_cycles,accepted_load,"
+                   "offered_load_measured,source_drop_rate\n"
+                 : "series,x,seed,cycle_end,accepted_load,"
+                   "offered_load_measured,avg_latency_cycles,pattern\n");
+  for (std::size_t i = 0; i < n_points; ++i) {
+    merged << read_file(point_file(run_dir, i, ".csv"));
+  }
+  write_file_atomic(csv_path, merged.str());
+}
+
+}  // namespace
+
 ManifestRunSummary run_manifest(const Manifest& m,
                                 const ManifestRunOptions& opts) {
   const auto start = std::chrono::steady_clock::now();
@@ -306,7 +334,8 @@ ManifestRunSummary run_manifest(const Manifest& m,
 
   // The ledger is only meaningful against the exact same manifest: a
   // drifted grid or base config silently remapping point indices would
-  // merge results from two different experiments.
+  // merge results from two different experiments. (Two claimers racing
+  // to create MANIFEST.txt both atomically rename identical bytes.)
   const std::string desc = m.describe();
   const std::string manifest_path = run_dir + "/MANIFEST.txt";
   if (std::filesystem::exists(manifest_path)) {
@@ -322,6 +351,11 @@ ManifestRunSummary run_manifest(const Manifest& m,
   }
 
   const std::vector<ExperimentPoint> points = m.expand();
+  const double ttl =
+      opts.claim_ttl_s > 0.0 ? opts.claim_ttl_s : env_claim_ttl();
+  // Unique-suffix temps orphaned by killed writers; the age gate keeps
+  // live peers' in-flight temps safe.
+  cleanup_stale_temps(run_dir, ttl);
 
   ManifestRunSummary summary;
   summary.total_points = points.size();
@@ -333,59 +367,158 @@ ManifestRunSummary run_manifest(const Manifest& m,
     if (std::filesystem::exists(point_file(run_dir, i, ".csv"))) {
       ++summary.skipped_points;
       // A crash between landing the point file and dropping the
-      // checkpoint can orphan a .ckpt; clean it up here.
+      // checkpoint (or the lease) can orphan either; clean them up here.
       std::error_code ec;
       std::filesystem::remove(point_file(run_dir, i, ".ckpt"), ec);
     } else {
       pending.push_back(i);
     }
   }
-  summary.ran_points = pending.size();
 
   SweepOptions sopts;
   sopts.jobs = opts.jobs;
-  sopts.checkpoint_every =
-      opts.checkpoint_every > 0
-          ? opts.checkpoint_every
-          : static_cast<Cycle>(env_int("DF_CHECKPOINT_EVERY", 20000));
+  sopts.checkpoint_every = resolve_checkpoint_every(opts.checkpoint_every);
   sopts.checkpoint_path = [&run_dir](std::size_t index) {
     return point_file(run_dir, index, ".ckpt");
   };
   sopts.resume = true;
 
   std::mutex log_mu;
-  std::size_t done = 0;
-  runtime::parallel_for(pending.size(), opts.jobs, [&](std::size_t k) {
-    const std::size_t i = pending[k];
-    const ExperimentResult r = run_experiment_point(
-        points[i], runtime::derive_seed(points[i].cfg.seed, i), i, sopts);
-    write_file_atomic(point_file(run_dir, i, ".csv"), point_rows(r));
-    if (opts.log != nullptr) {
-      std::lock_guard<std::mutex> lock(log_mu);
-      ++done;
-      *opts.log << "[" << done << "/" << pending.size() << "] point " << i
-                << " (" << r.series << ") done\n";
+  if (!opts.claim) {
+    // Single-process mode: the pending set is fixed, shard it statically
+    // across the thread pool (the historical path, byte-for-byte).
+    std::size_t done = 0;
+    runtime::parallel_for(pending.size(), opts.jobs, [&](std::size_t k) {
+      const std::size_t i = pending[k];
+      const ExperimentResult r = run_experiment_point(
+          points[i], runtime::derive_seed(points[i].cfg.seed, i), i, sopts);
+      write_file_atomic(point_file(run_dir, i, ".csv"), point_rows(r));
+      if (opts.log != nullptr) {
+        std::lock_guard<std::mutex> lock(log_mu);
+        ++done;
+        *opts.log << "[" << done << "/" << pending.size() << "] point " << i
+                  << " (" << r.series << ") done\n";
+      }
+    });
+    summary.ran_points = pending.size();
+  } else {
+    // Claim mode: workers (threads here, processes/machines across the
+    // fleet) dynamically partition the pending points by taking
+    // claim_NNNN leases. A worker keeps scanning until the ledger is
+    // complete, stealing expired leases of crashed peers along the way;
+    // with no claimable work it backs off and re-polls (no_merge exits
+    // instead, leaving the remainder to the peers that hold it).
+    std::atomic<std::size_t> ran{0};
+    std::atomic<std::size_t> stolen{0};
+    std::atomic<std::size_t> logged{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+
+    auto claim_worker = [&]() {
+      PointClaimer claimer(run_dir, ttl);
+      SweepOptions wopts = sopts;
+      wopts.jobs = 1;
+      // The lease heartbeat: every periodic checkpoint re-stamps the
+      // claim file, so a live long-running point never expires.
+      wopts.on_checkpoint = [&claimer](std::size_t index) {
+        claimer.heartbeat(index);
+      };
+      std::uint64_t backoff_ms = 50;
+      const std::uint64_t backoff_cap_ms = std::max<std::uint64_t>(
+          1000, static_cast<std::uint64_t>(ttl * 1000.0) / 4);
+      while (true) {
+        bool did_work = false;
+        bool any_incomplete = false;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const std::string csv = point_file(run_dir, i, ".csv");
+          if (std::filesystem::exists(csv)) {
+            // A completed point's lease is inert (a claimer that died
+            // between landing the csv and unlinking its lease).
+            std::error_code ec;
+            std::filesystem::remove(claimer.lease_path(i), ec);
+            continue;
+          }
+          any_incomplete = true;
+          const PointClaimer::Claim c = claimer.try_claim(i);
+          if (c == PointClaimer::Claim::kBusy) continue;
+          if (std::filesystem::exists(csv)) {
+            // The previous holder landed the csv in the window between
+            // our completion scan and winning the lease.
+            claimer.release(i);
+            continue;
+          }
+          if (c == PointClaimer::Claim::kStolen) ++stolen;
+          const ExperimentResult r = run_experiment_point(
+              points[i], runtime::derive_seed(points[i].cfg.seed, i), i,
+              wopts);
+          write_file_atomic(csv, point_rows(r));
+          claimer.release(i);
+          ++ran;
+          did_work = true;
+          backoff_ms = 50;
+          if (opts.log != nullptr) {
+            std::lock_guard<std::mutex> lock(log_mu);
+            *opts.log << "[claimed " << ++logged << "] point " << i << " ("
+                      << r.series << ")"
+                      << (c == PointClaimer::Claim::kStolen ? " (stolen)"
+                                                            : "")
+                      << " done\n";
+          }
+        }
+        if (!any_incomplete) break;  // ledger complete — barrier reached
+        if (!did_work) {
+          if (opts.no_merge) break;  // leave the rest to the peers holding it
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(backoff_ms));
+          backoff_ms = std::min(backoff_ms * 2, backoff_cap_ms);
+        }
+      }
+    };
+    auto guarded_worker = [&]() {
+      try {
+        claim_worker();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    };
+
+    const int workers = runtime::resolve_jobs(opts.jobs);
+    if (workers <= 1) {
+      guarded_worker();
+    } else {
+      std::vector<std::thread> team;
+      team.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) team.emplace_back(guarded_worker);
+      for (std::thread& t : team) t.join();
     }
-  });
-
-  // Merge in point order: header once, then every ledger file verbatim.
-  std::ostringstream merged;
-  merged << (m.phases.empty()
-                 ? "series,x,seed,avg_latency_cycles,accepted_load,"
-                   "offered_load_measured,source_drop_rate\n"
-                 : "series,x,seed,cycle_end,accepted_load,"
-                   "offered_load_measured,avg_latency_cycles,pattern\n");
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    merged << read_file(point_file(run_dir, i, ".csv"));
+    if (first_error) std::rethrow_exception(first_error);
+    summary.ran_points = ran.load();
+    summary.stolen_leases = stolen.load();
   }
-  write_file_atomic(summary.csv_path, merged.str());
 
-  const double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    start)
-          .count();
-  append_bench_record("manifest:" + m.name, wall_s,
-                      runtime::resolve_jobs(opts.jobs));
+  // Merge barrier: results.csv only ever reflects a complete ledger.
+  // In claim mode any process that finds every point file present
+  // performs the merge (idempotent: identical bytes, atomic rename);
+  // one that exits early reports how much is still pending instead.
+  std::size_t missing = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!std::filesystem::exists(point_file(run_dir, i, ".csv"))) ++missing;
+  }
+  summary.pending_points = missing;
+  if (missing == 0 && !(opts.claim && opts.no_merge)) {
+    merge_point_files(m, run_dir, points.size(), summary.csv_path);
+    summary.merged = true;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    append_bench_record("manifest:" + m.name, wall_s,
+                        runtime::resolve_jobs(opts.jobs));
+  } else if (missing > 0 && opts.log != nullptr) {
+    std::lock_guard<std::mutex> lock(log_mu);
+    *opts.log << missing << " points still pending; merge deferred\n";
+  }
   return summary;
 }
 

@@ -87,22 +87,54 @@ struct ManifestRunOptions {
   /// $DF_CHECKPOINT_EVERY, else 20000.
   Cycle checkpoint_every = 0;
   std::ostream* log = nullptr;  ///< per-point progress lines; null = quiet
+  /// Work-stealing claim mode (`df_run --claim`): instead of statically
+  /// partitioning the pending points, every worker takes a
+  /// `claim_NNNN` lease (api/claim.hpp) before executing a point, so N
+  /// processes on N machines sharing the run directory partition the
+  /// grid dynamically. Leases of crashed claimers are stolen after
+  /// `claim_ttl_s`; the merge runs only once every point file exists
+  /// (any claimer that reaches the complete barrier performs it).
+  bool claim = false;
+  /// Lease staleness TTL in seconds; <= 0 = $DF_CLAIM_TTL, else 60.
+  double claim_ttl_s = 0.0;
+  /// Claim mode only: exit as soon as no point is claimable instead of
+  /// polling for peers' leases to complete or expire — the summary then
+  /// reports how many points are still pending and no merge happens.
+  bool no_merge = false;
 };
 
 struct ManifestRunSummary {
   std::size_t total_points = 0;
   std::size_t skipped_points = 0;  ///< completed by a previous run
   std::size_t ran_points = 0;      ///< executed (or resumed) this run
+  std::size_t stolen_leases = 0;   ///< expired leases taken over (claim mode)
+  /// Points whose ledger file was still missing when this process
+  /// stopped claiming (peers hold their leases, or --no-merge exited
+  /// early). 0 whenever `merged`.
+  std::size_t pending_points = 0;
+  bool merged = false;  ///< this process performed (or re-performed) the merge
   std::string run_dir;
   std::string csv_path;  ///< the merged results.csv
 };
+
+/// The checkpoint cadence run_manifest resolves from `opt_value` and
+/// $DF_CHECKPOINT_EVERY: a positive option wins; otherwise the env var,
+/// validated like every other env knob — a negative value is rejected
+/// with a stderr warning (instead of wrapping to a huge unsigned Cycle
+/// that silently disables checkpointing) and the 20000 default applies.
+/// DF_CHECKPOINT_EVERY=0 explicitly disables periodic checkpoints.
+Cycle resolve_checkpoint_every(Cycle opt_value);
 
 /// Execute (or resume) a manifest. Skips points whose ledger file
 /// already exists, restores any checkpointed in-flight point, merges all
 /// point files into results.csv, and appends a
 /// {"bench": "manifest:<name>", ...} record to BENCH_sweep.json.
-/// Throws std::runtime_error on manifest drift against an existing run
-/// directory and std::invalid_argument for a malformed manifest.
+/// With opts.claim, points are taken via work-stealing leases so many
+/// processes (machines) can share one run directory; the merge (and the
+/// BENCH record) happen only in the process that finds the ledger
+/// complete. Throws std::runtime_error on manifest drift against an
+/// existing run directory and std::invalid_argument for a malformed
+/// manifest.
 ManifestRunSummary run_manifest(const Manifest& m,
                                 const ManifestRunOptions& opts = {});
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "api/claim.hpp"
 #include "common/csv.hpp"
 #include "runtime/parallel_for.hpp"
 #include "runtime/seed.hpp"
@@ -35,9 +36,11 @@ ExperimentResult run_experiment_point(const ExperimentPoint& pt,
     run.run_to_completion();
   } else {
     // Write-to-temp + atomic rename: a checkpoint file either is a
-    // complete snapshot or does not exist, never a torn write.
+    // complete snapshot or does not exist, never a torn write. The temp
+    // name is unique per writer so two claimers racing on one stolen
+    // point cannot interleave into the same temp file.
     while (run.advance(opts.checkpoint_every)) {
-      const std::string tmp = ckpt + ".tmp";
+      const std::string tmp = unique_temp_path(ckpt);
       {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
         run.save_checkpoint(os);
@@ -46,6 +49,7 @@ ExperimentResult run_experiment_point(const ExperimentPoint& pt,
         }
       }
       std::filesystem::rename(tmp, ckpt);
+      if (opts.on_checkpoint) opts.on_checkpoint(index);
     }
     std::error_code ec;
     std::filesystem::remove(ckpt, ec);  // point finished; drop the snapshot

@@ -69,6 +69,11 @@ struct SweepOptions {
   /// restore the run from it and continue instead of starting the point
   /// from cycle 0 (bit-identical to the uninterrupted run).
   bool resume = false;
+  /// Called with the point index after every periodic checkpoint lands
+  /// (atomic rename included). The manifest claimer uses this as its
+  /// lease heartbeat: a long-running point re-stamps its claim file on
+  /// every checkpoint, so live work is never stolen by TTL expiry.
+  std::function<void(std::size_t)> on_checkpoint;
 };
 
 /// Run every grid point, in parallel, preserving point order in the

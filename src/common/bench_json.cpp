@@ -5,10 +5,37 @@
 #include <sys/resource.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 namespace dfsim {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
 
 std::uint64_t peak_rss_bytes() {
   struct rusage ru;
@@ -31,7 +58,8 @@ void append_bench_record(const std::string& bench, double wall_s, int jobs,
   if (path.empty()) return;
 
   std::ostringstream record;
-  record << "  {\"bench\": \"" << bench << "\", \"wall_s\": " << wall_s
+  record << "  {\"bench\": \"" << json_escape(bench)
+         << "\", \"wall_s\": " << wall_s
          << ", \"jobs\": " << jobs;
   if (peak_rss_mb > 0.0) {
     record << ", \"peak_rss_mb\": " << peak_rss_mb;

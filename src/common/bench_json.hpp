@@ -15,6 +15,11 @@ namespace dfsim {
 /// ru_maxrss; 0 if the platform query fails).
 std::uint64_t peak_rss_bytes();
 
+/// JSON string-escape `s` (quotes, backslashes, control characters).
+/// Bench names flow in from manifest names and engine-mode suffixes;
+/// an unescaped quote would make the ledger unparsable forever.
+std::string json_escape(const std::string& s);
+
 /// Append one record to the JSON array at `path`. An empty `path` reads
 /// the DF_BENCH_JSON env var (default "BENCH_sweep.json"); an explicitly
 /// empty DF_BENCH_JSON disables the report. A file that is not our array

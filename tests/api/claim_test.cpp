@@ -1,0 +1,236 @@
+// The work-stealing point claimer: two concurrent claimers on one run
+// directory merge byte-identically to a single-process run, stale
+// leases of dead claimers are stolen after the TTL (and the point still
+// lands exactly once), live leases block with the merge barrier
+// reporting the pending remainder, and the atomic-write/env-validation
+// fixes the protocol rests on.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "api/claim.hpp"
+#include "api/manifest.hpp"
+
+namespace dfsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kManifest =
+    "name = ctest\n"
+    "h = 2\n"
+    "warmup_cycles = 200\n"
+    "measure_cycles = 600\n"
+    "seed = 42\n"
+    "grid.routing = minimal, olm\n"
+    "grid.load = 0.1, 0.3\n";
+
+class TempRunDir {
+ public:
+  explicit TempRunDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("dfsim_claim_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+  }
+  ~TempRunDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void age_file(const std::string& path, int seconds) {
+  fs::last_write_time(path, fs::file_time_type::clock::now() -
+                                std::chrono::seconds(seconds));
+}
+
+// The single-process jobs=1 merge every claim scenario must reproduce
+// byte-for-byte.
+std::string reference_csv(const Manifest& m, const std::string& tag) {
+  TempRunDir dir(tag);
+  ManifestRunOptions opts;
+  opts.run_dir = dir.str();
+  opts.jobs = 1;
+  return slurp(run_manifest(m, opts).csv_path);
+}
+
+TEST(Claim, TwoConcurrentClaimersMergeByteIdentically) {
+  const Manifest m = Manifest::parse(kManifest);
+  const std::string golden = reference_csv(m, "ref_conc");
+
+  TempRunDir dir("conc");
+  ManifestRunOptions opts;
+  opts.run_dir = dir.str();
+  opts.jobs = 1;
+  opts.claim = true;
+  opts.claim_ttl_s = 60.0;  // nothing should be stolen in a healthy race
+
+  ManifestRunSummary sa;
+  ManifestRunSummary sb;
+  std::thread a([&] { sa = run_manifest(m, opts); });
+  std::thread b([&] { sb = run_manifest(m, opts); });
+  a.join();
+  b.join();
+
+  // The lease files partition the grid: every point executed exactly
+  // once across the two claimers, nothing stolen, and whoever reached
+  // the complete barrier merged the same bytes as the serial run.
+  EXPECT_EQ(sa.ran_points + sb.ran_points, 4u);
+  EXPECT_EQ(sa.stolen_leases + sb.stolen_leases, 0u);
+  EXPECT_EQ(sa.pending_points, 0u);
+  EXPECT_EQ(sb.pending_points, 0u);
+  EXPECT_TRUE(sa.merged || sb.merged);
+  EXPECT_EQ(slurp(dir.str() + "/results.csv"), golden);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(fs::exists(dir.str() + "/claim_000" + std::to_string(i)))
+        << "lease " << i << " not released";
+  }
+}
+
+TEST(Claim, StaleLeaseOfDeadClaimerIsStolen) {
+  const Manifest m = Manifest::parse(kManifest);
+  const std::string golden = reference_csv(m, "ref_steal");
+
+  // A crashed claimer's leftovers: a lease nobody flock-holds, aged
+  // well past the TTL (a killed process cannot refresh its mtime).
+  TempRunDir dir("steal");
+  fs::create_directories(dir.str());
+  {
+    std::ofstream os(dir.str() + "/claim_0000");
+    os << "deadhost:99999:0\n";
+  }
+  age_file(dir.str() + "/claim_0000", 3600);
+
+  ManifestRunOptions opts;
+  opts.run_dir = dir.str();
+  opts.jobs = 1;
+  opts.claim = true;
+  opts.claim_ttl_s = 1.0;
+  const ManifestRunSummary s = run_manifest(m, opts);
+
+  EXPECT_EQ(s.ran_points, 4u);  // the stolen point landed exactly once
+  EXPECT_EQ(s.stolen_leases, 1u);
+  EXPECT_TRUE(s.merged);
+  EXPECT_EQ(s.pending_points, 0u);
+  EXPECT_EQ(slurp(s.csv_path), golden);
+  EXPECT_FALSE(fs::exists(dir.str() + "/claim_0000"));
+}
+
+TEST(Claim, LiveLeaseBlocksAndBarrierReportsPending) {
+  const Manifest m = Manifest::parse(kManifest);
+  const std::string golden = reference_csv(m, "ref_live");
+
+  TempRunDir dir("live");
+  fs::create_directories(dir.str());
+  // A live peer: fresh lease, flock held for the duration — stale age
+  // alone must NOT make it stealable.
+  const std::string lease = dir.str() + "/claim_0000";
+  {
+    std::ofstream os(lease);
+    os << PointClaimer::lease_record();
+  }
+  age_file(lease, 3600);  // expired mtime, but the holder is alive
+  const int held = ::open(lease.c_str(), O_RDWR);
+  ASSERT_GE(held, 0);
+  ASSERT_EQ(::flock(held, LOCK_EX | LOCK_NB), 0);
+
+  ManifestRunOptions opts;
+  opts.run_dir = dir.str();
+  opts.jobs = 1;
+  opts.claim = true;
+  opts.claim_ttl_s = 1.0;
+  opts.no_merge = true;  // exit instead of polling for the live peer
+  const ManifestRunSummary s = run_manifest(m, opts);
+
+  EXPECT_EQ(s.ran_points, 3u);
+  EXPECT_EQ(s.stolen_leases, 0u);
+  EXPECT_EQ(s.pending_points, 1u);
+  EXPECT_FALSE(s.merged);
+  EXPECT_FALSE(fs::exists(dir.str() + "/results.csv"))
+      << "merge barrier must hold while a point is pending";
+
+  // The peer "dies": release the flock and drop its lease. A waiting
+  // claimer now collects the remainder and performs the merge.
+  ::close(held);
+  fs::remove(lease);
+  opts.no_merge = false;
+  const ManifestRunSummary done = run_manifest(m, opts);
+  EXPECT_EQ(done.skipped_points, 3u);
+  EXPECT_EQ(done.ran_points, 1u);
+  EXPECT_TRUE(done.merged);
+  EXPECT_EQ(slurp(done.csv_path), golden);
+}
+
+TEST(Claim, CleanupRemovesOnlyStaleTemps) {
+  TempRunDir dir("temps");
+  fs::create_directories(dir.str());
+  const std::string stale = dir.str() + "/point_0000.csv.tmp.123.0";
+  const std::string fresh = dir.str() + "/point_0001.csv.tmp.124.7";
+  const std::string ledger = dir.str() + "/point_0002.csv";
+  for (const std::string& p : {stale, fresh, ledger}) {
+    std::ofstream os(p);
+    os << "x\n";
+  }
+  age_file(stale, 3600);
+
+  cleanup_stale_temps(dir.str(), 60.0);
+  EXPECT_FALSE(fs::exists(stale)) << "aged orphan temp must be removed";
+  EXPECT_TRUE(fs::exists(fresh)) << "a live peer's in-flight temp survives";
+  EXPECT_TRUE(fs::exists(ledger));
+}
+
+TEST(Claim, UniqueTempPathsNeverCollide) {
+  const std::string a = unique_temp_path("point_0000.csv");
+  const std::string b = unique_temp_path("point_0000.csv");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.find("point_0000.csv.tmp."), 0u);
+}
+
+TEST(Claim, ResolveCheckpointEveryValidatesEnv) {
+  // The option always wins.
+  ::setenv("DF_CHECKPOINT_EVERY", "123", 1);
+  EXPECT_EQ(resolve_checkpoint_every(7), 7u);
+  // A sane env value resolves.
+  EXPECT_EQ(resolve_checkpoint_every(0), 123u);
+  // 0 explicitly disables periodic checkpoints.
+  ::setenv("DF_CHECKPOINT_EVERY", "0", 1);
+  EXPECT_EQ(resolve_checkpoint_every(0), 0u);
+  // A negative value must not wrap to a huge unsigned Cycle (which
+  // silently disabled checkpointing); it is rejected for the default.
+  ::setenv("DF_CHECKPOINT_EVERY", "-5", 1);
+  EXPECT_EQ(resolve_checkpoint_every(0), 20000u);
+  ::unsetenv("DF_CHECKPOINT_EVERY");
+  EXPECT_EQ(resolve_checkpoint_every(0), 20000u);
+}
+
+TEST(Claim, LeaseRecordNamesHostPidTimestamp) {
+  const std::string record = PointClaimer::lease_record();
+  // host:pid:timestamp — two separators, our pid in the middle.
+  const std::size_t first = record.find(':');
+  const std::size_t second = record.find(':', first + 1);
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_EQ(record.substr(first + 1, second - first - 1),
+            std::to_string(::getpid()));
+  EXPECT_EQ(record.back(), '\n');
+}
+
+}  // namespace
+}  // namespace dfsim

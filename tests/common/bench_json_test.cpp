@@ -1,0 +1,79 @@
+// The BENCH_sweep.json appender: JSON string escaping of bench names (a
+// manifest named with quotes or backslashes must not make the ledger
+// unparsable forever) and the grown-array shape across appends.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/bench_json.hpp"
+
+namespace dfsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempBenchFile {
+ public:
+  TempBenchFile()
+      : path_((fs::temp_directory_path() /
+               ("dfsim_bench_json_" + std::to_string(::getpid()) + ".json"))
+                  .string()) {
+    fs::remove(path_);
+  }
+  ~TempBenchFile() { fs::remove(path_); }
+  const std::string& str() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+std::size_t count(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain-name_1.2"), "plain-name_1.2");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(BenchJson, QuotedBenchNameStaysParsable) {
+  // Regression: append_bench_record used to splice the raw name between
+  // quotes, so manifest:we"ird broke the array for every later append.
+  TempBenchFile file;
+  append_bench_record("manifest:we\"ird\\name", 1.5, 2, file.str());
+  const std::string body = slurp(file.str());
+  EXPECT_NE(body.find("\"manifest:we\\\"ird\\\\name\""), std::string::npos)
+      << body;
+
+  // The appender itself must still recognize the file as its own array
+  // and grow it — an unescaped name would have poisoned it for good.
+  append_bench_record("plain", 2.0, 1, file.str());
+  const std::string grown = slurp(file.str());
+  EXPECT_EQ(grown.front(), '[');
+  EXPECT_EQ(grown.substr(grown.size() - 2), "]\n");
+  EXPECT_EQ(count(grown, "\"bench\""), 2u) << grown;
+  EXPECT_EQ(count(grown, "\"wall_s\""), 2u) << grown;
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""bench_store: turn the append-only BENCH_*.json trail into a queryable
+per-bench perf trajectory.
+
+Every bench run appends {"bench", "wall_s", "jobs", ...} records to a
+BENCH_sweep.json array (src/common/bench_json.cpp). That trail is
+per-run and unqueryable: the perf gate compares against one committed
+baseline instead of the actual trajectory. This tool ingests those
+arrays into a durable JSON-lines store — one record per line, in
+ingestion order — and answers trajectory queries over it:
+
+    bench_store.py ingest FILE... [--store PATH] [--no-dedup]
+    bench_store.py list           [--store PATH]
+    bench_store.py query BENCH    [--store PATH] [--last N] [--json]
+    bench_store.py regress BENCH... [--store PATH] [--window N]
+                                    [--tolerance T]
+    bench_store.py selftest
+
+The store (--store, or $DF_BENCH_STORE, default bench_store.jsonl) is
+append-only; each stored record keeps the source record's fields and
+gains "seq" (monotonic ingestion index), "source" (basename of the
+ingested file) and "fingerprint". The fingerprint hashes (source file
+content, record index), so re-ingesting the same BENCH file is a no-op
+by default (--no-dedup disables the check).
+
+`query` prints the last N records plus a median/min summary. `regress`
+compares the newest record of each named bench against the min of the
+trailing window of earlier records and exits 1 when it is slower than
+(1 + tolerance) x reference — the trajectory-mode twin of
+tools/perf_gate.py, which consumes the same store via --trajectory.
+
+Exit status: 0 = ok, 1 = regression detected, 2 = bad invocation or
+unreadable input.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import statistics
+import sys
+import tempfile
+
+
+def default_store():
+    return os.environ.get("DF_BENCH_STORE", "bench_store.jsonl")
+
+
+def load_store(path):
+    """Read the JSONL store; a missing file is an empty store."""
+    records = []
+    if not os.path.exists(path):
+        return records
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError as e:
+                    print(f"bench_store: {path}:{lineno}: bad record: {e}",
+                          file=sys.stderr)
+                    sys.exit(2)
+    except OSError as e:
+        print(f"bench_store: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return records
+
+
+def cmd_ingest(args):
+    store = load_store(args.store)
+    seen = {r.get("fingerprint") for r in store}
+    seq = max((r.get("seq", -1) for r in store), default=-1) + 1
+    added = skipped = 0
+    lines = []
+    for path in args.files:
+        try:
+            with open(path, "rb") as f:
+                raw = f.read()
+            records = json.loads(raw)
+        except (OSError, ValueError) as e:
+            print(f"bench_store: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        if not isinstance(records, list):
+            print(f"bench_store: {path} is not a BENCH record array",
+                  file=sys.stderr)
+            return 2
+        content = hashlib.sha256(raw).hexdigest()[:16]
+        for index, record in enumerate(records):
+            name = record.get("bench")
+            wall = record.get("wall_s")
+            if not isinstance(name, str) or not isinstance(wall, (int, float)):
+                print(f"bench_store: malformed record in {path}: {record}",
+                      file=sys.stderr)
+                return 2
+            # The dedup unit is (file content, record index): re-ingesting
+            # the same file skips everything, while a fresh run's file
+            # (different timings => different content) always lands.
+            fingerprint = f"{content}:{index}"
+            if not args.no_dedup and fingerprint in seen:
+                skipped += 1
+                continue
+            stored = dict(record)
+            stored["seq"] = seq
+            stored["source"] = os.path.basename(path)
+            stored["fingerprint"] = fingerprint
+            seen.add(fingerprint)
+            lines.append(json.dumps(stored, sort_keys=True))
+            seq += 1
+            added += 1
+    if lines:
+        with open(args.store, "a") as f:
+            f.write("\n".join(lines) + "\n")
+    print(f"bench_store: ingested {added} records into {args.store}"
+          f" ({skipped} duplicates skipped)")
+    return 0
+
+
+def by_bench(records):
+    out = {}
+    for r in records:
+        out.setdefault(r.get("bench"), []).append(r)
+    return out
+
+
+def cmd_list(args):
+    groups = by_bench(load_store(args.store))
+    if not groups:
+        print(f"bench_store: {args.store} is empty")
+        return 0
+    width = max(len(n) for n in groups)
+    for name in sorted(groups):
+        walls = [r["wall_s"] for r in groups[name]]
+        print(f"  {name:<{width}}  {len(walls):3d} records"
+              f"  min {min(walls):8.3f}s  median"
+              f" {statistics.median(walls):8.3f}s")
+    return 0
+
+
+def cmd_query(args):
+    groups = by_bench(load_store(args.store))
+    records = groups.get(args.bench)
+    if not records:
+        print(f"bench_store: no records for '{args.bench}' in {args.store}",
+              file=sys.stderr)
+        return 2
+    records.sort(key=lambda r: r.get("seq", 0))
+    tail = records[-args.last:] if args.last > 0 else records
+    if args.json:
+        print(json.dumps(tail, indent=2, sort_keys=True))
+    else:
+        for r in tail:
+            extras = " ".join(f"{k}={r[k]}" for k in sorted(r)
+                              if k not in ("bench", "wall_s", "jobs", "seq",
+                                           "source", "fingerprint"))
+            print(f"  seq {r.get('seq', '?'):>4}  wall"
+                  f" {r['wall_s']:8.3f}s  jobs {r.get('jobs', '?')}"
+                  f"  {r.get('source', '')} {extras}".rstrip())
+    walls = [r["wall_s"] for r in tail]
+    print(f"{args.bench}: n={len(walls)} min={min(walls):.3f}s"
+          f" median={statistics.median(walls):.3f}s")
+    return 0
+
+
+def trailing_reference(records, window):
+    """(reference wall_s, newest wall_s) for a bench's sorted records:
+    newest vs the min of the `window` records before it. None when there
+    is no history to compare against yet."""
+    if len(records) < 2:
+        return None
+    newest = records[-1]["wall_s"]
+    prior = [r["wall_s"] for r in records[-1 - window:-1]]
+    return min(prior), newest
+
+
+def cmd_regress(args):
+    groups = by_bench(load_store(args.store))
+    failed = False
+    print(f"bench_store regress (window {args.window}, tolerance"
+          f" +{args.tolerance:.0%}):")
+    for name in args.benches:
+        records = sorted(groups.get(name, []), key=lambda r: r.get("seq", 0))
+        if not records:
+            print(f"  {name}: MISSING from {args.store}")
+            failed = True
+            continue
+        ref = trailing_reference(records, args.window)
+        if ref is None:
+            print(f"  {name}: only {len(records)} record(s); no trailing"
+                  f" window to gate against")
+            continue
+        reference, newest = ref
+        ratio = newest / reference if reference > 0 else float("inf")
+        verdict = "ok" if ratio <= 1.0 + args.tolerance else "REGRESSED"
+        print(f"  {name}: newest {newest:.3f}s vs trailing-min"
+              f" {reference:.3f}s  ratio {ratio:5.2f}x  {verdict}")
+        if verdict != "ok":
+            failed = True
+    return 1 if failed else 0
+
+
+def cmd_selftest(args):
+    del args
+    with tempfile.TemporaryDirectory() as tmp:
+        store = os.path.join(tmp, "store.jsonl")
+        a = os.path.join(tmp, "BENCH_a.json")
+        b = os.path.join(tmp, "BENCH_b.json")
+        # The escaped-name record mirrors what bench_json.cpp now emits
+        # for names containing quotes/backslashes.
+        with open(a, "w") as f:
+            json.dump([{"bench": "fig05", "wall_s": 1.0, "jobs": 2},
+                       {"bench": 'we"ird\\name', "wall_s": 0.5, "jobs": 1}], f)
+        with open(b, "w") as f:
+            json.dump([{"bench": "fig05", "wall_s": 1.1, "jobs": 2},
+                       {"bench": "fig05", "wall_s": 5.0, "jobs": 2}], f)
+
+        ns = lambda **kw: argparse.Namespace(store=store, **kw)
+        assert cmd_ingest(ns(files=[a], no_dedup=False)) == 0
+        assert cmd_ingest(ns(files=[a], no_dedup=False)) == 0  # pure dedup
+        assert len(load_store(store)) == 2, "re-ingest must be a no-op"
+        assert cmd_ingest(ns(files=[b], no_dedup=False)) == 0
+        records = load_store(store)
+        assert len(records) == 4, records
+        assert [r["seq"] for r in records] == [0, 1, 2, 3], records
+
+        groups = by_bench(records)
+        assert len(groups['we"ird\\name']) == 1, "escaped name round-trip"
+        assert cmd_query(ns(bench="fig05", last=10, json=False)) == 0
+        assert cmd_list(ns()) == 0
+        # fig05 trajectory is [1.0, 1.1, 5.0]: the newest (5.0s) regresses
+        # against the trailing min (1.0s); dropping the outlier passes.
+        assert cmd_regress(ns(benches=["fig05"], window=5,
+                              tolerance=0.25)) == 1
+        assert cmd_regress(ns(benches=["fig05"], window=5,
+                              tolerance=5.0)) == 0
+        assert cmd_regress(ns(benches=["absent"], window=5,
+                              tolerance=0.25)) == 1
+    print("bench_store selftest: ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("ingest", help="append BENCH_*.json records")
+    p.add_argument("files", nargs="+")
+    p.add_argument("--store", default=default_store())
+    p.add_argument("--no-dedup", action="store_true")
+    p.set_defaults(fn=cmd_ingest)
+
+    p = sub.add_parser("list", help="benches with record counts")
+    p.add_argument("--store", default=default_store())
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("query", help="one bench's trajectory")
+    p.add_argument("bench")
+    p.add_argument("--store", default=default_store())
+    p.add_argument("--last", type=int, default=10)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("regress",
+                       help="newest record vs trailing-window min")
+    p.add_argument("benches", nargs="+")
+    p.add_argument("--store", default=default_store())
+    p.add_argument("--window", type=int, default=10)
+    p.add_argument("--tolerance", type=float,
+                   default=float(os.environ.get("PERF_GATE_TOLERANCE",
+                                                "0.25")))
+    p.set_defaults(fn=cmd_regress)
+
+    p = sub.add_parser("selftest", help="round-trip the store in a tempdir")
+    p.set_defaults(fn=cmd_selftest)
+
+    args = ap.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,16 +2,26 @@
 //
 //   df_run <manifest-file> [--jobs=N] [--run-dir=DIR]
 //          [--checkpoint-every=CYCLES] [--dry-run]
+//          [--claim] [--claim-ttl=SECONDS] [--no-merge]
 //   df_run --list-traffic | --list-routing | --list-workloads
 //
 // The manifest grammar and the run-directory ledger layout are
 // documented in src/api/manifest.hpp. Re-running the same command after
 // a crash (or a SIGKILL) skips every completed point, restores the
 // in-flight point from its periodic checkpoint, and produces a merged
-// results.csv byte-identical to an uninterrupted run. The --list-*
+// results.csv byte-identical to an uninterrupted run.
+//
+// --claim turns on work-stealing mode (src/api/claim.hpp): N df_run
+// processes — across machines sharing the run directory — partition
+// the pending points dynamically via claim_NNNN lease files, steal
+// leases of crashed peers after --claim-ttl seconds (DF_CLAIM_TTL,
+// default 60), and whichever process finds the ledger complete
+// performs the merge. --no-merge exits as soon as no point is
+// claimable, reporting how many points peers still hold. The --list-*
 // flags print each registry (key, alias, one-line spec help) and exit.
 // Environment: DF_RUN_DIR (default run directory), DF_CHECKPOINT_EVERY
-// (checkpoint cadence in cycles, default 20000), DF_JOBS (worker count).
+// (checkpoint cadence in cycles, default 20000), DF_CLAIM_TTL (lease
+// TTL in seconds), DF_JOBS (worker count).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +41,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <manifest-file> [--jobs=N] [--run-dir=DIR]\n"
                "          [--checkpoint-every=CYCLES] [--dry-run]\n"
+               "          [--claim] [--claim-ttl=SECONDS] [--no-merge]\n"
                "       %s --list-traffic | --list-routing | --list-workloads\n",
                argv0, argv0);
   return 2;
@@ -86,6 +97,12 @@ int main(int argc, char** argv) {
       opts.run_dir = arg + 10;
     } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
       opts.checkpoint_every = std::strtoull(arg + 19, nullptr, 10);
+    } else if (std::strcmp(arg, "--claim") == 0) {
+      opts.claim = true;
+    } else if (std::strncmp(arg, "--claim-ttl=", 12) == 0) {
+      opts.claim_ttl_s = std::strtod(arg + 12, nullptr);
+    } else if (std::strcmp(arg, "--no-merge") == 0) {
+      opts.no_merge = true;
     } else if (std::strcmp(arg, "--dry-run") == 0) {
       dry_run = true;
     } else if (std::strcmp(arg, "--list-traffic") == 0) {
@@ -123,8 +140,17 @@ int main(int argc, char** argv) {
     const ManifestRunSummary s = run_manifest(m, opts);
     std::cout << "manifest '" << m.name << "': " << s.total_points
               << " points, " << s.skipped_points
-              << " already complete, " << s.ran_points
-              << " executed\nresults: " << s.csv_path << "\n";
+              << " already complete, " << s.ran_points << " executed";
+    if (opts.claim) {
+      std::cout << ", " << s.stolen_leases << " stolen";
+    }
+    std::cout << "\n";
+    if (s.merged) {
+      std::cout << "results: " << s.csv_path << "\n";
+    } else {
+      std::cout << s.pending_points
+                << " points still pending; merge deferred\n";
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "df_run: %s\n", e.what());
     return 1;

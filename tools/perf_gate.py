@@ -1,21 +1,32 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: compare fresh BENCH_sweep.json records against the
-committed baseline and fail when wall-clock regresses beyond tolerance.
+"""Perf-regression gate: compare fresh BENCH_sweep.json records against a
+reference and fail when wall-clock regresses beyond tolerance.
 
-Usage:
+Baseline mode (the committed single-point reference):
     tools/perf_gate.py --baseline bench/baseline/BENCH_baseline.json \
                        --current build/BENCH_sweep.json [--tolerance 0.25]
 
-Both files are JSON arrays of {"bench": <name>, "wall_s": <s>, "jobs": N}
-records (the format every bench's BenchReport appends). When a bench name
-appears several times on either side — e.g. best-of-N runs — the FASTEST
-record is used, which filters scheduler noise on shared runners.
+Trajectory mode (a bench_store.py JSONL store — gate against the actual
+recent history instead of one committed snapshot):
+    tools/perf_gate.py --trajectory bench_store.jsonl \
+                       --current build/BENCH_sweep.json [--window 10]
 
-Every bench present in the baseline must be present in the current file;
-a missing bench means the gate step forgot to run it and is an error, not
-a pass. Benches only present in the current file are reported but not
-gated (they have no reference yet — refresh the baseline to gate them,
-see tools/refresh_baseline.sh).
+Baseline/current files are JSON arrays of {"bench": <name>, "wall_s":
+<s>, "jobs": N} records (the format every bench's BenchReport appends).
+When a bench name appears several times on either side — e.g. best-of-N
+runs — the FASTEST record is used, which filters scheduler noise on
+shared runners. In trajectory mode the reference per bench is the min
+over the last --window store records, so the gate tracks genuine drift
+(a slowly decaying trajectory keeps failing) without a manual refresh.
+
+In baseline mode every bench present in the baseline must be present in
+the current file; a missing bench means the gate step forgot to run it
+and is an error, not a pass. Benches only present in the current file
+are reported but not gated (they have no reference yet — refresh the
+baseline to gate them, see tools/refresh_baseline.sh; in trajectory
+mode, ingest more runs). In trajectory mode only the benches present in
+both the store and the current file are gated — the store accumulates
+nightly-only benches a PR run never executes.
 
 Exit status: 0 = within tolerance, 1 = regression or missing bench,
 2 = bad invocation/unreadable input.
@@ -25,6 +36,24 @@ import argparse
 import json
 import os
 import sys
+
+import bench_store
+
+
+def trajectory_reference(path, window):
+    """Per-bench reference from a bench_store JSONL store: the min
+    wall_s over each bench's last `window` records."""
+    records = bench_store.load_store(path)
+    if not records:
+        print(f"perf_gate: trajectory store {path} is empty or missing; "
+              "ingest a run first (tools/bench_store.py ingest)",
+              file=sys.stderr)
+        sys.exit(2)
+    best = {}
+    for name, group in bench_store.by_bench(records).items():
+        group.sort(key=lambda r: r.get("seq", 0))
+        best[name] = min(r["wall_s"] for r in group[-window:])
+    return best
 
 
 def fastest_by_bench(path):
@@ -48,10 +77,16 @@ def fastest_by_bench(path):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True,
+    ap.add_argument("--baseline",
                     help="committed reference (bench/baseline/...)")
+    ap.add_argument("--trajectory",
+                    help="bench_store.py JSONL store to gate against "
+                         "(instead of --baseline)")
     ap.add_argument("--current", required=True,
                     help="freshly produced BENCH_sweep.json")
+    ap.add_argument("--window", type=int, default=10,
+                    help="trajectory mode: trailing records per bench the "
+                         "reference min is taken over (default 10)")
     ap.add_argument("--tolerance",
                     type=float,
                     default=float(os.environ.get("PERF_GATE_TOLERANCE",
@@ -59,34 +94,58 @@ def main():
                     help="allowed fractional slowdown (default 0.25, i.e. "
                          "fail above +25%%; PERF_GATE_TOLERANCE overrides)")
     args = ap.parse_args()
+    if bool(args.baseline) == bool(args.trajectory):
+        print("perf_gate: pass exactly one of --baseline / --trajectory",
+              file=sys.stderr)
+        return 2
 
-    baseline = fastest_by_bench(args.baseline)
+    trajectory_mode = args.trajectory is not None
+    if trajectory_mode:
+        baseline = trajectory_reference(args.trajectory, args.window)
+        ref_label = "trailing"
+    else:
+        baseline = fastest_by_bench(args.baseline)
+        ref_label = "baseline"
     current = fastest_by_bench(args.current)
     if not baseline:
         print("perf_gate: baseline has no records; regenerate it "
               "(tools/refresh_baseline.sh)", file=sys.stderr)
         return 2
+    if trajectory_mode and not set(baseline) & set(current):
+        print("perf_gate: no overlap between the trajectory store and the "
+              "current run — gate step misconfigured", file=sys.stderr)
+        return 2
 
     failed = False
     width = max(len(n) for n in set(baseline) | set(current))
-    print(f"perf gate (tolerance +{args.tolerance:.0%}):")
+    mode = (f"trajectory window {args.window}" if trajectory_mode
+            else "committed baseline")
+    print(f"perf gate ({mode}, tolerance +{args.tolerance:.0%}):")
     for name in sorted(baseline):
         base = baseline[name]
         if name not in current:
-            print(f"  {name:<{width}}  MISSING from current run "
-                  f"(baseline {base:.3f}s) — gate step misconfigured")
-            failed = True
+            if trajectory_mode:
+                # The store accumulates every bench ever ingested
+                # (nightly-only ones included); absence from this run is
+                # only an error in baseline mode, where the reference
+                # set IS the set the gate step must execute.
+                print(f"  {name:<{width}}  not in this run (store "
+                      f"{base:.3f}s); not gated")
+            else:
+                print(f"  {name:<{width}}  MISSING from current run "
+                      f"(baseline {base:.3f}s) — gate step misconfigured")
+                failed = True
             continue
         cur = current[name]
         ratio = cur / base if base > 0 else float("inf")
         verdict = "ok" if ratio <= 1.0 + args.tolerance else "REGRESSED"
-        print(f"  {name:<{width}}  baseline {base:8.3f}s  "
+        print(f"  {name:<{width}}  {ref_label} {base:8.3f}s  "
               f"current {cur:8.3f}s  ratio {ratio:5.2f}x  {verdict}")
         if verdict != "ok":
             failed = True
     for name in sorted(set(current) - set(baseline)):
         print(f"  {name:<{width}}  current {current[name]:8.3f}s  "
-              f"(no baseline; not gated)")
+              f"(no reference; not gated)")
 
     return 1 if failed else 0
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Two-claimer work-stealing smoke: launch two `df_run --claim` processes
+# on one shared run directory, SIGKILL one mid-point, and require the
+# survivor to steal the dead claimer's lease (after the TTL) and produce
+# a merged results.csv byte-identical to an uninterrupted single-process
+# run. Exercises the whole multi-machine stack end to end: O_EXCL lease
+# claims, flock liveness, TTL expiry + steal, checkpoint-resume of the
+# stolen point, and the complete-ledger merge barrier.
+#
+#   tools/two_claimer_smoke.sh <path-to-df_run> [workdir] [kill-delay-s]
+#
+# Exits non-zero if the killed claimer's work cannot be collected
+# bit-identically.
+set -euo pipefail
+
+DF_RUN=${1:?usage: two_claimer_smoke.sh <path-to-df_run> [workdir] [kill-delay-s]}
+WORK=${2:-$(mktemp -d)}
+KILL_DELAY=${3:-1.5}
+CLAIM_TTL=3
+
+mkdir -p "$WORK"
+MANIFEST="$WORK/smoke_manifest.txt"
+cat > "$MANIFEST" <<'EOF'
+# two-claimer smoke: four phased points long enough that a claimer can
+# be killed mid-point at laptop scale.
+name = two_claimer_smoke
+h = 2
+warmup_cycles = 2000
+seed = 9
+
+grid.routing = olm, minimal
+phase = cycles=400000 windows=4
+phase = cycles=400000 windows=4 pattern=advg+1
+EOF
+
+REF_DIR="$WORK/ref.run"
+CLAIM_DIR="$WORK/claim.run"
+rm -rf "$REF_DIR" "$CLAIM_DIR"
+
+echo "== reference run (single process, uninterrupted)"
+"$DF_RUN" "$MANIFEST" --run-dir="$REF_DIR" --jobs=1 --checkpoint-every=50000 \
+    > /dev/null 2>&1
+
+echo "== two claimers, one SIGKILLed after ${KILL_DELAY}s (TTL ${CLAIM_TTL}s)"
+for attempt in 1 2 3; do
+  rm -rf "$CLAIM_DIR"
+  "$DF_RUN" "$MANIFEST" --run-dir="$CLAIM_DIR" --jobs=1 --claim \
+      --claim-ttl="$CLAIM_TTL" --checkpoint-every=50000 \
+      > "$WORK/victim.out" 2>&1 &
+  victim=$!
+  "$DF_RUN" "$MANIFEST" --run-dir="$CLAIM_DIR" --jobs=1 --claim \
+      --claim-ttl="$CLAIM_TTL" --checkpoint-every=50000 \
+      > "$WORK/survivor.out" 2>&1 &
+  survivor=$!
+  sleep "$KILL_DELAY"
+  if kill -9 "$victim" 2>/dev/null; then
+    wait "$victim" 2>/dev/null || true
+    wait "$survivor"
+    if grep -q '(stolen)' "$WORK/survivor.out"; then
+      break  # the victim died holding a lease and it was stolen
+    fi
+    echo "   attempt $attempt: victim died between points (nothing stolen); retrying"
+  else
+    wait "$victim" 2>/dev/null || true
+    wait "$survivor" 2>/dev/null || true
+    echo "   attempt $attempt: victim finished before the kill landed; retrying"
+    KILL_DELAY=$(awk -v d="$KILL_DELAY" 'BEGIN { print d / 2 }')
+  fi
+done
+
+echo "   survivor summary:"
+sed 's/^/     /' "$WORK/survivor.out" | tail -5
+
+if ! grep -q '(stolen)' "$WORK/survivor.out"; then
+  echo "FAIL: no lease was stolen in any attempt (machine too fast/slow?)" >&2
+  exit 1
+fi
+if [ ! -f "$CLAIM_DIR/results.csv" ]; then
+  echo "FAIL: survivor did not reach the merge barrier" >&2
+  exit 1
+fi
+if ls "$CLAIM_DIR"/claim_* > /dev/null 2>&1; then
+  echo "FAIL: leases left behind after the merge" >&2
+  exit 1
+fi
+
+echo "== comparing merged CSVs"
+if ! cmp "$REF_DIR/results.csv" "$CLAIM_DIR/results.csv"; then
+  echo "FAIL: claimed/stolen results.csv differs from the uninterrupted run" >&2
+  exit 1
+fi
+echo "PASS: killed claimer's lease stolen; merge byte-identical to reference"
